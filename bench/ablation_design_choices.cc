@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Ablations of the interleaved design's choices (Sections 3 and 7):
+ *
+ *  1. compiler switch hints (explicit switch / backoff) on vs off,
+ *     and the hint threshold;
+ *  2. strict round-robin vs skip-blocked issue selection;
+ *  3. BTB size (branch prediction matters more when contexts are
+ *     scarce);
+ *  4. lockup-free depth (number of MSHRs);
+ *  5. miss-detection stage (how late in the pipeline the switch
+ *     decision is made - the source of the blocked scheme's cost).
+ */
+
+#include <iostream>
+
+#include "harness.hh"
+#include "metrics/report.hh"
+#include "spec/spec_suite.hh"
+#include "system/uni_system.hh"
+
+using namespace mtsim;
+using namespace mtsim::bench;
+
+namespace {
+
+double
+runWith(const Config &cfg, const std::string &mix)
+{
+    UniSystem sys(cfg);
+    for (const auto &app : uniWorkload(mix))
+        sys.addApp(app, specKernel(app));
+    sys.run(400000, 400000);
+    return sys.throughput();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Ablations of the interleaved/blocked design "
+                 "choices\n\n";
+
+    {
+        std::cout << "1. Switch-hint threshold (FP workload, 4 "
+                     "contexts; 0 = hints disabled)\n";
+        TextTable t({"Threshold", "interleaved IPC", "blocked IPC"});
+        for (std::uint32_t thr : {0u, 4u, 8u, 16u, 32u}) {
+            Config ci = Config::make(Scheme::Interleaved, 4);
+            ci.switchHintThreshold = thr;
+            Config cb = Config::make(Scheme::Blocked, 4);
+            cb.switchHintThreshold = thr;
+            t.addRow({std::to_string(thr),
+                      TextTable::num(runWith(ci, "FP"), 3),
+                      TextTable::num(runWith(cb, "FP"), 3)});
+        }
+        t.print(std::cout);
+    }
+
+    {
+        std::cout << "\n2. Strict round-robin vs skip-blocked issue "
+                     "(4 contexts)\n";
+        TextTable t({"Workload", "strict RR", "skip-blocked"});
+        for (const std::string mix : {"FP", "DC"}) {
+            Config strict = Config::make(Scheme::Interleaved, 4);
+            Config skip = Config::make(Scheme::Interleaved, 4);
+            skip.interleavedSkipBlocked = true;
+            t.addRow({mix, TextTable::num(runWith(strict, mix), 3),
+                      TextTable::num(runWith(skip, mix), 3)});
+        }
+        t.print(std::cout);
+    }
+
+    {
+        std::cout << "\n3. BTB size (IC workload, interleaved, 2 "
+                     "contexts)\n";
+        TextTable t({"BTB entries", "IPC"});
+        for (std::uint32_t e : {1u, 64u, 512u, 2048u}) {
+            Config c = Config::make(Scheme::Interleaved, 2);
+            c.btbEntries = e;
+            t.addRow({std::to_string(e),
+                      TextTable::num(runWith(c, "IC"), 3)});
+        }
+        t.print(std::cout);
+    }
+
+    {
+        std::cout << "\n4. Lockup-free depth / MSHRs (DC workload, "
+                     "interleaved, 4 contexts)\n";
+        TextTable t({"MSHRs", "IPC"});
+        for (std::uint32_t m : {1u, 2u, 4u, 8u}) {
+            Config c = Config::make(Scheme::Interleaved, 4);
+            c.numMshrs = m;
+            t.addRow({std::to_string(m),
+                      TextTable::num(runWith(c, "DC"), 3)});
+        }
+        t.print(std::cout);
+    }
+
+    {
+        std::cout << "\n5. Miss-detection stage (DC workload, "
+                     "blocked, 4 contexts; later detection = "
+                     "costlier flush)\n";
+        TextTable t({"Detect stage", "IPC"});
+        for (std::uint32_t st : {1u, 3u, 5u}) {
+            Config c = Config::make(Scheme::Blocked, 4);
+            c.sw.missDetectStage = st;
+            t.addRow({std::to_string(st),
+                      TextTable::num(runWith(c, "DC"), 3)});
+        }
+        t.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reproduces the Section 5.1 scheduling observation (citing Agarwal
+ * et al. [3]): "applications with lower miss rates tend to get more
+ * cycles under blocked multiple contexts than applications with
+ * higher miss rates", because round-robin switching allocates the
+ * processor by runlength. A similar but milder effect exists for the
+ * interleaved scheme (an application only loses its slots while a
+ * miss is outstanding). This imbalance is why the paper assumes
+ * context-usage feedback to the OS and normalizes Table 7.
+ */
+
+#include <iostream>
+
+#include "common/config.hh"
+#include "metrics/report.hh"
+#include "spec/spec_suite.hh"
+#include "system/uni_system.hh"
+
+using namespace mtsim;
+
+namespace {
+
+struct Share
+{
+    double low_miss = 0;    // fraction of retired work
+    double high_miss = 0;
+    double ipc_ratio = 0;   // low-miss : high-miss retire ratio
+};
+
+Share
+run(Scheme scheme)
+{
+    Config cfg = Config::make(scheme, 2);
+    UniSystem sys(cfg);
+    sys.addApp("mxm", specKernel("mxm"));         // ~12% miss rate
+    sys.addApp("vpenta", specKernel("vpenta"));   // ~56% miss rate
+    sys.run(300000, 600000);
+    const double a = static_cast<double>(sys.retiredForApp(0));
+    const double b = static_cast<double>(sys.retiredForApp(1));
+    return {a / (a + b), b / (a + b), a / b};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Runlength-driven processor sharing (mxm = low "
+                 "miss rate, vpenta = high)\n\n";
+    TextTable t({"scheme", "low-miss share", "high-miss share",
+                 "retire ratio"});
+    for (Scheme s : {Scheme::Blocked, Scheme::Interleaved}) {
+        Share sh = run(s);
+        t.addRow({schemeName(s),
+                  TextTable::num(sh.low_miss * 100, 1) + "%",
+                  TextTable::num(sh.high_miss * 100, 1) + "%",
+                  TextTable::num(sh.ipc_ratio, 2)});
+    }
+    t.print(std::cout);
+    std::cout << "\n(Both schemes favour the low-miss application - "
+                 "under blocked it simply keeps\n the processor "
+                 "longer per turn; under interleaved it is "
+                 "unavailable less often.\n The paper's "
+                 "context-usage feedback to the OS exists to even "
+                 "this out; the\n intrinsic speed difference between "
+                 "the applications also contributes to the\n "
+                 "ratio.)\n";
+    return 0;
+}

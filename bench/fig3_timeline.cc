@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Reproduces Figure 3: execution of the four scripted threads
+ * (A: 2 instructions; B: 3 with a two-cycle dependence; C: 4;
+ * D: 6; each ending in a cache-missing load) under the blocked and
+ * the interleaved scheme, as an issue-slot timeline. Uppercase
+ * letters are retired issues, lowercase are slots later squashed,
+ * '.' are idle slots.
+ *
+ * As in the paper's figure, instruction fetch and TLBs are ideal so
+ * the timeline shows only pipeline and data-cache behaviour; all
+ * four threads become available on the same cycle.
+ *
+ * Paper reference (shape): the interleaved trace finishes all four
+ * threads well before the blocked trace; the blocked scheme flushes
+ * the whole pipeline per miss (7-cycle switches) while the
+ * interleaved scheme squashes only the missing context's in-flight
+ * instructions (2-3 slots).
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "common/config.hh"
+#include "mem/uni_mem_system.hh"
+#include "trace/pipe_trace.hh"
+#include "workload/emitter.hh"
+
+using namespace mtsim;
+
+namespace {
+
+constexpr Cycle kAlign = 400;
+
+Cycle
+runScenario(Scheme scheme, std::string &out_line)
+{
+    Config cfg = Config::make(scheme, 4);
+    cfg.switchHintThreshold = 0;    // the figure has no hints
+    cfg.idealICache = true;         // figure abstracts I-fetch
+    cfg.itlb.missPenalty = 0;
+    cfg.dtlb.missPenalty = 0;
+    UniMemSystem mem(cfg);
+    Processor proc(cfg, mem);
+    PipeTrace trace;
+    trace.attach(proc);
+
+    auto threads = figure3Threads();
+    std::vector<std::unique_ptr<ThreadSource>> sources;
+    for (std::uint32_t t = 0; t < 4; ++t) {
+        sources.push_back(std::make_unique<ThreadSource>(
+            ((Addr)(t + 1) << 32),
+            ((Addr)(t + 1) << 32) + 0x100000 + t * 0x9040,
+            t + 1, threads[t], /*schedule=*/false));
+        proc.context(t).loadThread(sources.back().get(), t);
+    }
+    Cycle now = 0;
+    for (; now < 350; ++now) {
+        mem.tick(now);
+        proc.tick(now);
+    }
+    // All threads are inside their resynchronising backoff; release
+    // them on the same cycle, as the figure assumes.
+    for (std::uint32_t t = 0; t < 4; ++t)
+        proc.context(t).makeUnavailable(kAlign, WaitKind::Backoff);
+    proc.setCurrentContext(0);   // the figure starts with thread A
+    trace.clear();
+    for (; now < 1200 && !proc.allFinished(); ++now) {
+        mem.tick(now);
+        proc.tick(now);
+    }
+    // The paper's figure ends at the last miss detection; the
+    // replays after the reply latencies are not shown.
+    Cycle end = trace.lastSquashedIssueCycle() + 7;
+    if (end <= kAlign)
+        end = trace.lastIssueCycle() + 2;
+    out_line = trace.render(kAlign, end);
+    return end - kAlign;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::string blocked_line, interleaved_line;
+    const Cycle blocked_span =
+        runScenario(Scheme::Blocked, blocked_line);
+    const Cycle interleaved_span =
+        runScenario(Scheme::Interleaved, interleaved_line);
+
+    std::cout << "Figure 3: four threads (A:2, B:3 w/ 2-cycle dep, "
+                 "C:4, D:6 instructions,\neach ending in a missing "
+                 "load), issue-slot timelines\n\n";
+    std::cout << "blocked      (" << blocked_span << " cycles)\n  "
+              << blocked_line << "\n";
+    std::cout << "interleaved  (" << interleaved_span
+              << " cycles)\n  " << interleaved_line << "\n\n";
+    std::cout << "(lowercase = squashed slot, '.' = idle; the "
+                 "interleaved schedule completes\nthe set "
+              << (blocked_span > interleaved_span
+                      ? std::to_string(blocked_span -
+                                       interleaved_span) +
+                            " cycles sooner, as in the paper)"
+                      : "- expected it to be sooner!)")
+              << "\n";
+    return blocked_span > interleaved_span ? 0 : 1;
+}

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Reproduces Figure 8: execution-time breakdown of the blocked
+ * scheme on the multiprocessor for 1, 2, 4 and 8 contexts per
+ * processor, normalized to the single-context execution time, split
+ * into busy / short instruction / long instruction / memory / sync /
+ * context switch.
+ *
+ * Paper reference (shape): the blocked scheme tolerates the long
+ * memory latencies reasonably well, but squanders visibly more
+ * cycles in context switching than the interleaved scheme and
+ * cannot touch the short pipeline-dependency stalls (~12% of
+ * single-context time on average).
+ */
+
+#include <iostream>
+
+#include "harness.hh"
+
+int
+main()
+{
+    mtsim::bench::printMpFigure(std::cout, mtsim::Scheme::Blocked);
+    return 0;
+}

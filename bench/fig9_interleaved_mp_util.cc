@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Reproduces Figure 9: execution-time breakdown of the interleaved
+ * scheme on the multiprocessor for 1, 2, 4 and 8 contexts per
+ * processor.
+ *
+ * Paper reference (shape): less context-switch overhead than the
+ * blocked scheme (Figure 8), and both short and long instruction
+ * stalls shrink with added contexts - hence the better utilization
+ * on divide-heavy applications like Water and Barnes.
+ */
+
+#include <iostream>
+
+#include "harness.hh"
+
+int
+main()
+{
+    mtsim::bench::printMpFigure(std::cout,
+                                mtsim::Scheme::Interleaved);
+    return 0;
+}

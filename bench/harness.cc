@@ -1,0 +1,102 @@
+#include "harness.hh"
+
+#include "metrics/report.hh"
+#include "spec/spec_suite.hh"
+#include "splash/splash_suite.hh"
+#include "system/mp_system.hh"
+#include "system/uni_system.hh"
+
+namespace mtsim::bench {
+
+std::vector<std::string>
+allMixes()
+{
+    auto mixes = uniWorkloadNames();
+    mixes.push_back("SP");
+    return mixes;
+}
+
+UniResult
+runUni(const std::string &mix, Scheme scheme, std::uint8_t contexts,
+       Cycle warm, Cycle measure)
+{
+    Config cfg = Config::make(scheme, contexts);
+    UniSystem sys(cfg);
+    if (mix == "SP") {
+        for (const auto &app : spWorkload())
+            sys.addApp(app, splashUniKernel(app));
+    } else {
+        for (const auto &app : uniWorkload(mix))
+            sys.addApp(app, specKernel(app));
+    }
+    sys.run(warm, measure);
+    return {sys.throughput(), sys.breakdown()};
+}
+
+MpResult
+runMp(const std::string &app, Scheme scheme, std::uint8_t contexts,
+      std::uint16_t procs)
+{
+    Config cfg = Config::makeMp(scheme, contexts, procs);
+    MpSystem sys(cfg);
+    sys.setStatsBarrier(kStatsBarrier);
+    sys.loadApp(splashApp(app));
+    MpResult r;
+    r.cycles = sys.run();
+    r.bd = sys.aggregateBreakdown();
+    r.retired = sys.retired();
+    return r;
+}
+
+void
+printUtilFigure(std::ostream &os, Scheme scheme)
+{
+    os << "Figure " << (scheme == Scheme::Blocked ? 6 : 7) << ": "
+       << schemeName(scheme) << " scheme processor utilization\n";
+    for (const auto &mix : allMixes()) {
+        std::vector<BreakdownBar> bars;
+        double base_ipc = 0.0;
+        for (std::uint8_t n : {1, 2, 4}) {
+            const Scheme s = (n == 1) ? Scheme::Single : scheme;
+            UniResult r = runUni(mix, s, n);
+            if (n == 1)
+                base_ipc = r.ipc;
+            // Normalized execution time: the same work takes
+            // base_ipc/ipc of the single-context time.
+            const double scale = r.ipc > 0 ? base_ipc / r.ipc : 0.0;
+            bars.push_back(uniBar(mix + "/" + std::to_string(n),
+                                  r.bd, scale));
+        }
+        printBars(os, "\nworkload " + mix, bars);
+    }
+    os << "\n(Numbers are percent of single-context execution time; "
+          "the paper's bar-top\n busy number = busy column divided "
+          "by norm.time.)\n";
+}
+
+void
+printMpFigure(std::ostream &os, Scheme scheme)
+{
+    os << "Figure " << (scheme == Scheme::Blocked ? 8 : 9) << ": "
+       << schemeName(scheme)
+       << " scheme MP execution time breakdown (8 processors)\n";
+    for (const auto &app : splashApps()) {
+        std::vector<BreakdownBar> bars;
+        double base_cycles = 0.0;
+        for (std::uint8_t n : {1, 2, 4, 8}) {
+            const Scheme s = (n == 1) ? Scheme::Single : scheme;
+            MpResult r = runMp(app, s, n);
+            if (n == 1)
+                base_cycles = static_cast<double>(r.cycles);
+            const double scale =
+                static_cast<double>(r.cycles) / base_cycles;
+            bars.push_back(mpBar(app + "/" + std::to_string(n),
+                                 r.bd, scale));
+        }
+        printBars(os, "\napplication " + app, bars);
+    }
+    os << "\n(Bars are normalized to single-context execution "
+          "time.)\n";
+}
+
+} // namespace mtsim::bench

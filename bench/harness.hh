@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared experiment drivers for the bench binaries: construct the
+ * Table 5 uniprocessor workloads and the Table 9 multiprocessor
+ * applications, run them under a given scheme/context count, and
+ * return throughput plus the cycle breakdown.
+ */
+
+#ifndef MTSIM_BENCH_HARNESS_HH
+#define MTSIM_BENCH_HARNESS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace mtsim::bench {
+
+struct UniResult
+{
+    double ipc = 0.0;
+    CycleBreakdown bd;
+};
+
+/** All seven Table 5 mixes, in paper order (incl. SP). */
+std::vector<std::string> allMixes();
+
+/**
+ * Run one uniprocessor multiprogramming experiment: the four
+ * applications of @p mix on a @p scheme processor with @p contexts
+ * hardware contexts.
+ */
+UniResult runUni(const std::string &mix, Scheme scheme,
+                 std::uint8_t contexts, Cycle warm = 600000,
+                 Cycle measure = 600000);
+
+struct MpResult
+{
+    Cycle cycles = 0;       ///< measured parallel-section cycles
+    CycleBreakdown bd;
+    std::uint64_t retired = 0;
+};
+
+/**
+ * Run one multiprocessor experiment: SPLASH application @p app on
+ * @p procs nodes with @p contexts contexts per processor.
+ */
+MpResult runMp(const std::string &app, Scheme scheme,
+               std::uint8_t contexts, std::uint16_t procs = 8);
+
+/**
+ * Print a Figure 6/7-style utilization figure for @p scheme: per
+ * workload, bars for 1, 2 and 4 contexts normalized to the
+ * single-context execution time.
+ */
+void printUtilFigure(std::ostream &os, Scheme scheme);
+
+/**
+ * Print a Figure 8/9-style multiprocessor execution-time breakdown
+ * for @p scheme: per application, bars for 1, 2, 4 and 8 contexts
+ * normalized to the single-context time.
+ */
+void printMpFigure(std::ostream &os, Scheme scheme);
+
+} // namespace mtsim::bench
+
+#endif // MTSIM_BENCH_HARNESS_HH

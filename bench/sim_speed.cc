@@ -1,0 +1,84 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself:
+ * simulated cycles per second for the workstation and the
+ * 8-processor multiprocessor configurations.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/config.hh"
+#include "spec/spec_suite.hh"
+#include "splash/splash_suite.hh"
+#include "system/mp_system.hh"
+#include "system/uni_system.hh"
+
+using namespace mtsim;
+
+namespace {
+
+void
+BM_UniSystemTick(benchmark::State &state)
+{
+    Config cfg = Config::make(Scheme::Interleaved,
+                              static_cast<std::uint8_t>(
+                                  state.range(0)));
+    UniSystem sys(cfg);
+    for (const auto &app : uniWorkload("R0"))
+        sys.addApp(app, specKernel(app));
+    sys.run(20000, 0);   // warm
+    for (auto _ : state)
+        sys.run(0, 10000);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 10000);
+}
+
+void
+BM_MpSystemTick(benchmark::State &state)
+{
+    auto make = [&]() {
+        Config cfg = Config::makeMp(Scheme::Interleaved,
+                                    static_cast<std::uint8_t>(
+                                        state.range(0)),
+                                    8);
+        auto sys = std::make_unique<MpSystem>(cfg);
+        sys->loadApp(splashApp("water"));
+        sys->run(5000);   // warm
+        return sys;
+    };
+    auto sys = make();
+    for (auto _ : state) {
+        if (sys->finished()) {
+            state.PauseTiming();
+            sys = make();
+            state.ResumeTiming();
+        }
+        sys->run(5000);
+    }
+    // Items = processor-cycles simulated (8 procs x cycles).
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 5000 * 8);
+}
+
+void
+BM_EmitterStream(benchmark::State &state)
+{
+    // Raw workload-generation speed: micro-ops produced per second.
+    ThreadSource src(0x100000000ull, 0x200000000ull, 1,
+                     specKernel("mxm"));
+    MicroOp op;
+    for (auto _ : state) {
+        for (int i = 0; i < 1000; ++i)
+            benchmark::DoNotOptimize(src.next(op));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+
+BENCHMARK(BM_UniSystemTick)->Arg(1)->Arg(4);
+BENCHMARK(BM_MpSystemTick)->Arg(1)->Arg(4);
+BENCHMARK(BM_EmitterStream);
+
+} // namespace
+
+BENCHMARK_MAIN();

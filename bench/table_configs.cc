@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Prints the machine and workload configuration tables of the paper
+ * (Tables 1, 2, 3, 5, 6 and 9) from the live Config defaults and
+ * suite definitions, so the modelled parameters are auditable
+ * against the paper in one place.
+ */
+
+#include <iostream>
+
+#include "common/config.hh"
+#include "metrics/report.hh"
+#include "spec/spec_suite.hh"
+#include "splash/splash_suite.hh"
+
+using namespace mtsim;
+
+namespace {
+
+void
+table1(const Config &c)
+{
+    std::cout << "Table 1: Cache parameters\n";
+    TextTable t({"Parameter", "Primary Data", "Primary Inst",
+                 "Secondary"});
+    auto row = [&](const char *name, auto get) {
+        t.addRow({name, std::to_string(get(c.l1d)),
+                  std::to_string(get(c.l1i)),
+                  std::to_string(get(c.l2))});
+    };
+    row("Size (bytes)", [](const CacheParams &p) { return p.sizeBytes; });
+    row("Line Size", [](const CacheParams &p) { return p.lineBytes; });
+    row("Fetch Size (lines)",
+        [](const CacheParams &p) { return p.fetchLines; });
+    row("Read Occupancy",
+        [](const CacheParams &p) { return p.readOccupancy; });
+    row("Write Occupancy",
+        [](const CacheParams &p) { return p.writeOccupancy; });
+    row("Invalidate Occupancy",
+        [](const CacheParams &p) { return p.invalidateOccupancy; });
+    row("Cache Fill Occupancy",
+        [](const CacheParams &p) { return p.fillOccupancy; });
+    t.print(std::cout);
+}
+
+void
+table2(const Config &c)
+{
+    std::cout << "\nTable 2: Memory latencies (unloaded)\n";
+    TextTable t({"Where", "Cycles"});
+    t.addRow({"Hit in Primary Cache",
+              std::to_string(c.uniMem.l1HitLat)});
+    t.addRow({"Hit in Secondary Cache",
+              std::to_string(c.uniMem.l2HitLat)});
+    t.addRow({"Reply from Memory", std::to_string(c.uniMem.memLat)});
+    t.print(std::cout);
+}
+
+void
+table3(const Config &c)
+{
+    std::cout << "\nTable 3: Long-latency operations "
+                 "(issue interval / result latency)\n";
+    TextTable t({"Operation", "Issue", "Latency"});
+    const LatencyParams &l = c.lat;
+    t.addRow({"Integer ALU", std::to_string(l.intAluIssue),
+              std::to_string(l.intAluLat)});
+    t.addRow({"Shift", std::to_string(l.shiftIssue),
+              std::to_string(l.shiftLat)});
+    t.addRow({"Integer Multiply", std::to_string(l.intMulIssue),
+              std::to_string(l.intMulLat)});
+    t.addRow({"Integer Divide", std::to_string(l.intDivIssue),
+              std::to_string(l.intDivLat)});
+    t.addRow({"Load", std::to_string(l.loadIssue),
+              std::to_string(l.loadLat)});
+    t.addRow({"FP Add/Sub/Conv/Mult", std::to_string(l.fpAddIssue),
+              std::to_string(l.fpAddLat)});
+    t.addRow({"FP Divide (dp)", std::to_string(l.fpDivIssue),
+              std::to_string(l.fpDivLat)});
+    t.addRow({"FP Divide (sp)", std::to_string(l.fpDivSpIssue),
+              std::to_string(l.fpDivSpLat)});
+    t.print(std::cout);
+}
+
+void
+table5()
+{
+    std::cout << "\nTable 5: Uniprocessor workloads\n";
+    TextTable t({"Mix", "App 1", "App 2", "App 3", "App 4"});
+    for (const auto &mix : uniWorkloadNames()) {
+        auto apps = uniWorkload(mix);
+        t.addRow({mix, apps[0], apps[1], apps[2], apps[3]});
+    }
+    auto sp = spWorkload();
+    t.addRow({"SP", sp[0], sp[1], sp[2], sp[3]});
+    t.print(std::cout);
+}
+
+void
+table6(const Config &c)
+{
+    std::cout << "\nTable 6: Operating system costs (cache lines "
+                 "displaced per process switched)\n";
+    TextTable t({"Processes Switched", "ICache Interference",
+                 "DCache Interference"});
+    for (std::uint32_t n : {1u, 2u, 4u}) {
+        t.addRow({std::to_string(n),
+                  std::to_string(c.os.icacheLinesPerProc * n),
+                  std::to_string(c.os.dcacheLinesPerProc * n)});
+    }
+    t.print(std::cout);
+    std::cout << "Time slice: " << c.os.timeSliceCycles
+              << " cycles (paper: 6M at 200 MHz; scaled, see "
+                 "DESIGN.md), affinity "
+              << c.os.affinitySlices << " slices\n";
+}
+
+void
+table9()
+{
+    std::cout << "\nTable 9: SPLASH suite (scaled inputs, see "
+                 "DESIGN.md section 4)\n";
+    TextTable t({"Application"});
+    for (const auto &a : splashApps())
+        t.addRow({a});
+    t.print(std::cout);
+}
+
+void
+table8(const Config &c)
+{
+    std::cout << "\nTable 8: MP memory latency ranges (sampled "
+                 "uniformly)\n";
+    TextTable t({"Where", "Range (cycles)"});
+    const MpMemParams &m = c.mpMem;
+    t.addRow({"Hit in Primary Cache", std::to_string(m.l1HitLat)});
+    t.addRow({"Reply from Local Memory",
+              std::to_string(m.localMemLo) + "-" +
+                  std::to_string(m.localMemHi)});
+    t.addRow({"Reply from Remote Memory",
+              std::to_string(m.remoteMemLo) + "-" +
+                  std::to_string(m.remoteMemHi)});
+    t.addRow({"Reply from Remote Cache",
+              std::to_string(m.remoteCacheLo) + "-" +
+                  std::to_string(m.remoteCacheHi)});
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    Config c;
+    table1(c);
+    table2(c);
+    table3(c);
+    table5();
+    table6(c);
+    table8(c);
+    table9();
+    return 0;
+}

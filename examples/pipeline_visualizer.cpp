@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Pipeline visualizer: attach a PipeTrace to a processor and watch
+ * the issue slots cycle by cycle, the way Figures 2-3 of the paper
+ * illustrate the schemes. Runs a small scripted scenario - your
+ * choice of threads - under all three schemes and prints the
+ * timelines side by side.
+ *
+ * Usage: pipeline_visualizer [window_cycles]   (default: 96)
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "mem/uni_mem_system.hh"
+#include "trace/pipe_trace.hh"
+#include "workload/emitter.hh"
+
+using namespace mtsim;
+
+namespace {
+
+/** A small thread: bursts of ALU work, an occasional load, an fdiv. */
+KernelCoro
+demoThread(Emitter &e, int which)
+{
+    const Addr data = e.mem().alloc(1 << 20);
+    e.iop();
+    co_await e.pause();
+    e.backoff(200);
+    co_await e.pause();
+    EmitLoop loop(e);
+    for (int i = 0;; ++i) {
+        for (int k = 0; k < 3 + which; ++k)
+            e.iop();
+        RegId v = e.fload(data + static_cast<Addr>(i) * 8192);
+        if (which == 0)
+            e.fdiv(v, v, true);   // thread A also divides
+        e.fadd(v);
+        co_await e.pause();
+        if (!loop.next(i < 20))
+            break;
+    }
+}
+
+std::string
+run(Scheme scheme, Cycle window)
+{
+    Config cfg = Config::make(scheme, 4);
+    cfg.idealICache = true;
+    cfg.itlb.missPenalty = 0;
+    cfg.dtlb.missPenalty = 0;
+    UniMemSystem mem(cfg);
+    Processor proc(cfg, mem);
+    PipeTrace trace;
+    trace.attach(proc);
+
+    std::vector<std::unique_ptr<ThreadSource>> sources;
+    for (std::uint32_t t = 0; t < 4; ++t) {
+        sources.push_back(std::make_unique<ThreadSource>(
+            ((Addr)(t + 1) << 32),
+            ((Addr)(t + 1) << 32) + 0x100000 + t * 0x9040, t + 1,
+            [t](Emitter &e) { return demoThread(e, (int)t); },
+            false));
+        proc.context(t).loadThread(sources.back().get(), t);
+    }
+    Cycle now = 0;
+    for (; now < 250; ++now) {
+        mem.tick(now);
+        proc.tick(now);
+    }
+    for (std::uint32_t t = 0; t < 4; ++t)
+        proc.context(t).makeUnavailable(256, WaitKind::Backoff);
+    proc.setCurrentContext(0);
+    trace.clear();
+    for (; now < 256 + window + 400; ++now) {
+        mem.tick(now);
+        proc.tick(now);
+    }
+    return trace.render(256, 256 + window);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Cycle window =
+        argc > 1 ? static_cast<Cycle>(std::atoi(argv[1])) : 96;
+    std::cout
+        << "Issue-slot timelines, four demo threads (A-D; A has "
+           "fp divides).\nUppercase = useful issue, lowercase = "
+           "squashed, '.' = stall/idle.\n\n";
+    for (Scheme s : {Scheme::Blocked, Scheme::Interleaved,
+                     Scheme::FineGrained}) {
+        std::cout.width(13);
+        std::cout << std::left << schemeName(s);
+        std::cout << run(s, window) << "\n";
+    }
+    std::cout << "\nNote how the interleaved scheme rotates ABCD "
+                 "cycle by cycle and loses only\nthe squashed "
+                 "slots on a miss, while the blocked scheme runs "
+                 "one thread until\nits miss and flushes, and the "
+                 "fine-grained scheme issues each thread at most\n"
+                 "once per pipeline depth.\n";
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quickstart: build a workstation with a multiple-context processor,
+ * multiprogram four synthetic applications on it, and compare the
+ * throughput of the single-context baseline against the blocked and
+ * interleaved multithreading schemes (the paper's core comparison).
+ */
+
+#include <iostream>
+
+#include "common/config.hh"
+#include "metrics/report.hh"
+#include "system/uni_system.hh"
+#include "workload/synthetic.hh"
+
+using namespace mtsim;
+
+namespace {
+
+double
+runScheme(Scheme scheme, std::uint8_t contexts)
+{
+    // 1. Configure the machine: scheme + hardware context count.
+    //    Everything else defaults to the paper's Tables 1-4.
+    Config cfg = Config::make(scheme, contexts);
+
+    // 2. Build the system and add a multiprogramming workload.
+    UniSystem sys(cfg);
+    SyntheticParams mix;
+    mix.footprintBytes = 2 * 1024 * 1024;  // data-cache-hostile
+    mix.wFpDiv = 0.02;                     // some long fp latency
+    for (int i = 0; i < 4; ++i)
+        sys.addApp("app" + std::to_string(i),
+                   makeSyntheticKernel(mix));
+
+    // 3. Warm the caches for one scheduler slice, then measure.
+    sys.run(cfg.os.timeSliceCycles, 8 * cfg.os.timeSliceCycles);
+
+    // 4. Read out results.
+    return sys.throughput();
+}
+
+} // namespace
+
+int
+main()
+{
+    const double base = runScheme(Scheme::Single, 1);
+
+    TextTable table({"scheme", "contexts", "IPC", "vs single"});
+    table.addRow({"single", "1", TextTable::num(base, 3), "-"});
+    for (std::uint8_t n : {2, 4}) {
+        for (Scheme s : {Scheme::Blocked, Scheme::Interleaved}) {
+            const double ipc = runScheme(s, n);
+            table.addRow({schemeName(s), std::to_string(n),
+                          TextTable::num(ipc, 3),
+                          TextTable::pct(ipc / base - 1.0)});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nThe interleaved scheme should tolerate both the "
+                 "pipeline and the memory latency,\nimproving "
+                 "throughput well beyond the blocked scheme "
+                 "(cf. Table 7 of the paper).\n";
+    return 0;
+}

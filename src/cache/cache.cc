@@ -1,0 +1,122 @@
+#include "cache/cache.hh"
+
+#include <bit>
+
+namespace mtsim {
+
+Cache::Cache(const CacheParams &params)
+    : params_(params),
+      numLines_(params.numLines()),
+      lineMask_(params.lineBytes - 1),
+      lineShift_(std::countr_zero(params.lineBytes)),
+      lines_(numLines_)
+{}
+
+std::size_t
+Cache::indexOf(Addr a) const
+{
+    return static_cast<std::size_t>((a >> lineShift_) & (numLines_ - 1));
+}
+
+Addr
+Cache::tagOf(Addr a) const
+{
+    return a >> lineShift_;
+}
+
+bool
+Cache::present(Addr a) const
+{
+    const Line &l = lines_[indexOf(a)];
+    return l.state != LineState::Invalid && l.tag == tagOf(a);
+}
+
+LineState
+Cache::state(Addr a) const
+{
+    const Line &l = lines_[indexOf(a)];
+    if (l.state == LineState::Invalid || l.tag != tagOf(a))
+        return LineState::Invalid;
+    return l.state;
+}
+
+void
+Cache::makeDirty(Addr a)
+{
+    Line &l = lines_[indexOf(a)];
+    if (l.state != LineState::Invalid && l.tag == tagOf(a))
+        l.state = LineState::Dirty;
+}
+
+Cache::Evicted
+Cache::fill(Addr a, LineState st)
+{
+    Line &l = lines_[indexOf(a)];
+    Evicted ev;
+    if (l.state != LineState::Invalid && l.tag != tagOf(a)) {
+        ev.valid = true;
+        ev.dirty = (l.state == LineState::Dirty);
+        ev.lineAddr = l.tag << lineShift_;
+    }
+    l.state = st;
+    l.tag = tagOf(a);
+    return ev;
+}
+
+bool
+Cache::invalidate(Addr a)
+{
+    Line &l = lines_[indexOf(a)];
+    if (l.state == LineState::Invalid || l.tag != tagOf(a))
+        return false;
+    const bool was_dirty = (l.state == LineState::Dirty);
+    l.state = LineState::Invalid;
+    return was_dirty;
+}
+
+void
+Cache::downgrade(Addr a)
+{
+    Line &l = lines_[indexOf(a)];
+    if (l.state == LineState::Dirty && l.tag == tagOf(a))
+        l.state = LineState::Shared;
+}
+
+void
+Cache::displaceRandom(std::uint32_t n, Rng &rng)
+{
+    for (std::uint32_t i = 0; i < n; ++i) {
+        std::size_t idx =
+            static_cast<std::size_t>(rng.range(numLines_));
+        lines_[idx].state = LineState::Invalid;
+    }
+}
+
+void
+Cache::clear()
+{
+    for (Line &l : lines_)
+        l.state = LineState::Invalid;
+    portFree_ = 0;
+}
+
+Cycle
+Cache::reservePort(Cycle now, std::uint32_t occupancy)
+{
+    Cycle start = now > portFree_ ? now : portFree_;
+    portFree_ = start + occupancy;
+    return start;
+}
+
+double
+Cache::occupancyFraction() const
+{
+    std::uint64_t valid = 0;
+    for (const Line &l : lines_) {
+        if (l.state != LineState::Invalid)
+            ++valid;
+    }
+    return static_cast<double>(valid) / static_cast<double>(numLines_);
+}
+
+} // namespace mtsim

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Direct-mapped cache tag array with MESI-less three-state lines
+ * (Invalid / Shared / Dirty), matching the DASH-class invalidation
+ * protocol of Section 5.2; the uniprocessor hierarchy uses Shared and
+ * Dirty as clean/dirty. Array-port occupancy is tracked so cache
+ * contention "can add to these latencies" as the paper requires.
+ */
+
+#ifndef MTSIM_CACHE_CACHE_HH
+#define MTSIM_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace mtsim {
+
+enum class LineState : std::uint8_t {
+    Invalid,
+    Shared,  ///< clean, possibly shared with other caches
+    Dirty,   ///< modified, exclusive owner
+};
+
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    struct Evicted
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr lineAddr = 0;
+    };
+
+    /** Line-aligned address of @p a. */
+    Addr lineAddrOf(Addr a) const { return a & ~lineMask_; }
+
+    /** True if the line holding @p a is present (any valid state). */
+    bool present(Addr a) const;
+
+    /** State of the line holding @p a. */
+    LineState state(Addr a) const;
+
+    /** Mark the present line Dirty (store hit). Pre: present(a). */
+    void makeDirty(Addr a);
+
+    /**
+     * Install the line holding @p a in @p st, returning whatever was
+     * evicted from its set.
+     */
+    Evicted fill(Addr a, LineState st);
+
+    /**
+     * Invalidate the line holding @p a if present.
+     * @return true if the line was present and dirty (writeback).
+     */
+    bool invalidate(Addr a);
+
+    /** Downgrade Dirty -> Shared (remote read intervention). */
+    void downgrade(Addr a);
+
+    /** Invalidate @p n random lines (OS scheduler interference). */
+    void displaceRandom(std::uint32_t n, Rng &rng);
+
+    /** Invalidate everything. */
+    void clear();
+
+    // ---- array-port contention -------------------------------------
+    /**
+     * Reserve the array for @p occupancy cycles starting no earlier
+     * than @p now; returns the cycle service actually starts.
+     */
+    Cycle reservePort(Cycle now, std::uint32_t occupancy);
+
+    /** Next cycle at which the array is free. */
+    Cycle portFreeAt() const { return portFree_; }
+
+    const CacheParams &params() const { return params_; }
+    std::uint32_t numLines() const { return numLines_; }
+
+    /** Fraction of lines currently valid (for warm-up checks). */
+    double occupancyFraction() const;
+
+    CounterSet &counters() { return counters_; }
+
+  private:
+    struct Line
+    {
+        LineState state = LineState::Invalid;
+        Addr tag = 0;
+    };
+
+    std::size_t indexOf(Addr a) const;
+    Addr tagOf(Addr a) const;
+
+    CacheParams params_;
+    std::uint32_t numLines_;
+    Addr lineMask_;
+    std::uint32_t lineShift_;
+    std::vector<Line> lines_;
+    Cycle portFree_ = 0;
+    CounterSet counters_;
+};
+
+} // namespace mtsim
+
+#endif // MTSIM_CACHE_CACHE_HH

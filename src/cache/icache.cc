@@ -1,0 +1,42 @@
+#include "cache/icache.hh"
+
+namespace mtsim {
+
+ICache::ICache(const CacheParams &cache_params,
+               const TlbParams &tlb_params)
+    : tags_(cache_params), tlb_(tlb_params)
+{}
+
+ICache::Access
+ICache::access(Addr pc)
+{
+    Access a;
+    a.tlbPenalty = tlb_.access(pc);
+    a.lineAddr = tags_.lineAddrOf(pc);
+    a.hit = tags_.present(pc);
+    if (a.hit) {
+        ++hits_;
+    } else {
+        ++misses_;
+    }
+    return a;
+}
+
+void
+ICache::fill(Addr lineAddr, Cycle fill_start)
+{
+    const std::uint32_t line_bytes = tags_.params().lineBytes;
+    for (std::uint32_t i = 0; i < tags_.params().fetchLines; ++i)
+        tags_.fill(lineAddr + static_cast<Addr>(i) * line_bytes,
+                   LineState::Shared);
+    tags_.reservePort(fill_start, tags_.params().fillOccupancy);
+}
+
+void
+ICache::clear()
+{
+    tags_.clear();
+    tlb_.clear();
+}
+
+} // namespace mtsim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Blocking instruction cache front end: tag array plus ITLB. The
+ * paper's instruction cache is blocking and never triggers a context
+ * switch; a miss stalls the whole processor until the (two-line)
+ * fetch completes. Miss-path timing is supplied by the owning memory
+ * system; this class owns presence, fill and ITLB bookkeeping.
+ */
+
+#ifndef MTSIM_CACHE_ICACHE_HH
+#define MTSIM_CACHE_ICACHE_HH
+
+#include <cstdint>
+
+#include "cache/cache.hh"
+#include "cache/tlb.hh"
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace mtsim {
+
+class ICache
+{
+  public:
+    ICache(const CacheParams &cache_params, const TlbParams &tlb_params);
+
+    struct Access
+    {
+        std::uint32_t tlbPenalty = 0;
+        bool hit = true;
+        Addr lineAddr = 0;
+    };
+
+    /** Probe the ITLB and tag array for the fetch of @p pc. */
+    Access access(Addr pc);
+
+    /**
+     * Install the miss line plus the configured prefetch lines
+     * (Table 1: fetch size 2 lines) and reserve the array for the
+     * fill occupancy starting at @p fill_start.
+     */
+    void fill(Addr lineAddr, Cycle fill_start);
+
+    /** Earliest cycle a new miss may start its fill (array busy). */
+    Cycle arrayFreeAt() const { return tags_.portFreeAt(); }
+
+    Cache &tags() { return tags_; }
+    Tlb &tlb() { return tlb_; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    void clear();
+
+  private:
+    Cache tags_;
+    Tlb tlb_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace mtsim
+
+#endif // MTSIM_CACHE_ICACHE_HH

@@ -1,0 +1,80 @@
+#include "cache/mshr.hh"
+
+namespace mtsim {
+
+MshrFile::MshrFile(std::uint32_t entries)
+    : entries_(entries)
+{}
+
+bool
+MshrFile::outstanding(Addr lineAddr) const
+{
+    for (const Entry &e : entries_) {
+        if (e.valid && e.lineAddr == lineAddr)
+            return true;
+    }
+    return false;
+}
+
+Cycle
+MshrFile::completionOf(Addr lineAddr) const
+{
+    for (const Entry &e : entries_) {
+        if (e.valid && e.lineAddr == lineAddr)
+            return e.done;
+    }
+    return kCycleNever;
+}
+
+bool
+MshrFile::full() const
+{
+    for (const Entry &e : entries_) {
+        if (!e.valid)
+            return false;
+    }
+    return true;
+}
+
+void
+MshrFile::allocate(Addr lineAddr, Cycle done)
+{
+    for (Entry &e : entries_) {
+        if (!e.valid) {
+            e.valid = true;
+            e.lineAddr = lineAddr;
+            e.done = done;
+            ++allocations_;
+            return;
+        }
+    }
+}
+
+void
+MshrFile::retire(Cycle now)
+{
+    for (Entry &e : entries_) {
+        if (e.valid && e.done <= now)
+            e.valid = false;
+    }
+}
+
+std::uint32_t
+MshrFile::inUse() const
+{
+    std::uint32_t n = 0;
+    for (const Entry &e : entries_) {
+        if (e.valid)
+            ++n;
+    }
+    return n;
+}
+
+void
+MshrFile::clear()
+{
+    for (Entry &e : entries_)
+        e.valid = false;
+}
+
+} // namespace mtsim

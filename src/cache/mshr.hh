@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Miss status holding registers. These make the data cache
+ * lockup-free [Kroft 81]: multiple outstanding line fetches, with
+ * secondary misses to an in-flight line merged onto the existing
+ * entry. The paper identifies lockup-free caches as the prerequisite
+ * for any multiple-context processor (Section 6).
+ */
+
+#ifndef MTSIM_CACHE_MSHR_HH
+#define MTSIM_CACHE_MSHR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mtsim {
+
+class MshrFile
+{
+  public:
+    explicit MshrFile(std::uint32_t entries);
+
+    /** True if a fetch for @p lineAddr is already outstanding. */
+    bool outstanding(Addr lineAddr) const;
+
+    /** Completion cycle of the outstanding fetch for @p lineAddr. */
+    Cycle completionOf(Addr lineAddr) const;
+
+    /** True if no free entry remains (structural stall). */
+    bool full() const;
+
+    /**
+     * Allocate an entry for @p lineAddr completing at @p done.
+     * Pre: !full() && !outstanding(lineAddr).
+     */
+    void allocate(Addr lineAddr, Cycle done);
+
+    /** Retire every entry whose completion is <= @p now. */
+    void retire(Cycle now);
+
+    /** Outstanding entry count. */
+    std::uint32_t inUse() const;
+
+    /** Drop everything (between runs). */
+    void clear();
+
+    std::uint64_t allocations() const { return allocations_; }
+    std::uint64_t merges() const { return merges_; }
+
+    /** Record a merge (secondary miss) for statistics. */
+    void noteMerge() { ++merges_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr lineAddr = 0;
+        Cycle done = 0;
+    };
+
+    std::vector<Entry> entries_;
+    std::uint64_t allocations_ = 0;
+    std::uint64_t merges_ = 0;
+};
+
+} // namespace mtsim
+
+#endif // MTSIM_CACHE_MSHR_HH

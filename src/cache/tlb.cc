@@ -1,0 +1,48 @@
+#include "cache/tlb.hh"
+
+namespace mtsim {
+
+Tlb::Tlb(const TlbParams &params)
+    : params_(params),
+      pages_(params.entries, 0),
+      valid_(params.entries, false)
+{}
+
+bool
+Tlb::present(Addr a) const
+{
+    const Addr page = pageOf(a);
+    for (std::size_t i = 0; i < pages_.size(); ++i) {
+        if (valid_[i] && pages_[i] == page)
+            return true;
+    }
+    return false;
+}
+
+std::uint32_t
+Tlb::access(Addr a)
+{
+    const Addr page = pageOf(a);
+    if (page == lastPage_ || present(a)) {
+        lastPage_ = page;
+        ++hits_;
+        return 0;
+    }
+    ++misses_;
+    pages_[fifo_] = page;
+    valid_[fifo_] = true;
+    fifo_ = (fifo_ + 1) % pages_.size();
+    lastPage_ = page;
+    return params_.missPenalty;
+}
+
+void
+Tlb::clear()
+{
+    for (std::size_t i = 0; i < valid_.size(); ++i)
+        valid_[i] = false;
+    fifo_ = 0;
+    lastPage_ = ~Addr(0);
+}
+
+} // namespace mtsim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Translation lookaside buffer timing model. Fully associative with
+ * FIFO replacement; a miss costs a fixed software-refill penalty
+ * (the paper attributes TLB stall time together with the
+ * corresponding cache: "inst cache/TLB", "data cache/TLB").
+ */
+
+#ifndef MTSIM_CACHE_TLB_HH
+#define MTSIM_CACHE_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace mtsim {
+
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbParams &params);
+
+    /**
+     * Translate the page of @p a, refilling on a miss.
+     * @return the stall penalty in cycles (0 on a hit).
+     */
+    std::uint32_t access(Addr a);
+
+    /** Probe without refill. */
+    bool present(Addr a) const;
+
+    void clear();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    Addr pageOf(Addr a) const { return a / params_.pageBytes; }
+
+    TlbParams params_;
+    std::vector<Addr> pages_;   ///< valid entries (page numbers)
+    std::vector<bool> valid_;
+    std::size_t fifo_ = 0;
+    Addr lastPage_ = ~Addr(0);  ///< one-entry micro-TLB fast path
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace mtsim
+
+#endif // MTSIM_CACHE_TLB_HH

@@ -1,0 +1,58 @@
+#include "cache/write_buffer.hh"
+
+#include <algorithm>
+
+namespace mtsim {
+
+WriteBuffer::WriteBuffer(std::uint32_t depth)
+    : doneAt_(depth, 0)
+{}
+
+bool
+WriteBuffer::full(Cycle now) const
+{
+    for (Cycle d : doneAt_) {
+        if (d <= now)
+            return false;
+    }
+    return true;
+}
+
+Cycle
+WriteBuffer::freeSlotAt(Cycle now) const
+{
+    Cycle best = kCycleNever;
+    for (Cycle d : doneAt_) {
+        if (d <= now)
+            return now;
+        best = std::min(best, d);
+    }
+    return best;
+}
+
+void
+WriteBuffer::push(Cycle done)
+{
+    // Reuse the slot that has been free the longest.
+    auto slot = std::min_element(doneAt_.begin(), doneAt_.end());
+    *slot = done;
+}
+
+std::uint32_t
+WriteBuffer::inUse(Cycle now) const
+{
+    std::uint32_t n = 0;
+    for (Cycle d : doneAt_) {
+        if (d > now)
+            ++n;
+    }
+    return n;
+}
+
+void
+WriteBuffer::clear()
+{
+    std::fill(doneAt_.begin(), doneAt_.end(), 0);
+}
+
+} // namespace mtsim

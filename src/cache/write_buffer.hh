@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Store write buffer. Stores retire into the buffer and complete in
+ * the background (hit after the write occupancy, miss after the line
+ * fetch), so stores never make a context unavailable; issue only
+ * stalls when the buffer is full.
+ */
+
+#ifndef MTSIM_CACHE_WRITE_BUFFER_HH
+#define MTSIM_CACHE_WRITE_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mtsim {
+
+class WriteBuffer
+{
+  public:
+    explicit WriteBuffer(std::uint32_t depth);
+
+    /** True if no slot is free at @p now. */
+    bool full(Cycle now) const;
+
+    /** Earliest cycle a slot becomes free. */
+    Cycle freeSlotAt(Cycle now) const;
+
+    /**
+     * Enqueue a store whose background completion is @p done.
+     * Pre: !full(now).
+     */
+    void push(Cycle done);
+
+    /** Entries still draining at @p now. */
+    std::uint32_t inUse(Cycle now) const;
+
+    void clear();
+
+  private:
+    std::vector<Cycle> doneAt_;
+};
+
+} // namespace mtsim
+
+#endif // MTSIM_CACHE_WRITE_BUFFER_HH

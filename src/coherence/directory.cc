@@ -1,0 +1,60 @@
+#include "coherence/directory.hh"
+
+#include <stdexcept>
+
+namespace mtsim {
+
+Directory::Directory(ProcId procs, std::uint32_t page_bytes)
+    : procs_(procs), pageBytes_(page_bytes)
+{
+    if (procs == 0 || procs > 64)
+        throw std::invalid_argument(
+            "Directory supports 1..64 processors");
+}
+
+ProcId
+Directory::homeOf(Addr a) const
+{
+    return static_cast<ProcId>((a / pageBytes_) % procs_);
+}
+
+Directory::Entry &
+Directory::entry(Addr lineAddr)
+{
+    return entries_[lineAddr];
+}
+
+Directory::Entry
+Directory::probe(Addr lineAddr) const
+{
+    auto it = entries_.find(lineAddr);
+    return it == entries_.end() ? Entry{} : it->second;
+}
+
+void
+Directory::dropSharer(Addr lineAddr, ProcId p)
+{
+    auto it = entries_.find(lineAddr);
+    if (it == entries_.end())
+        return;
+    it->second.sharers &= ~bitOf(p);
+    if (it->second.sharers == 0 &&
+        it->second.state == State::Shared) {
+        it->second.state = State::Uncached;
+    }
+}
+
+void
+Directory::writeback(Addr lineAddr, ProcId p)
+{
+    auto it = entries_.find(lineAddr);
+    if (it == entries_.end())
+        return;
+    Entry &e = it->second;
+    if (e.state == State::Dirty && e.owner == p) {
+        e.state = State::Uncached;
+        e.sharers = 0;
+    }
+}
+
+} // namespace mtsim

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Full-bit-vector directory for the DASH-like invalidation protocol
+ * of Section 5.2. Global memory is distributed across the nodes page
+ * by page; each line's home node tracks whether the line is uncached,
+ * shared by a set of caches, or dirty in exactly one cache.
+ */
+
+#ifndef MTSIM_COHERENCE_DIRECTORY_HH
+#define MTSIM_COHERENCE_DIRECTORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace mtsim {
+
+class Directory
+{
+  public:
+    enum class State : std::uint8_t { Uncached, Shared, Dirty };
+
+    struct Entry
+    {
+        State state = State::Uncached;
+        std::uint64_t sharers = 0;   ///< bit per processor (max 64)
+        ProcId owner = 0;
+    };
+
+    /**
+     * @param procs number of nodes (<= 64 for the bit vector)
+     * @param page_bytes home interleaving granularity
+     */
+    Directory(ProcId procs, std::uint32_t page_bytes = 4096);
+
+    /** Home node of the page containing @p a. */
+    ProcId homeOf(Addr a) const;
+
+    /** Directory entry for @p lineAddr (created on first touch). */
+    Entry &entry(Addr lineAddr);
+
+    /** Read-only probe; returns Uncached default if never touched. */
+    Entry probe(Addr lineAddr) const;
+
+    /** A clean copy left cache @p p (silent eviction bookkeeping). */
+    void dropSharer(Addr lineAddr, ProcId p);
+
+    /** The dirty owner @p p wrote the line back to its home. */
+    void writeback(Addr lineAddr, ProcId p);
+
+    static std::uint64_t
+    bitOf(ProcId p)
+    {
+        return 1ull << p;
+    }
+
+    std::size_t trackedLines() const { return entries_.size(); }
+
+    void clear() { entries_.clear(); }
+
+  private:
+    ProcId procs_;
+    std::uint32_t pageBytes_;
+    std::unordered_map<Addr, Entry> entries_;
+};
+
+} // namespace mtsim
+
+#endif // MTSIM_COHERENCE_DIRECTORY_HH

@@ -1,0 +1,299 @@
+#include "coherence/mp_mem_system.hh"
+
+#include <algorithm>
+
+namespace mtsim {
+
+MpMemSystem::MpMemSystem(const Config &cfg)
+    : cfg_(cfg),
+      dir_(cfg.numProcessors, cfg.dtlb.pageBytes),
+      rng_(cfg.seed + 7919)
+{
+    nodes_.reserve(cfg_.numProcessors);
+    for (ProcId p = 0; p < cfg_.numProcessors; ++p) {
+        auto node = std::make_unique<Node>();
+        node->l1d = std::make_unique<Cache>(cfg_.l1d);
+        node->mshrs = std::make_unique<MshrFile>(cfg_.numMshrs);
+        node->wbuf = std::make_unique<WriteBuffer>(
+            cfg_.writeBufferDepth);
+        node->dtlb = std::make_unique<Tlb>(cfg_.dtlb);
+        nodes_.push_back(std::move(node));
+    }
+}
+
+void
+MpMemSystem::tick(Cycle now)
+{
+    events_.runUntil(now);
+    for (auto &node : nodes_)
+        node->mshrs->retire(now);
+}
+
+Cycle
+MpMemSystem::sample(MemLevel level)
+{
+    const MpMemParams &m = cfg_.mpMem;
+    Cycle lat;
+    switch (level) {
+      case MemLevel::Memory:
+        lat = static_cast<Cycle>(
+            rng_.rangeInclusive(m.localMemLo, m.localMemHi));
+        break;
+      case MemLevel::RemoteMem:
+        lat = static_cast<Cycle>(
+            rng_.rangeInclusive(m.remoteMemLo, m.remoteMemHi));
+        break;
+      case MemLevel::RemoteCache:
+        lat = static_cast<Cycle>(
+            rng_.rangeInclusive(m.remoteCacheLo, m.remoteCacheHi));
+        break;
+      default:
+        lat = m.l1HitLat;
+        break;
+    }
+    latSum_[static_cast<std::size_t>(level)] += lat;
+    ++latCount_[static_cast<std::size_t>(level)];
+    return lat;
+}
+
+double
+MpMemSystem::meanLatency(MemLevel level) const
+{
+    const auto i = static_cast<std::size_t>(level);
+    if (latCount_[i] == 0)
+        return 0.0;
+    return static_cast<double>(latSum_[i]) /
+           static_cast<double>(latCount_[i]);
+}
+
+std::uint32_t
+MpMemSystem::invalidateSharers(Addr line, ProcId except, Cycle when)
+{
+    Directory::Entry &e = dir_.entry(line);
+    std::uint32_t n = 0;
+    for (ProcId q = 0; q < cfg_.numProcessors; ++q) {
+        if (q == except || !(e.sharers & Directory::bitOf(q)))
+            continue;
+        nodes_[q]->l1d->invalidate(line);
+        nodes_[q]->l1d->reservePort(when,
+                                    cfg_.l1d.invalidateOccupancy);
+        ++n;
+    }
+    counters_.inc("invalidations", n);
+    return n;
+}
+
+void
+MpMemSystem::scheduleFill(ProcId p, Addr line, LineState st,
+                          Cycle when)
+{
+    events_.schedule(when, [this, p, line, st](Cycle w) {
+        Node &node = *nodes_[p];
+        node.l1d->reservePort(w, cfg_.l1d.fillOccupancy);
+        Cache::Evicted ev = node.l1d->fill(line, st);
+        if (ev.valid) {
+            if (ev.dirty) {
+                dir_.writeback(ev.lineAddr, p);
+                counters_.inc("eviction_writebacks");
+            } else {
+                dir_.dropSharer(ev.lineAddr, p);
+            }
+        }
+    });
+}
+
+Cycle
+MpMemSystem::transaction(ProcId p, Addr line, bool exclusive,
+                         Cycle now, MemLevel &level_out)
+{
+    Directory::Entry &e = dir_.entry(line);
+    const ProcId home = dir_.homeOf(line);
+
+    if (e.state == Directory::State::Dirty && e.owner != p) {
+        // Dirty in a remote cache: intervene at the owner.
+        level_out = MemLevel::RemoteCache;
+        Cycle lat = sample(level_out);
+        if (cfg_.mpMem.networkOccupancy > 0) {
+            const Cycle start =
+                now > networkFree_ ? now : networkFree_;
+            networkFree_ = start + cfg_.mpMem.networkOccupancy;
+            const Cycle queued = start - now;
+            if (queued > 0)
+                counters_.inc("network_queue_cycles", queued);
+            lat += static_cast<std::uint32_t>(queued);
+        }
+        Node &owner = *nodes_[e.owner];
+        // The intervention occupies the owner's array mid-flight; if
+        // the array is busy the reply is pushed out (cache
+        // contention, the one contention source the paper models).
+        const Cycle arrive = now + lat / 2;
+        const Cycle served = owner.l1d->reservePort(
+            arrive, cfg_.l1d.invalidateOccupancy);
+        const Cycle extra = served - arrive;
+        if (exclusive) {
+            owner.l1d->invalidate(line);
+            e.state = Directory::State::Dirty;
+            e.sharers = Directory::bitOf(p);
+            e.owner = p;
+        } else {
+            owner.l1d->downgrade(line);
+            e.state = Directory::State::Shared;
+            e.sharers |= Directory::bitOf(p);
+        }
+        counters_.inc("remote_cache_fetches");
+        return now + lat + extra;
+    }
+
+    level_out = (home == p) ? MemLevel::Memory : MemLevel::RemoteMem;
+    const Cycle lat = sample(level_out);
+    Cycle reply = now + lat;
+    // Optional network contention (the paper models the network as
+    // contentionless; see MpMemParams::networkOccupancy).
+    if (cfg_.mpMem.networkOccupancy > 0 &&
+        level_out == MemLevel::RemoteMem) {
+        const Cycle start =
+            now > networkFree_ ? now : networkFree_;
+        networkFree_ = start + cfg_.mpMem.networkOccupancy;
+        const Cycle queued = start - now;
+        if (queued > 0)
+            counters_.inc("network_queue_cycles", queued);
+        reply += queued;
+    }
+    if (exclusive) {
+        // Invalidate all other sharers before granting ownership.
+        if (invalidateSharers(line, p, now + lat / 2) > 0)
+            counters_.inc("upgrade_invalidating");
+        e.state = Directory::State::Dirty;
+        e.sharers = Directory::bitOf(p);
+        e.owner = p;
+    } else {
+        if (e.state == Directory::State::Uncached)
+            e.state = Directory::State::Shared;
+        e.sharers |= Directory::bitOf(p);
+    }
+    counters_.inc(level_out == MemLevel::Memory ? "local_fetches"
+                                                : "remote_fetches");
+    return reply;
+}
+
+LoadResult
+MpMemSystem::load(ProcId p, Addr a, Cycle now)
+{
+    Node &node = *nodes_[p];
+    LoadResult r;
+    r.tlbPenalty = node.dtlb->access(a);
+    now += r.tlbPenalty;
+
+    const Addr line = node.l1d->lineAddrOf(a);
+    node.l1d->reservePort(now, cfg_.l1d.readOccupancy);
+    if (node.l1d->present(a)) {
+        counters_.inc("l1d_hits");
+        r.l1Hit = true;
+        r.level = MemLevel::L1;
+        r.ready = now + cfg_.mpMem.l1HitLat;
+        return r;
+    }
+    counters_.inc("l1d_misses");
+    if (node.mshrs->outstanding(line)) {
+        node.mshrs->noteMerge();
+        r.level = MemLevel::Memory;
+        r.ready = node.mshrs->completionOf(line);
+        return r;
+    }
+    if (node.mshrs->full()) {
+        r.mshrStall = true;
+        r.retryAt = now + 1;
+        counters_.inc("mshr_stalls");
+        return r;
+    }
+
+    Cycle reply = transaction(p, line, false, now, r.level);
+    node.mshrs->allocate(line, reply);
+    scheduleFill(p, line, LineState::Shared, reply);
+    r.ready = reply;
+    return r;
+}
+
+StoreResult
+MpMemSystem::store(ProcId p, Addr a, Cycle now)
+{
+    Node &node = *nodes_[p];
+    StoreResult r;
+    r.tlbPenalty = node.dtlb->access(a);
+    now += r.tlbPenalty;
+
+    if (node.wbuf->full(now)) {
+        r.bufferStall = true;
+        r.retryAt = node.wbuf->freeSlotAt(now);
+        counters_.inc("wbuf_stalls");
+        return r;
+    }
+
+    const Addr line = node.l1d->lineAddrOf(a);
+    const LineState st = node.l1d->state(a);
+    if (st == LineState::Dirty) {
+        counters_.inc("l1d_write_hits");
+        const Cycle start =
+            node.l1d->reservePort(now, cfg_.l1d.writeOccupancy);
+        node.wbuf->push(start + cfg_.l1d.writeOccupancy);
+        return r;
+    }
+
+    if (st == LineState::Shared) {
+        // Upgrade: request ownership from home, invalidate sharers.
+        counters_.inc("upgrades");
+        Directory::Entry &e = dir_.entry(line);
+        const MemLevel level = (dir_.homeOf(line) == p)
+                                   ? MemLevel::Memory
+                                   : MemLevel::RemoteMem;
+        const Cycle lat = sample(level);
+        invalidateSharers(line, p, now + lat / 2);
+        e.state = Directory::State::Dirty;
+        e.sharers = Directory::bitOf(p);
+        e.owner = p;
+        node.l1d->makeDirty(a);
+        node.wbuf->push(now + lat);
+        r.l1Hit = false;
+        return r;
+    }
+
+    // Write miss: read-exclusive fetch in the background.
+    counters_.inc("l1d_write_misses");
+    r.l1Hit = false;
+    Cycle done;
+    if (node.mshrs->outstanding(line)) {
+        node.mshrs->noteMerge();
+        done = node.mshrs->completionOf(line);
+        // The merged fetch may be a read-shared one; promote the
+        // final state by scheduling a dirty upgrade at completion.
+        events_.schedule(done, [this, p, line](Cycle) {
+            nodes_[p]->l1d->makeDirty(line);
+            Directory::Entry &e = dir_.entry(line);
+            e.state = Directory::State::Dirty;
+            e.sharers = Directory::bitOf(p);
+            e.owner = p;
+        });
+    } else if (node.mshrs->full()) {
+        r.bufferStall = true;
+        r.retryAt = now + 1;
+        counters_.inc("mshr_stalls");
+        return r;
+    } else {
+        MemLevel level;
+        done = transaction(p, line, true, now, level);
+        node.mshrs->allocate(line, done);
+        scheduleFill(p, line, LineState::Dirty, done);
+    }
+    node.wbuf->push(done);
+    return r;
+}
+
+FetchResult
+MpMemSystem::ifetch(ProcId, Addr, Cycle)
+{
+    // Section 5.2: the instruction cache is modelled as ideal for the
+    // multiprocessor study.
+    return {};
+}
+
+} // namespace mtsim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A small discrete-event queue used by the memory systems. The
+ * processor core is cycle-driven; memory completions, bus transfers
+ * and bank releases are events scheduled onto this queue and drained
+ * at the top of every processor cycle.
+ */
+
+#ifndef MTSIM_COMMON_EVENT_QUEUE_HH
+#define MTSIM_COMMON_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mtsim {
+
+/** Callback fired when an event's cycle is reached. */
+using EventFn = std::function<void(Cycle)>;
+
+/**
+ * Min-heap of (cycle, sequence, callback). Ties are broken by
+ * insertion order so the simulation is deterministic.
+ */
+class EventQueue
+{
+  public:
+    /** Schedule @p fn to run at absolute cycle @p when. */
+    void schedule(Cycle when, EventFn fn);
+
+    /** Run every event scheduled at or before @p now, in order. */
+    void runUntil(Cycle now);
+
+    /** Cycle of the earliest pending event, or kCycleNever. */
+    Cycle nextEventCycle() const;
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** Drop all pending events (used between experiment runs). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        Cycle when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace mtsim
+
+#endif // MTSIM_COMMON_EVENT_QUEUE_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Minimal C++20 coroutine used to write workload kernels as ordinary
+ * imperative code that lazily produces micro-ops.
+ *
+ * A kernel is a coroutine of type KernelCoro. It does not co_yield
+ * values itself; instead it pushes micro-ops into an Emitter buffer and
+ * periodically executes `co_await emitter.pause()`, which suspends the
+ * coroutine so the simulator can drain the buffer. This keeps helper
+ * functions (which push several ops each) out of the coroutine
+ * machinery entirely.
+ */
+
+#ifndef MTSIM_COMMON_GENERATOR_HH
+#define MTSIM_COMMON_GENERATOR_HH
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace mtsim {
+
+/**
+ * Handle to a suspended kernel coroutine. Movable, non-copyable; owns
+ * the coroutine frame.
+ */
+class KernelCoro
+{
+  public:
+    struct promise_type
+    {
+        std::exception_ptr exception;
+
+        KernelCoro
+        get_return_object()
+        {
+            return KernelCoro(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        std::suspend_always final_suspend() noexcept { return {}; }
+        void return_void() noexcept {}
+        void unhandled_exception() { exception = std::current_exception(); }
+    };
+
+    KernelCoro() = default;
+
+    explicit KernelCoro(std::coroutine_handle<promise_type> h)
+        : handle_(h)
+    {}
+
+    KernelCoro(KernelCoro &&other) noexcept
+        : handle_(std::exchange(other.handle_, nullptr))
+    {}
+
+    KernelCoro &
+    operator=(KernelCoro &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    KernelCoro(const KernelCoro &) = delete;
+    KernelCoro &operator=(const KernelCoro &) = delete;
+
+    ~KernelCoro() { destroy(); }
+
+    /** True while the coroutine has more work to do. */
+    bool
+    alive() const
+    {
+        return handle_ && !handle_.done();
+    }
+
+    /**
+     * Resume the kernel until its next pause point (or completion).
+     * Rethrows any exception the kernel body raised.
+     */
+    void
+    resume()
+    {
+        if (!alive())
+            return;
+        handle_.resume();
+        if (handle_.promise().exception)
+            std::rethrow_exception(handle_.promise().exception);
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+
+    std::coroutine_handle<promise_type> handle_;
+};
+
+/** Awaitable returned by Emitter::pause(); always suspends. */
+struct PauseAwaiter
+{
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<>) const noexcept {}
+    void await_resume() const noexcept {}
+};
+
+} // namespace mtsim
+
+#endif // MTSIM_COMMON_GENERATOR_HH

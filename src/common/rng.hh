@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic element of the simulation (memory latency sampling,
+ * scheduler interference addresses, synthetic workload choices) draws
+ * from an explicitly seeded Rng so whole-system runs are reproducible
+ * bit-for-bit.
+ */
+
+#ifndef MTSIM_COMMON_RNG_HH
+#define MTSIM_COMMON_RNG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace mtsim {
+
+/**
+ * xoshiro256** generator. Small, fast, and statistically strong enough
+ * for simulation sampling. Not for cryptography.
+ */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of a single 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound), bound > 0, without modulo bias. */
+    std::uint64_t range(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t rangeInclusive(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p);
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace mtsim
+
+#endif // MTSIM_COMMON_RNG_HH

@@ -1,0 +1,92 @@
+#include "common/stats.hh"
+
+#include <cmath>
+
+namespace mtsim {
+
+const char *
+cycleClassName(CycleClass c)
+{
+    switch (c) {
+      case CycleClass::Busy:       return "busy";
+      case CycleClass::ShortInstr: return "instr_short";
+      case CycleClass::LongInstr:  return "instr_long";
+      case CycleClass::InstStall:  return "icache_tlb";
+      case CycleClass::DataStall:  return "dcache_mem";
+      case CycleClass::Sync:       return "sync";
+      case CycleClass::Switch:     return "ctx_switch";
+      default:                     return "?";
+    }
+}
+
+Cycle
+CycleBreakdown::total() const
+{
+    Cycle sum = 0;
+    for (Cycle c : counts_)
+        sum += c;
+    return sum;
+}
+
+double
+CycleBreakdown::fraction(CycleClass c) const
+{
+    Cycle t = total();
+    if (t == 0)
+        return 0.0;
+    return static_cast<double>(get(c)) / static_cast<double>(t);
+}
+
+CycleBreakdown &
+CycleBreakdown::operator+=(const CycleBreakdown &other)
+{
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    return *this;
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+arithmeticMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+void
+CounterSet::inc(const std::string &name, std::uint64_t n)
+{
+    for (auto &entry : entries_) {
+        if (entry.first == name) {
+            entry.second += n;
+            return;
+        }
+    }
+    entries_.emplace_back(name, n);
+}
+
+std::uint64_t
+CounterSet::get(const std::string &name) const
+{
+    for (const auto &entry : entries_) {
+        if (entry.first == name)
+            return entry.second;
+    }
+    return 0;
+}
+
+} // namespace mtsim

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Statistics primitives: the per-cycle attribution categories used in
+ * the paper's Figures 6-9, simple counters, and aggregate helpers.
+ */
+
+#ifndef MTSIM_COMMON_STATS_HH
+#define MTSIM_COMMON_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mtsim {
+
+/**
+ * Categories every processor cycle is attributed to. The uniprocessor
+ * figures (6-7) fold ShortInstr/LongInstr into one "instruction" bar
+ * and use DataStall for "data cache/TLB"; the multiprocessor figures
+ * (8-9) report ShortInstr and LongInstr separately and use DataStall
+ * for "memory". See DESIGN.md section 5 for the attribution policy.
+ */
+enum class CycleClass : std::uint8_t {
+    Busy,       ///< an instruction that eventually retires issued
+    ShortInstr, ///< issue blocked on a dependency of <= 4 cycles
+    LongInstr,  ///< issue blocked on a dependency of > 4 cycles
+    InstStall,  ///< instruction cache / ITLB miss stall
+    DataStall,  ///< all contexts waiting on data memory
+    Sync,       ///< all contexts waiting, youngest blocker is sync
+    Switch,     ///< squashed issue slot / switch-overhead cycle
+    NumClasses
+};
+
+/** Printable name of a cycle class. */
+const char *cycleClassName(CycleClass c);
+
+/** Per-cycle attribution histogram. */
+class CycleBreakdown
+{
+  public:
+    CycleBreakdown() { counts_.fill(0); }
+
+    void
+    add(CycleClass c, Cycle n = 1)
+    {
+        counts_[static_cast<std::size_t>(c)] += n;
+    }
+
+    /**
+     * Remove cycles (busy slots reclassified after a squash).
+     * Saturates at zero: slots issued before a stats reset may be
+     * squashed just after it.
+     */
+    void
+    sub(CycleClass c, Cycle n)
+    {
+        Cycle &slot = counts_[static_cast<std::size_t>(c)];
+        slot = (slot > n) ? slot - n : 0;
+    }
+
+    Cycle
+    get(CycleClass c) const
+    {
+        return counts_[static_cast<std::size_t>(c)];
+    }
+
+    /** Total cycles across all classes. */
+    Cycle total() const;
+
+    /** Fraction of total in class c (0 if total is 0). */
+    double fraction(CycleClass c) const;
+
+    /** Merge another breakdown into this one. */
+    CycleBreakdown &operator+=(const CycleBreakdown &other);
+
+    /** Reset all counters to zero. */
+    void clear() { counts_.fill(0); }
+
+  private:
+    std::array<Cycle, static_cast<std::size_t>(CycleClass::NumClasses)>
+        counts_;
+};
+
+/** Geometric mean of a set of strictly positive values. */
+double geometricMean(const std::vector<double> &values);
+
+/** Arithmetic mean; 0 for an empty vector. */
+double arithmeticMean(const std::vector<double> &values);
+
+/**
+ * Simple named scalar counter set used by caches, memory and the
+ * directory to report hit/miss/traffic statistics.
+ */
+class CounterSet
+{
+  public:
+    /** Increment counter @p name by @p n, creating it at zero. */
+    void inc(const std::string &name, std::uint64_t n = 1);
+
+    /** Read counter (0 if absent). */
+    std::uint64_t get(const std::string &name) const;
+
+    /** All counters in insertion order. */
+    const std::vector<std::pair<std::string, std::uint64_t>> &
+    entries() const
+    {
+        return entries_;
+    }
+
+    void clear() { entries_.clear(); }
+
+  private:
+    std::vector<std::pair<std::string, std::uint64_t>> entries_;
+};
+
+} // namespace mtsim
+
+#endif // MTSIM_COMMON_STATS_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fundamental scalar types used throughout mtsim.
+ */
+
+#ifndef MTSIM_COMMON_TYPES_HH
+#define MTSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace mtsim {
+
+/** Simulated processor cycle count. */
+using Cycle = std::uint64_t;
+
+/** Simulated byte address (virtual == physical in this model). */
+using Addr = std::uint64_t;
+
+/** Architectural register identifier (0-31 int, 32-63 fp). */
+using RegId = std::uint8_t;
+
+/** Per-thread instruction sequence number (monotonic from 0). */
+using SeqNum = std::uint64_t;
+
+/** Hardware context slot index within one processor. */
+using CtxId = std::uint8_t;
+
+/** Processor (node) index within a multiprocessor. */
+using ProcId = std::uint16_t;
+
+/** Sentinel for "no register operand". */
+inline constexpr RegId kNoReg = 0xff;
+
+/** Sentinel cycle meaning "never" / unscheduled. */
+inline constexpr Cycle kCycleNever =
+    std::numeric_limits<Cycle>::max();
+
+/** Number of integer architectural registers. */
+inline constexpr int kNumIntRegs = 32;
+
+/** Number of floating-point architectural registers. */
+inline constexpr int kNumFpRegs = 32;
+
+/** Total register-file namespace (int then fp). */
+inline constexpr int kNumRegs = kNumIntRegs + kNumFpRegs;
+
+/** First fp register id within the unified namespace. */
+inline constexpr RegId kFpRegBase = kNumIntRegs;
+
+/** Integer register 0 is hardwired to zero (MIPS convention). */
+inline constexpr RegId kZeroReg = 0;
+
+} // namespace mtsim
+
+#endif // MTSIM_COMMON_TYPES_HH

@@ -1,0 +1,93 @@
+#include "core/context.hh"
+
+#include <cassert>
+
+namespace mtsim {
+
+ThreadContext::ThreadContext(CtxId id)
+    : id_(id)
+{}
+
+void
+ThreadContext::loadThread(InstrSource *src, std::uint32_t app_id)
+{
+    source_ = src;
+    appId_ = app_id;
+    buf_.clear();
+    readIdx_ = 0;
+    baseSeq_ = nextSeq_;       // sequence numbers stay monotonic
+    sourceDone_ = false;
+    unavailableUntil_ = 0;
+    waitKind_ = WaitKind::None;
+    nextFetchAt_ = 0;
+    lastIssueAt_ = 0;
+    lastFetchSeq_ = ~SeqNum(0);
+    missReplaySeq_ = ~SeqNum(0);
+    sb_.reset();
+}
+
+void
+ThreadContext::unloadThread()
+{
+    source_ = nullptr;
+    buf_.clear();
+    readIdx_ = 0;
+    baseSeq_ = nextSeq_;
+}
+
+bool
+ThreadContext::peek(MicroOp &op)
+{
+    if (!loaded())
+        return false;
+    if (readIdx_ < buf_.size()) {
+        op = buf_[readIdx_];
+        return true;
+    }
+    if (sourceDone_)
+        return false;
+    MicroOp fetched;
+    if (!source_->next(fetched)) {
+        sourceDone_ = true;
+        return false;
+    }
+    fetched.seq = nextSeq_++;
+    buf_.push_back(fetched);
+    op = fetched;
+    return true;
+}
+
+void
+ThreadContext::consume()
+{
+    assert(readIdx_ < buf_.size());
+    ++readIdx_;
+}
+
+void
+ThreadContext::rollbackTo(SeqNum seq)
+{
+    assert(seq >= baseSeq_);
+    readIdx_ = static_cast<std::size_t>(seq - baseSeq_);
+    assert(readIdx_ <= buf_.size());
+}
+
+void
+ThreadContext::retireUpTo(SeqNum seq)
+{
+    // Never release instructions that have not issued yet.
+    while (!buf_.empty() && baseSeq_ <= seq && readIdx_ > 0) {
+        buf_.pop_front();
+        ++baseSeq_;
+        if (readIdx_ > 0)
+            --readIdx_;
+    }
+}
+
+bool
+ThreadContext::finished() const
+{
+    return sourceDone_ && readIdx_ >= buf_.size();
+}
+
+} // namespace mtsim

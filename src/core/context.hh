@@ -1,0 +1,142 @@
+/**
+ * @file
+ * One hardware context slot: the per-context state Section 6 says a
+ * multiple-context processor replicates (PC unit, register scoreboard)
+ * plus the fetch/replay machinery that models the EPC restart
+ * semantics — after a squash, execution resumes with the instruction
+ * that caused the context to become unavailable.
+ */
+
+#ifndef MTSIM_CORE_CONTEXT_HH
+#define MTSIM_CORE_CONTEXT_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "common/types.hh"
+#include "isa/micro_op.hh"
+#include "pipeline/scoreboard.hh"
+#include "workload/program.hh"
+
+namespace mtsim {
+
+/** Why a context is currently unavailable (for stall attribution). */
+enum class WaitKind : std::uint8_t {
+    None,
+    Memory,  ///< outstanding data-cache miss
+    Sync,    ///< blocked on a lock or barrier
+    Backoff, ///< backoff / explicit switch on instruction latency
+};
+
+class ThreadContext
+{
+  public:
+    explicit ThreadContext(CtxId id = 0);
+
+    /** Bind a software thread; resets all per-context state. */
+    void loadThread(InstrSource *src, std::uint32_t app_id);
+
+    /** Unbind (slot empty). */
+    void unloadThread();
+
+    bool loaded() const { return source_ != nullptr; }
+    std::uint32_t appId() const { return appId_; }
+    CtxId id() const { return id_; }
+
+    /**
+     * Peek the next instruction to issue without consuming it.
+     * @return false if the thread has terminated and drained.
+     */
+    bool peek(MicroOp &op);
+
+    /** Consume the instruction last peeked. */
+    void consume();
+
+    /**
+     * Roll fetch back so the instruction with sequence number
+     * @p seq issues next (EPC restart).
+     */
+    void rollbackTo(SeqNum seq);
+
+    /** Release retired instructions up to and including @p seq. */
+    void retireUpTo(SeqNum seq);
+
+    /** True once the source is exhausted and all ops consumed. */
+    bool finished() const;
+
+    // ---- availability ----------------------------------------------
+    bool
+    available(Cycle now) const
+    {
+        return loaded() && !finished() && unavailableUntil_ <= now;
+    }
+
+    void
+    makeUnavailable(Cycle until, WaitKind why)
+    {
+        unavailableUntil_ = until;
+        waitKind_ = why;
+    }
+
+    Cycle unavailableUntil() const { return unavailableUntil_; }
+    WaitKind waitKind() const { return waitKind_; }
+
+    // ---- per-context pipeline state ---------------------------------
+    Scoreboard &scoreboard() { return sb_; }
+    const Scoreboard &scoreboard() const { return sb_; }
+
+    /** Earliest cycle this context may fetch (branch redirect). */
+    Cycle nextFetchAt() const { return nextFetchAt_; }
+    void setNextFetchAt(Cycle c) { nextFetchAt_ = c; }
+
+    /** Sequence number of the last instruction I-fetched. */
+    SeqNum lastFetchSeq() const { return lastFetchSeq_; }
+    void setLastFetchSeq(SeqNum s) { lastFetchSeq_ = s; }
+
+    /** Fine-grained scheme: cycle of this context's last issue. */
+    Cycle lastIssueAt() const { return lastIssueAt_; }
+    void setLastIssueAt(Cycle c) { lastIssueAt_ = c; }
+
+    std::uint64_t retired() const { return retiredCount_; }
+    void noteRetired(std::uint64_t n = 1) { retiredCount_ += n; }
+
+    /** Pending (fetched, unconsumed + in-flight) window size. */
+    std::size_t windowSize() const { return buf_.size(); }
+
+    /** Sequence number the next issued instruction will carry. */
+    SeqNum nextIssueSeq() const { return baseSeq_ + readIdx_; }
+
+    /**
+     * The load whose miss made this context unavailable. On replay
+     * it reads its data from the miss buffer even if the line was
+     * evicted again in the meantime (forward-progress guarantee).
+     */
+    SeqNum missReplaySeq() const { return missReplaySeq_; }
+    void setMissReplaySeq(SeqNum s) { missReplaySeq_ = s; }
+    void clearMissReplaySeq() { missReplaySeq_ = ~SeqNum(0); }
+
+  private:
+    CtxId id_;
+    InstrSource *source_ = nullptr;
+    std::uint32_t appId_ = 0;
+
+    std::deque<MicroOp> buf_;   ///< fetched but not yet retired
+    std::size_t readIdx_ = 0;   ///< next op to issue, index into buf_
+    SeqNum baseSeq_ = 0;        ///< seq of buf_.front()
+    SeqNum nextSeq_ = 0;
+    bool sourceDone_ = false;
+
+    Cycle unavailableUntil_ = 0;
+    WaitKind waitKind_ = WaitKind::None;
+    Cycle nextFetchAt_ = 0;
+    Cycle lastIssueAt_ = 0;
+    SeqNum lastFetchSeq_ = ~SeqNum(0);
+    SeqNum missReplaySeq_ = ~SeqNum(0);
+    std::uint64_t retiredCount_ = 0;
+
+    Scoreboard sb_;
+};
+
+} // namespace mtsim
+
+#endif // MTSIM_CORE_CONTEXT_HH

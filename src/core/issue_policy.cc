@@ -1,0 +1,58 @@
+#include "core/issue_policy.hh"
+
+namespace mtsim {
+
+int
+nextAvailableRing(const std::vector<ThreadContext> &ctxs, int from,
+                  Cycle now)
+{
+    const int n = static_cast<int>(ctxs.size());
+    for (int step = 1; step <= n; ++step) {
+        int idx = (from + step) % n;
+        if (ctxs[idx].available(now))
+            return idx;
+    }
+    return -1;
+}
+
+bool
+otherThreadExists(const std::vector<ThreadContext> &ctxs, int self)
+{
+    for (int i = 0; i < static_cast<int>(ctxs.size()); ++i) {
+        if (i == self)
+            continue;
+        if (ctxs[i].loaded() && !ctxs[i].finished())
+            return true;
+    }
+    return false;
+}
+
+int
+availableCount(const std::vector<ThreadContext> &ctxs, Cycle now)
+{
+    int n = 0;
+    for (const ThreadContext &c : ctxs) {
+        if (c.available(now))
+            ++n;
+    }
+    return n;
+}
+
+int
+soonestAvailable(const std::vector<ThreadContext> &ctxs)
+{
+    int best = -1;
+    Cycle best_at = kCycleNever;
+    for (int i = 0; i < static_cast<int>(ctxs.size()); ++i) {
+        const ThreadContext &c = ctxs[i];
+        if (!c.loaded() || c.finished())
+            continue;
+        if (c.unavailableUntil() < best_at) {
+            best_at = c.unavailableUntil();
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace mtsim

@@ -1,0 +1,678 @@
+#include "core/processor.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/issue_policy.hh"
+
+namespace mtsim {
+
+Processor::Processor(const Config &cfg, MemSystem &mem, ProcId id,
+                     SyncManager *sync, std::uint32_t sync_threads)
+    : cfg_(cfg), mem_(mem), id_(id), sync_(sync),
+      syncThreads_(sync_threads), btb_(cfg.btbEntries)
+{
+    cfg_.validate();
+    ctxs_.reserve(cfg_.numContexts);
+    for (CtxId c = 0; c < cfg_.numContexts; ++c)
+        ctxs_.emplace_back(c);
+    fuBusy_.fill(0);
+}
+
+std::uint64_t
+Processor::retiredForApp(std::uint32_t app_id) const
+{
+    for (const auto &entry : appRetired_) {
+        if (entry.first == app_id)
+            return entry.second;
+    }
+    return 0;
+}
+
+bool
+Processor::allFinished() const
+{
+    for (const ThreadContext &c : ctxs_) {
+        if (c.loaded() && !c.finished())
+            return false;
+    }
+    return true;
+}
+
+void
+Processor::clearStats()
+{
+    bd_.clear();
+    appRetired_.clear();
+    retiredTotal_ = 0;
+    squashedSlots_ = 0;
+    switchEvents_ = 0;
+}
+
+void
+Processor::osSwap(CtxId c, InstrSource *src, std::uint32_t app_id)
+{
+    // Drop this context's in-flight instructions; their issue slots
+    // become (OS) switch overhead.
+    std::uint32_t n = 0;
+    for (std::size_t i = 0; i < inflight_.size();) {
+        if (inflight_[i].ctx == c) {
+            inflight_[i] = inflight_.back();
+            inflight_.pop_back();
+            ++n;
+        } else {
+            ++i;
+        }
+    }
+    bd_.sub(CycleClass::Busy, n);
+    bd_.add(CycleClass::Switch, n);
+    for (std::size_t i = 0; i < missEvents_.size();) {
+        if (missEvents_[i].ctx == c) {
+            missEvents_[i] = missEvents_.back();
+            missEvents_.pop_back();
+        } else {
+            ++i;
+        }
+    }
+    if (src) {
+        ctxs_[c].loadThread(src, app_id);
+    } else {
+        ctxs_[c].unloadThread();
+    }
+}
+
+ProducerKind
+Processor::kindForOp(const MicroOp &op) const
+{
+    return resultLatency(cfg_.lat, op) <= 5 ? ProducerKind::ShortOp
+                                            : ProducerKind::LongOp;
+}
+
+SyncManager::WakeFn
+Processor::wakeFn(CtxId c)
+{
+    return [this, c](Cycle resume_at) {
+        ctxs_[c].makeUnavailable(resume_at, WaitKind::Sync);
+    };
+}
+
+std::uint32_t
+Processor::squashFrom(CtxId c, SeqNum from_seq)
+{
+    std::uint32_t n = 0;
+    for (std::size_t i = 0; i < inflight_.size();) {
+        InFlight &f = inflight_[i];
+        if (f.ctx == c && f.seq >= from_seq) {
+            ctxs_[c].scoreboard().clearWrite(f.dst);
+            if (squashHook_)
+                squashHook_(c, f.seq);
+            f = inflight_.back();
+            inflight_.pop_back();
+            ++n;
+        } else {
+            ++i;
+        }
+    }
+    // Drop pending miss events belonging to the squashed region.
+    for (std::size_t i = 0; i < missEvents_.size();) {
+        if (missEvents_[i].ctx == c && missEvents_[i].seq >= from_seq) {
+            missEvents_[i] = missEvents_.back();
+            missEvents_.pop_back();
+        } else {
+            ++i;
+        }
+    }
+    ctxs_[c].rollbackTo(from_seq);
+    // Reclassify the squashed issue slots as switch overhead.
+    bd_.sub(CycleClass::Busy, n);
+    bd_.add(CycleClass::Switch, n);
+    squashedSlots_ += n;
+    return n;
+}
+
+void
+Processor::blockedSwitch(Cycle now, Cycle flush_until)
+{
+    ++switchEvents_;
+    if (flush_until > flushUntil_)
+        flushUntil_ = flush_until;
+    int next = nextAvailableRing(ctxs_, current_, now);
+    if (next >= 0) {
+        current_ = next;
+        blockedNeedsNewCurrent_ = false;
+    } else {
+        blockedNeedsNewCurrent_ = true;
+    }
+}
+
+void
+Processor::processMissEvents(Cycle now)
+{
+    for (std::size_t i = 0; i < missEvents_.size();) {
+        MissEvent ev = missEvents_[i];
+        if (ev.detectAt > now) {
+            ++i;
+            continue;
+        }
+        missEvents_[i] = missEvents_.back();
+        missEvents_.pop_back();
+
+        ThreadContext &ctx = ctxs_[ev.ctx];
+        if (!otherThreadExists(ctxs_, ev.ctx)) {
+            // Nobody to yield to: behave like the single-context
+            // processor and let dependents stall on the scoreboard.
+            continue;
+        }
+        if (cfg_.scheme == Scheme::Blocked) {
+            ++switchEvents_;
+            squashFrom(ev.ctx, ev.seq);
+            ctx.makeUnavailable(ev.dataReady, WaitKind::Memory);
+            ctx.setMissReplaySeq(ev.seq);
+            // Miss detected at WB: the whole pipeline drains before
+            // the next context may start (Figure 2).
+            if (ev.detectAt + 2 > flushUntil_)
+                flushUntil_ = ev.detectAt + 2;
+            int next = nextAvailableRing(ctxs_, current_, now);
+            if (next >= 0) {
+                current_ = next;
+                blockedNeedsNewCurrent_ = false;
+            } else {
+                blockedNeedsNewCurrent_ = true;
+            }
+        } else if (cfg_.scheme == Scheme::Interleaved) {
+            ++switchEvents_;
+            // Selective squash: only this context's instructions
+            // leave the pipeline; everyone else keeps issuing.
+            squashFrom(ev.ctx, ev.seq);
+            ctx.makeUnavailable(ev.dataReady, WaitKind::Memory);
+            ctx.setMissReplaySeq(ev.seq);
+        }
+    }
+}
+
+void
+Processor::retireDue(Cycle now)
+{
+    bool any = false;
+    for (std::size_t i = 0; i < inflight_.size();) {
+        InFlight &f = inflight_[i];
+        if (f.retireAt <= now) {
+            ctxs_[f.ctx].noteRetired();
+            ++retiredTotal_;
+            bool found = false;
+            for (auto &entry : appRetired_) {
+                if (entry.first == f.appId) {
+                    ++entry.second;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                appRetired_.emplace_back(f.appId, 1);
+            f = inflight_.back();
+            inflight_.pop_back();
+            any = true;
+        } else {
+            ++i;
+        }
+    }
+    if (any && now >= lastRelease_ + 32) {
+        releaseRetired();
+        lastRelease_ = now;
+    }
+}
+
+void
+Processor::releaseRetired()
+{
+    for (ThreadContext &ctx : ctxs_) {
+        if (!ctx.loaded())
+            continue;
+        SeqNum oldest = ctx.nextIssueSeq();
+        for (const InFlight &f : inflight_) {
+            if (f.ctx == ctx.id() && f.seq < oldest)
+                oldest = f.seq;
+        }
+        if (oldest > 0)
+            ctx.retireUpTo(oldest - 1);
+    }
+}
+
+int
+Processor::selectOwner(Cycle now)
+{
+    switch (cfg_.scheme) {
+      case Scheme::Single:
+      case Scheme::Blocked:
+        if (ctxs_[current_].available(now))
+            return current_;
+        if (ctxs_[current_].finished() || !ctxs_[current_].loaded() ||
+            blockedNeedsNewCurrent_) {
+            int next = nextAvailableRing(ctxs_, current_, now);
+            if (next >= 0) {
+                current_ = next;
+                blockedNeedsNewCurrent_ = false;
+                return current_;
+            }
+        }
+        return -1;
+      case Scheme::Interleaved:
+      case Scheme::FineGrained:
+      default: {
+        const int prio = cfg_.priorityContext;
+        if (cfg_.scheme == Scheme::Interleaved && prio >= 0 &&
+            prio < static_cast<int>(ctxs_.size())) {
+            // Priority context takes every other slot; the rest
+            // round-robin over the remaining contexts.
+            if (ctxs_[prio].available(now) && rrLast_ != prio) {
+                rrLast_ = prio;
+                return prio;
+            }
+            const int n = static_cast<int>(ctxs_.size());
+            for (int step = 1; step <= n; ++step) {
+                int idx = (rrLastOther_ + step) % n;
+                if (idx == prio)
+                    continue;
+                if (ctxs_[idx].available(now)) {
+                    rrLastOther_ = idx;
+                    rrLast_ = idx;
+                    return idx;
+                }
+            }
+            if (ctxs_[prio].available(now)) {
+                rrLast_ = prio;
+                return prio;
+            }
+            return -1;
+        }
+        int owner = nextAvailableRing(ctxs_, rrLast_, now);
+        if (owner >= 0)
+            rrLast_ = owner;
+        return owner;
+      }
+    }
+}
+
+void
+Processor::attributeIdle(Cycle now)
+{
+    // Attribute the idle cycle to whatever the context that will
+    // resume soonest is waiting for.
+    int who;
+    if ((cfg_.scheme == Scheme::Single ||
+         cfg_.scheme == Scheme::Blocked) &&
+        !blockedNeedsNewCurrent_ && ctxs_[current_].loaded() &&
+        !ctxs_[current_].finished()) {
+        who = current_;
+    } else {
+        who = soonestAvailable(ctxs_);
+    }
+    if (who < 0) {
+        // Nothing loaded and unfinished: the processor is idle with
+        // no work to account a stall against (end of run).
+        return;
+    }
+    switch (ctxs_[who].waitKind()) {
+      case WaitKind::Sync:
+        bd_.add(CycleClass::Sync);
+        break;
+      case WaitKind::Backoff:
+        bd_.add(CycleClass::LongInstr);
+        break;
+      case WaitKind::Memory:
+      default:
+        bd_.add(CycleClass::DataStall);
+        break;
+    }
+    (void)now;
+}
+
+CycleClass
+Processor::classifyHazard(const ThreadContext &ctx, const MicroOp &op,
+                          Cycle fu_free, Cycle now) const
+{
+    const Cycle reg_ready =
+        ctx.scoreboard().readyCycle(op, resultLatency(cfg_.lat, op));
+    if (fu_free > reg_ready && fu_free > now) {
+        return (fu_free - now) > 4 ? CycleClass::LongInstr
+                                   : CycleClass::ShortInstr;
+    }
+    switch (ctx.scoreboard().blockingKind(op, now)) {
+      case ProducerKind::LoadMiss:
+        return CycleClass::DataStall;
+      case ProducerKind::LongOp:
+        return CycleClass::LongInstr;
+      default:
+        return CycleClass::ShortInstr;
+    }
+}
+
+void
+Processor::tick(Cycle now)
+{
+    processMissEvents(now);
+    retireDue(now);
+
+    // Per-cycle structural resources (dual issue).
+    memPortUsed_ = false;
+    branchUsed_ = false;
+
+    // Each cycle has issueWidth slots; every slot is attributed to
+    // exactly one category. A processor-wide stall raised by an
+    // earlier slot (I-miss, flush, TLB trap) consumes the rest.
+    const std::uint32_t width = cfg_.issueWidth;
+    for (std::uint32_t slot = 0; slot < width; ++slot) {
+        if (flushUntil_ > now) {
+            bd_.add(CycleClass::Switch, width - slot);
+            return;
+        }
+        if (fetchStallUntil_ > now) {
+            bd_.add(CycleClass::InstStall, width - slot);
+            return;
+        }
+        if (dataTlbStallUntil_ > now) {
+            bd_.add(CycleClass::DataStall, width - slot);
+            return;
+        }
+        tickSlot(now);
+    }
+}
+
+void
+Processor::tickSlot(Cycle now)
+{
+    int owner = selectOwner(now);
+    if (owner < 0) {
+        attributeIdle(now);
+        return;
+    }
+
+    if (cfg_.scheme == Scheme::Interleaved &&
+        cfg_.interleavedSkipBlocked) {
+        // Ablation variant: a hazard-blocked context gives its slot
+        // to the next available one instead of bubbling.
+        int candidate = owner;
+        for (int tries = 0; tries < cfg_.numContexts; ++tries) {
+            if (candidate >= 0 && issueFrom(candidate, now, false))
+                return;
+            candidate = nextAvailableRing(ctxs_, candidate, now);
+            if (candidate == owner)
+                break;
+        }
+        // Everyone blocked: attribute via the original slot owner.
+        issueFrom(owner, now, true);
+        return;
+    }
+    issueFrom(owner, now, true);
+}
+
+bool
+Processor::issueFrom(int c, Cycle now, bool attribute_stall)
+{
+    ThreadContext &ctx = ctxs_[static_cast<CtxId>(c)];
+    MicroOp op;
+    if (!ctx.peek(op)) {
+        // The thread terminated exactly now.
+        if (attribute_stall)
+            attributeIdle(now);
+        return attribute_stall;
+    }
+
+    // Branch redirect: the context cannot supply a correct-path
+    // instruction until the mispredicted branch resolves in EX.
+    if (ctx.nextFetchAt() > now) {
+        if (attribute_stall)
+            bd_.add(CycleClass::ShortInstr);
+        return attribute_stall;
+    }
+
+    const bool fine_grained = (cfg_.scheme == Scheme::FineGrained);
+
+    // HEP-style processors have no interlocks: at most one
+    // instruction per context in the pipeline.
+    if (fine_grained && ctx.nextIssueSeq() > 0 &&
+        ctx.lastIssueAt() + cfg_.intPipeDepth > now) {
+        if (attribute_stall)
+            bd_.add(CycleClass::ShortInstr);
+        return attribute_stall;
+    }
+
+    // Instruction fetch (once per instruction; blocking on a miss).
+    if (!fine_grained && op.seq != ctx.lastFetchSeq()) {
+        FetchResult f = mem_.ifetch(id_, op.pc, now);
+        ctx.setLastFetchSeq(op.seq);
+        if (f.stall > 0) {
+            // A blocking I-miss stalls the whole processor: the
+            // cycle is consumed regardless of the issue variant.
+            fetchStallUntil_ = now + f.stall;
+            bd_.add(CycleClass::InstStall);
+            return true;
+        }
+    }
+
+    // Synchronization ops are fences: they must not issue while an
+    // older instruction is still in flight, because an older load's
+    // miss would squash and re-execute them - re-acquiring a lock or
+    // re-arriving at a barrier corrupts the synchronization state.
+    if (isSync(op.op) && sync_) {
+        for (const InFlight &f : inflight_) {
+            if (f.ctx == static_cast<CtxId>(c)) {
+                if (attribute_stall)
+                    bd_.add(CycleClass::Sync);
+                return attribute_stall;
+            }
+        }
+    }
+
+    // Structural slot constraints (dual issue): one memory access
+    // and one control transfer per cycle.
+    const bool is_mem = isLoad(op.op) || isStore(op.op) ||
+                        op.op == Op::Prefetch;
+    if ((is_mem && memPortUsed_) ||
+        (isControl(op.op) && branchUsed_)) {
+        if (attribute_stall)
+            bd_.add(CycleClass::ShortInstr);
+        return attribute_stall;
+    }
+
+    // Register and functional-unit hazards.
+    const Cycle fu_free = fuBusy_[static_cast<std::size_t>(
+        fuKind(op.op))];
+    const std::uint32_t res_lat = resultLatency(cfg_.lat, op);
+    Cycle startable = ctx.scoreboard().readyCycle(op, res_lat);
+    if (fu_free > startable)
+        startable = fu_free;
+
+    if (!fine_grained && startable > now) {
+        const CycleClass why = classifyHazard(ctx, op, fu_free, now);
+        const Cycle wait = startable - now;
+        const bool hintable =
+            cfg_.switchHintThreshold > 0 &&
+            wait >= cfg_.switchHintThreshold &&
+            why != CycleClass::DataStall &&
+            otherThreadExists(ctxs_, c) &&
+            nextAvailableRing(ctxs_, c, now) >= 0;
+
+        if (hintable && cfg_.scheme == Scheme::Blocked) {
+            // Compiler-inserted explicit switch (Table 4: 3 cycles).
+            bd_.add(CycleClass::Switch);
+            ctx.makeUnavailable(startable, WaitKind::Backoff);
+            blockedSwitch(now, now + cfg_.sw.blockedExplicitCost);
+            return true;
+        }
+        if (hintable && cfg_.scheme == Scheme::Interleaved) {
+            // Compiler-inserted backoff (Table 4: 1 cycle).
+            bd_.add(CycleClass::Switch);
+            ++switchEvents_;
+            ctx.makeUnavailable(startable, WaitKind::Backoff);
+            return true;
+        }
+        if (attribute_stall)
+            bd_.add(why);
+        return attribute_stall;
+    }
+
+    // ---- the instruction issues this cycle -------------------------
+    ProducerKind write_kind = kindForOp(op);
+    Cycle write_ready = now + res_lat;
+    bool issued_useful = true;
+
+    switch (op.op) {
+      case Op::Load: {
+        if (fine_grained) {
+            write_ready = now + cfg_.uniMem.memLat;
+            write_kind = ProducerKind::LoadMiss;
+            ctx.makeUnavailable(write_ready, WaitKind::Memory);
+            break;
+        }
+        if (op.seq == ctx.missReplaySeq()) {
+            // Replay of the miss that switched this context out:
+            // the data is forwarded from the miss buffer.
+            ctx.clearMissReplaySeq();
+            write_ready = now + cfg_.lat.loadLat;
+            write_kind = ProducerKind::ShortOp;
+            break;
+        }
+        LoadResult r = mem_.load(id_, op.addr, now);
+        if (r.mshrStall) {
+            if (attribute_stall)
+                bd_.add(CycleClass::DataStall);
+            return attribute_stall;
+        }
+        if (r.tlbPenalty > 0)
+            dataTlbStallUntil_ = now + 1 + r.tlbPenalty;
+        if (r.l1Hit) {
+            write_ready = now + cfg_.lat.loadLat;
+            write_kind = ProducerKind::ShortOp;
+        } else {
+            write_ready = std::max<Cycle>(r.ready,
+                                          now + cfg_.lat.loadLat);
+            write_kind = ProducerKind::LoadMiss;
+            if (cfg_.scheme == Scheme::Blocked ||
+                cfg_.scheme == Scheme::Interleaved) {
+                missEvents_.push_back(
+                    {static_cast<CtxId>(c), op.seq,
+                     now + cfg_.sw.missDetectStage, r.ready});
+            }
+        }
+        break;
+      }
+      case Op::Prefetch: {
+        // Non-binding prefetch: start the line fetch but never make
+        // the context unavailable; drop it if no MSHR is free.
+        if (fine_grained)
+            break;
+        LoadResult r = mem_.load(id_, op.addr, now);
+        if (r.tlbPenalty > 0)
+            dataTlbStallUntil_ = now + 1 + r.tlbPenalty;
+        break;
+      }
+      case Op::Store: {
+        if (fine_grained)
+            break;
+        StoreResult r = mem_.store(id_, op.addr, now);
+        if (r.bufferStall) {
+            if (attribute_stall)
+                bd_.add(CycleClass::DataStall);
+            return attribute_stall;
+        }
+        if (r.tlbPenalty > 0)
+            dataTlbStallUntil_ = now + 1 + r.tlbPenalty;
+        break;
+      }
+      case Op::Branch:
+      case Op::Jump: {
+        if (!fine_grained) {
+            const bool correct =
+                btb_.resolve(op.pc, op.taken, op.target);
+            if (!correct) {
+                ctx.setNextFetchAt(now + cfg_.branchResolveStage + 1);
+            }
+        }
+        break;
+      }
+      case Op::CtxSwitch: {
+        // Explicit switch instruction: its slot plus the drain are
+        // all overhead (Table 4).
+        bd_.add(CycleClass::Switch);
+        ctx.consume();
+        if (cfg_.scheme == Scheme::Blocked)
+            blockedSwitch(now, now + cfg_.sw.blockedExplicitCost);
+        return true;
+      }
+      case Op::Backoff: {
+        bd_.add(CycleClass::Switch);
+        ctx.consume();
+        ctx.makeUnavailable(now + op.backoffCycles, WaitKind::Backoff);
+        // Under the blocked scheme an explicit backoff behaves like
+        // an explicit switch (it must yield the whole pipeline).
+        if (cfg_.scheme == Scheme::Blocked)
+            blockedSwitch(now, now + cfg_.sw.blockedExplicitCost);
+        return true;
+      }
+      case Op::Lock: {
+        if (sync_) {
+            auto res = sync_->lock(op.syncId, now,
+                                   wakeFn(static_cast<CtxId>(c)));
+            if (res.acquired) {
+                ctx.makeUnavailable(res.ready, WaitKind::Sync);
+            } else {
+                ctx.makeUnavailable(kCycleNever, WaitKind::Sync);
+                if (cfg_.scheme == Scheme::Blocked)
+                    blockedSwitch(now,
+                                  now + 1 + cfg_.sw.blockedExplicitCost);
+            }
+        }
+        break;
+      }
+      case Op::Unlock: {
+        if (sync_)
+            sync_->unlock(op.syncId, now + 1);
+        break;
+      }
+      case Op::Barrier: {
+        if (sync_) {
+            auto res = sync_->arrive(op.syncId, syncThreads_, now,
+                                     wakeFn(static_cast<CtxId>(c)));
+            if (res.released) {
+                ctx.makeUnavailable(res.ready, WaitKind::Sync);
+            } else {
+                ctx.makeUnavailable(kCycleNever, WaitKind::Sync);
+                if (cfg_.scheme == Scheme::Blocked)
+                    blockedSwitch(now,
+                                  now + 1 + cfg_.sw.blockedExplicitCost);
+            }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+
+    ctx.consume();
+    ctx.setLastIssueAt(now);
+    if (is_mem)
+        memPortUsed_ = true;
+    if (isControl(op.op))
+        branchUsed_ = true;
+    if (op.dst != kNoReg)
+        ctx.scoreboard().recordWrite(op.dst, write_ready, write_kind);
+
+    const FuKind fu = fuKind(op.op);
+    if (fu != FuKind::None) {
+        fuBusy_[static_cast<std::size_t>(fu)] =
+            now + issueInterval(cfg_.lat, op);
+    }
+
+    if (issued_useful) {
+        bd_.add(CycleClass::Busy);
+        inflight_.push_back({op.seq, now + pipeDepth(cfg_, op.op),
+                             op.dst, static_cast<CtxId>(c),
+                             ctx.appId()});
+        if (issueHook_)
+            issueHook_(now, static_cast<CtxId>(c), op);
+    }
+    return true;
+}
+
+} // namespace mtsim

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * The multiple-context processor core (Sections 2-3). One Processor
+ * models the seven-stage integer / nine-stage floating-point pipeline
+ * of Figure 5 with full forwarding, a register/functional-unit
+ * scoreboard, a 2048-entry BTB, and one of four context-multiplexing
+ * schemes:
+ *
+ *  - Single:      the baseline single-context processor;
+ *  - Blocked:     run one context until a primary-cache miss, detected
+ *                 at WB, flushes the pipeline (7-cycle switch; 3-cycle
+ *                 explicit switch for long instruction latencies);
+ *  - Interleaved: the paper's proposal - strict round-robin issue
+ *                 among available contexts, selective squash of only
+ *                 the missing context's in-flight instructions, and a
+ *                 1-cycle backoff for long instruction latencies;
+ *  - FineGrained: a HEP-style baseline - no caches credited, one
+ *                 instruction per context in the pipeline.
+ *
+ * Every cycle is attributed to exactly one CycleClass; the invariant
+ * "sum of the breakdown == elapsed cycles" is enforced by tests.
+ */
+
+#ifndef MTSIM_CORE_PROCESSOR_HH
+#define MTSIM_CORE_PROCESSOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include <functional>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/context.hh"
+#include "isa/latency.hh"
+#include "mem/mem_request.hh"
+#include "pipeline/btb.hh"
+#include "sync/sync_manager.hh"
+
+namespace mtsim {
+
+class Processor
+{
+  public:
+    /**
+     * @param cfg scheme, context count and machine parameters
+     * @param mem the memory hierarchy this processor fetches from
+     * @param id processor index (multiprocessor node id)
+     * @param sync synchronization manager (nullptr on a workstation)
+     * @param sync_threads barrier population (MP thread count)
+     */
+    Processor(const Config &cfg, MemSystem &mem, ProcId id = 0,
+              SyncManager *sync = nullptr,
+              std::uint32_t sync_threads = 1);
+
+    /** Simulate one processor cycle. */
+    void tick(Cycle now);
+
+    ThreadContext &context(CtxId c) { return ctxs_[c]; }
+    const ThreadContext &context(CtxId c) const { return ctxs_[c]; }
+    std::uint8_t numContexts() const
+    {
+        return static_cast<std::uint8_t>(ctxs_.size());
+    }
+
+    ProcId id() const { return id_; }
+    Btb &btb() { return btb_; }
+
+    const CycleBreakdown &breakdown() const { return bd_; }
+
+    /** Total instructions retired (useful work). */
+    std::uint64_t retired() const { return retiredTotal_; }
+
+    /** Instructions retired on behalf of application @p app_id. */
+    std::uint64_t retiredForApp(std::uint32_t app_id) const;
+
+    /** All loaded contexts have finished their threads. */
+    bool allFinished() const;
+
+    /** Squash events observed (for Table 4 style microtests). */
+    std::uint64_t squashedSlots() const { return squashedSlots_; }
+    std::uint64_t switchEvents() const { return switchEvents_; }
+
+    /** Zero the statistics (end of warm-up). */
+    void clearStats();
+
+    /**
+     * Operating-system context swap: drop context @p c's pipeline
+     * contents and bind it to @p src (nullptr unloads the slot). The
+     * scheduler's cache interference is modelled separately.
+     */
+    void osSwap(CtxId c, InstrSource *src, std::uint32_t app_id);
+
+    /** Make @p c the next context to issue (OS / test control). */
+    void
+    setCurrentContext(CtxId c)
+    {
+        current_ = c;
+        rrLast_ = (c + numContexts() - 1) % numContexts();
+        blockedNeedsNewCurrent_ = false;
+    }
+
+    /** Current scheme (handy for harness code). */
+    Scheme scheme() const { return cfg_.scheme; }
+
+    // ---- trace hooks (Figures 2-3 visualiser) -----------------------
+    using IssueHook =
+        std::function<void(Cycle, CtxId, const MicroOp &)>;
+    using SquashHook = std::function<void(CtxId, SeqNum)>;
+
+    void setIssueHook(IssueHook h) { issueHook_ = std::move(h); }
+    void setSquashHook(SquashHook h) { squashHook_ = std::move(h); }
+
+  private:
+    struct InFlight
+    {
+        SeqNum seq;
+        Cycle retireAt;
+        RegId dst;
+        CtxId ctx;
+        std::uint32_t appId;
+    };
+
+    struct MissEvent
+    {
+        CtxId ctx;
+        SeqNum seq;
+        Cycle detectAt;
+        Cycle dataReady;
+    };
+
+    void processMissEvents(Cycle now);
+    void retireDue(Cycle now);
+    /** Owner selection + issue for one of the cycle's slots. */
+    void tickSlot(Cycle now);
+    void releaseRetired();
+    int selectOwner(Cycle now);
+    /**
+     * Attempt to issue from context @p c. When @p attribute_stall is
+     * false a hazard bubble is reported by returning false with no
+     * cycle attributed (used by the skip-blocked issue variant);
+     * processor-level stalls (I-miss) always consume the cycle.
+     * @return true if the cycle was consumed.
+     */
+    bool issueFrom(int c, Cycle now, bool attribute_stall);
+    void attributeIdle(Cycle now);
+
+    /**
+     * Squash every in-flight instruction of context @p c with
+     * seq >= @p from_seq, roll the context back, and reclassify the
+     * squashed busy slots as switch overhead.
+     * @return number of squashed slots.
+     */
+    std::uint32_t squashFrom(CtxId c, SeqNum from_seq);
+
+    /** Blocked scheme: flush and move to the next available context. */
+    void blockedSwitch(Cycle now, Cycle flush_until);
+
+    /** Stall classification for a register/FU hazard. */
+    CycleClass classifyHazard(const ThreadContext &ctx,
+                              const MicroOp &op, Cycle fu_free,
+                              Cycle now) const;
+
+    ProducerKind kindForOp(const MicroOp &op) const;
+
+    SyncManager::WakeFn wakeFn(CtxId c);
+
+    Config cfg_;
+    MemSystem &mem_;
+    ProcId id_;
+    SyncManager *sync_;
+    std::uint32_t syncThreads_;
+
+    std::vector<ThreadContext> ctxs_;
+    Btb btb_;
+    std::vector<InFlight> inflight_;
+    std::vector<MissEvent> missEvents_;
+    std::array<Cycle, static_cast<std::size_t>(FuKind::NumFus)>
+        fuBusy_{};
+
+    int current_ = 0;   ///< blocked scheme's resident context
+    int rrLast_ = 0;    ///< interleaved round-robin cursor
+    int rrLastOther_ = 0; ///< cursor over non-priority contexts
+    /** A blocked switch fired but no context was available yet. */
+    bool blockedNeedsNewCurrent_ = false;
+
+    Cycle flushUntil_ = 0;      ///< switch-overhead dead cycles
+    Cycle fetchStallUntil_ = 0; ///< blocking I-cache / ITLB stall
+    Cycle dataTlbStallUntil_ = 0;
+
+    // Per-cycle structural state for dual issue (reset every tick).
+    bool memPortUsed_ = false;
+    bool branchUsed_ = false;
+
+    CycleBreakdown bd_;
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> appRetired_;
+    std::uint64_t retiredTotal_ = 0;
+    std::uint64_t squashedSlots_ = 0;
+    std::uint64_t switchEvents_ = 0;
+    Cycle lastRelease_ = 0;
+
+    IssueHook issueHook_;
+    SquashHook squashHook_;
+};
+
+} // namespace mtsim
+
+#endif // MTSIM_CORE_PROCESSOR_HH

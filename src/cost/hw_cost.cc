@@ -1,0 +1,89 @@
+#include "cost/hw_cost.hh"
+
+#include <bit>
+
+namespace mtsim {
+
+namespace {
+
+constexpr std::uint64_t kRegBits = 64;   // per architectural register
+constexpr std::uint64_t kAddrBits = 64;  // PC / EPC / NPC width
+constexpr std::uint64_t kPswBits = 96;   // process status word
+
+std::uint32_t
+cidWidth(std::uint32_t contexts)
+{
+    return contexts > 1
+               ? static_cast<std::uint32_t>(std::bit_width(
+                     contexts - 1u))
+               : 0;
+}
+
+} // namespace
+
+HwCost
+estimateHwCost(const Config &cfg)
+{
+    HwCost c;
+    const std::uint64_t n = cfg.numContexts;
+    const std::uint64_t stages = cfg.intPipeDepth;
+
+    // Architectural register file: replicated per context for every
+    // multiple-context scheme (Section 6 "replication of key
+    // per-process state").
+    c.regFileBits = n * kNumRegs * kRegBits;
+    c.pswBits = n * kPswBits;
+
+    // BTB is shared by all schemes: entries x (tag + target).
+    c.btbBits =
+        static_cast<std::uint64_t>(cfg.btbEntries) * (2 * kAddrBits);
+
+    switch (cfg.scheme) {
+      case Scheme::Single:
+        // Figure 10: PC chain (one address per stage) + 1 EPC.
+        c.pcUnitBits = (stages + 1) * kAddrBits;
+        // PC bus sources: sequential, BTB target, computed target,
+        // exception vector, EPC.
+        c.pcBusMuxInputs = 5;
+        c.issueSelectors = 0;
+        break;
+
+      case Scheme::Blocked:
+        // Figure 11: same PC unit, plus an EPC (doubling as the
+        // context restart register) per context.
+        c.pcUnitBits = stages * kAddrBits + n * kAddrBits;
+        c.pcBusMuxInputs = 4 + static_cast<std::uint32_t>(n);
+        // One "is this the active context" selector per context.
+        c.issueSelectors = static_cast<std::uint32_t>(n);
+        break;
+
+      case Scheme::Interleaved:
+        // Figure 12: per context an NPC holding register with its
+        // mispredict status bit, an EPC with a valid bit, and a CID
+        // tag on every pipeline stage (used by the register file,
+        // TLB, squash logic).
+        c.pcUnitBits = stages * kAddrBits +
+                       n * (2 * kAddrBits + 2);
+        c.cidTagBits = stages * cidWidth(cfg.numContexts) * 2;
+        // NPC and EPC per context can each drive the PC bus, plus
+        // the shared sources.
+        c.pcBusMuxInputs = 3 + 2 * static_cast<std::uint32_t>(n);
+        // Round-robin availability scan: a selector per context,
+        // plus one per context for the squash-CID comparison.
+        c.issueSelectors = 2 * static_cast<std::uint32_t>(n);
+        break;
+
+      case Scheme::FineGrained:
+      default:
+        // HEP-style: per-context PC, no EPC chain complexity (one
+        // instruction per context in flight), CID tags still needed.
+        c.pcUnitBits = n * kAddrBits + stages * kAddrBits;
+        c.cidTagBits = stages * cidWidth(cfg.numContexts) * 2;
+        c.pcBusMuxInputs = 2 + static_cast<std::uint32_t>(n);
+        c.issueSelectors = static_cast<std::uint32_t>(n);
+        break;
+    }
+    return c;
+}
+
+} // namespace mtsim

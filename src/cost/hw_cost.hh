@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Hardware-cost model for Section 6 of the paper: what does each
+ * multiple-context scheme add to a single-context processor? The
+ * paper argues the blocked scheme only replicates per-process state
+ * (PC/EPC, PSW, register file), while the interleaved scheme also
+ * needs per-context next-PC holding registers, a mispredict status
+ * bit, wider PC-bus multiplexing, and a context-identifier (CID) tag
+ * on every pipeline stage - "a manageable increase in complexity".
+ * This module turns that discussion into numbers (storage bits and
+ * PC-bus mux inputs) derived from the Config, so the claim is
+ * auditable and regenerable (bench/section6_costs).
+ */
+
+#ifndef MTSIM_COST_HW_COST_HH
+#define MTSIM_COST_HW_COST_HH
+
+#include <cstdint>
+
+#include "common/config.hh"
+
+namespace mtsim {
+
+/** Estimated storage/complexity of one processor configuration. */
+struct HwCost
+{
+    // ---- storage (bits) --------------------------------------------
+    std::uint64_t regFileBits = 0;   ///< architectural registers
+    std::uint64_t pcUnitBits = 0;    ///< PC chain, EPC/NPC, status
+    std::uint64_t pswBits = 0;       ///< per-process status words
+    std::uint64_t cidTagBits = 0;    ///< CID tags along the pipeline
+    std::uint64_t btbBits = 0;       ///< branch target buffer
+
+    // ---- combinational complexity -----------------------------------
+    std::uint32_t pcBusMuxInputs = 0; ///< sources driving the PC bus
+    std::uint32_t issueSelectors = 0; ///< context-select comparators
+
+    /** All storage bits. */
+    std::uint64_t
+    totalBits() const
+    {
+        return regFileBits + pcUnitBits + pswBits + cidTagBits +
+               btbBits;
+    }
+
+    /** Storage added relative to @p base (same machine, 1 context). */
+    double
+    overheadVs(const HwCost &base) const
+    {
+        if (base.totalBits() == 0)
+            return 0.0;
+        return static_cast<double>(totalBits()) /
+                   static_cast<double>(base.totalBits()) -
+               1.0;
+    }
+};
+
+/**
+ * Estimate the hardware cost of @p cfg's scheme/context count on the
+ * paper's machine parameters (Section 6 assumptions: 32-bit
+ * datapath-era registers are modelled at 64 bits per architectural
+ * register for a like-for-like comparison across schemes).
+ */
+HwCost estimateHwCost(const Config &cfg);
+
+} // namespace mtsim
+
+#endif // MTSIM_COST_HW_COST_HH

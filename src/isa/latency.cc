@@ -1,0 +1,83 @@
+#include "isa/latency.hh"
+
+namespace mtsim {
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::IntAlu:    return "alu";
+      case Op::Shift:     return "shift";
+      case Op::IntMul:    return "mul";
+      case Op::IntDiv:    return "div";
+      case Op::Load:      return "load";
+      case Op::Store:     return "store";
+      case Op::Prefetch:  return "pref";
+      case Op::Branch:    return "br";
+      case Op::Jump:      return "j";
+      case Op::FpAdd:     return "fadd";
+      case Op::FpMul:     return "fmul";
+      case Op::FpDiv:     return "fdiv";
+      case Op::CtxSwitch: return "cswitch";
+      case Op::Backoff:   return "backoff";
+      case Op::Lock:      return "lock";
+      case Op::Unlock:    return "unlock";
+      case Op::Barrier:   return "barrier";
+      case Op::Nop:       return "nop";
+      default:            return "?";
+    }
+}
+
+FuKind
+fuKind(Op op)
+{
+    switch (op) {
+      case Op::IntMul:
+      case Op::IntDiv:
+        return FuKind::IntMulDiv;
+      case Op::FpDiv:
+        return FuKind::FpDiv;
+      default:
+        return FuKind::None;
+    }
+}
+
+std::uint32_t
+issueInterval(const LatencyParams &lat, const MicroOp &op)
+{
+    switch (op.op) {
+      case Op::Shift:  return lat.shiftIssue;
+      case Op::IntMul: return lat.intMulIssue;
+      case Op::IntDiv: return lat.intDivIssue;
+      case Op::Load:   return lat.loadIssue;
+      case Op::FpAdd:
+      case Op::FpMul:  return lat.fpAddIssue;
+      case Op::FpDiv:
+        return op.singlePrec ? lat.fpDivSpIssue : lat.fpDivIssue;
+      default:         return lat.intAluIssue;
+    }
+}
+
+std::uint32_t
+resultLatency(const LatencyParams &lat, const MicroOp &op)
+{
+    switch (op.op) {
+      case Op::Shift:  return lat.shiftLat;
+      case Op::IntMul: return lat.intMulLat;
+      case Op::IntDiv: return lat.intDivLat;
+      case Op::Load:   return lat.loadLat;
+      case Op::FpAdd:
+      case Op::FpMul:  return lat.fpAddLat;
+      case Op::FpDiv:
+        return op.singlePrec ? lat.fpDivSpLat : lat.fpDivLat;
+      default:         return lat.intAluLat;
+    }
+}
+
+std::uint32_t
+pipeDepth(const Config &cfg, Op op)
+{
+    return isFp(op) ? cfg.fpPipeDepth : cfg.intPipeDepth;
+}
+
+} // namespace mtsim

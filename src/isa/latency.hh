@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Operation timing queries (Table 3). Maps an op class onto its
+ * functional unit, issue interval and result latency.
+ */
+
+#ifndef MTSIM_ISA_LATENCY_HH
+#define MTSIM_ISA_LATENCY_HH
+
+#include <cstdint>
+
+#include "common/config.hh"
+#include "isa/micro_op.hh"
+#include "isa/op.hh"
+
+namespace mtsim {
+
+/**
+ * Functional units that can be structurally busy. Single-cycle units
+ * (ALU, load port, branch) never block and are folded into None.
+ */
+enum class FuKind : std::uint8_t {
+    None,
+    IntMulDiv, ///< shared non-pipelined integer multiply/divide unit
+    FpDiv,     ///< non-pipelined floating-point divider
+    NumFus
+};
+
+/** Which blocking functional unit @p op occupies, if any. */
+FuKind fuKind(Op op);
+
+/** Cycles the functional unit stays occupied after issue. */
+std::uint32_t issueInterval(const LatencyParams &lat, const MicroOp &op);
+
+/**
+ * Cycles from issue until the result may forward to a dependent's EX
+ * stage. 1 means a dependent may issue back-to-back.
+ */
+std::uint32_t resultLatency(const LatencyParams &lat, const MicroOp &op);
+
+/** Pipeline depth (stages occupied) for @p op (7 int / 9 fp). */
+std::uint32_t pipeDepth(const Config &cfg, Op op);
+
+} // namespace mtsim
+
+#endif // MTSIM_ISA_LATENCY_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The decoded micro-operation record that workload programs emit and
+ * the pipeline consumes. This carries exactly the information the
+ * paper's Tango-Lite front end delivered to their simulator: operation
+ * class, register operands, instruction address, data address, and
+ * actual branch outcome.
+ */
+
+#ifndef MTSIM_ISA_MICRO_OP_HH
+#define MTSIM_ISA_MICRO_OP_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/op.hh"
+
+namespace mtsim {
+
+struct MicroOp
+{
+    Op op = Op::Nop;
+    RegId dst = kNoReg;
+    RegId src1 = kNoReg;
+    RegId src2 = kNoReg;
+
+    Addr pc = 0;          ///< instruction address (I-cache, BTB)
+    Addr addr = 0;        ///< effective address for load/store
+    Addr target = 0;      ///< branch/jump target pc
+    bool taken = false;   ///< actual outcome for Branch (Jump: true)
+    bool singlePrec = false; ///< FpDiv precision selector
+
+    std::uint16_t backoffCycles = 0; ///< for Op::Backoff
+    std::uint32_t syncId = 0;        ///< lock or barrier identifier
+
+    /** Assigned by the thread context at fetch time. */
+    SeqNum seq = 0;
+};
+
+} // namespace mtsim
+
+#endif // MTSIM_ISA_MICRO_OP_HH

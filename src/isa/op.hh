@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Micro-operation opcodes. The simulated instruction set is a
+ * MIPS-II-like RISC with no branch or load delay slots (Section 4.1),
+ * extended with the multithreading control instructions the two
+ * schemes use (explicit switch for blocked, backoff for interleaved)
+ * and explicit synchronization operations for the multiprocessor
+ * study.
+ */
+
+#ifndef MTSIM_ISA_OP_HH
+#define MTSIM_ISA_OP_HH
+
+#include <cstdint>
+
+namespace mtsim {
+
+enum class Op : std::uint8_t {
+    IntAlu,   ///< add/sub/logic/compare, 1-cycle result
+    Shift,    ///< shifts, 2-cycle result
+    IntMul,
+    IntDiv,
+    Load,     ///< data load; two delay slots to first use
+    Store,    ///< data store via write buffer
+    Prefetch, ///< non-binding software prefetch (extension: the
+              ///< rival latency-tolerance technique of the intro)
+    Branch,   ///< conditional branch, resolves in EX
+    Jump,     ///< unconditional direct jump (always taken, predicted)
+    FpAdd,    ///< fp add/sub/convert/multiply class, 5-cycle result
+    FpMul,    ///< same timing class as FpAdd, kept distinct for mixes
+    FpDiv,    ///< 61-cycle dp / 31-cycle sp, non-pipelined
+    CtxSwitch,///< blocked scheme's explicit context switch
+    Backoff,  ///< interleaved scheme's timed unavailability hint
+    Lock,     ///< acquire lock syncId (MP)
+    Unlock,   ///< release lock syncId (MP)
+    Barrier,  ///< arrive at barrier syncId (MP)
+    Nop,
+    NumOps
+};
+
+/** Printable mnemonic. */
+const char *opName(Op op);
+
+/** True for ops that read data memory. */
+inline bool
+isLoad(Op op)
+{
+    return op == Op::Load;
+}
+
+/** True for ops that write data memory. */
+inline bool
+isStore(Op op)
+{
+    return op == Op::Store;
+}
+
+/** True for control transfers subject to BTB prediction. */
+inline bool
+isControl(Op op)
+{
+    return op == Op::Branch || op == Op::Jump;
+}
+
+/** True for floating-point pipeline ops. */
+inline bool
+isFp(Op op)
+{
+    return op == Op::FpAdd || op == Op::FpMul || op == Op::FpDiv;
+}
+
+/** True for synchronization ops (multiprocessor only). */
+inline bool
+isSync(Op op)
+{
+    return op == Op::Lock || op == Op::Unlock || op == Op::Barrier;
+}
+
+} // namespace mtsim
+
+#endif // MTSIM_ISA_OP_HH

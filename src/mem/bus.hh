@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Split-transaction bus between the secondary cache and the
+ * interleaved memory (Figure 4). The address (request) and data
+ * (reply) phases arbitrate independently - that is what makes the
+ * bus split-transaction: a pending reply does not block younger
+ * requests. Each phase is first-come-first-served by cycle.
+ */
+
+#ifndef MTSIM_MEM_BUS_HH
+#define MTSIM_MEM_BUS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace mtsim {
+
+class Bus
+{
+  public:
+    Bus(std::uint32_t request_cycles, std::uint32_t reply_cycles)
+        : requestCycles_(request_cycles), replyCycles_(reply_cycles)
+    {}
+
+    /** Occupy the address phase beginning no earlier than @p now. */
+    Cycle
+    request(Cycle now)
+    {
+        return reserve(requestFree_, now, requestCycles_);
+    }
+
+    /** Occupy the data phase for a reply transfer. */
+    Cycle
+    reply(Cycle now)
+    {
+        return reserve(replyFree_, now, replyCycles_);
+    }
+
+    Cycle requestFreeAt() const { return requestFree_; }
+    Cycle replyFreeAt() const { return replyFree_; }
+    std::uint64_t transactions() const { return transactions_; }
+    std::uint32_t replyCycles() const { return replyCycles_; }
+
+    void
+    clear()
+    {
+        requestFree_ = 0;
+        replyFree_ = 0;
+        transactions_ = 0;
+    }
+
+  private:
+    Cycle
+    reserve(Cycle &free_at, Cycle now, std::uint32_t cycles)
+    {
+        Cycle start = now > free_at ? now : free_at;
+        free_at = start + cycles;
+        ++transactions_;
+        return start;
+    }
+
+    std::uint32_t requestCycles_;
+    std::uint32_t replyCycles_;
+    Cycle requestFree_ = 0;
+    Cycle replyFree_ = 0;
+    std::uint64_t transactions_ = 0;
+};
+
+} // namespace mtsim
+
+#endif // MTSIM_MEM_BUS_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Result records the memory systems hand back to the processor core,
+ * plus the abstract interface both the uniprocessor hierarchy
+ * (Figure 4) and the directory-based multiprocessor (Section 5.2)
+ * implement.
+ */
+
+#ifndef MTSIM_MEM_MEM_REQUEST_HH
+#define MTSIM_MEM_MEM_REQUEST_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace mtsim {
+
+/** Where a data reference was satisfied. */
+enum class MemLevel : std::uint8_t {
+    L1,          ///< primary cache hit
+    L2,          ///< secondary cache hit (uniprocessor)
+    Memory,      ///< local memory (uni) / local home (MP)
+    RemoteMem,   ///< remote home memory (MP)
+    RemoteCache, ///< dirty line fetched from a remote cache (MP)
+};
+
+struct LoadResult
+{
+    bool l1Hit = false;
+    MemLevel level = MemLevel::L1;
+    /** Cycle the reply arrives (dependents may issue then). */
+    Cycle ready = 0;
+    /** Structural stall: no MSHR free; retry at retryAt. */
+    bool mshrStall = false;
+    Cycle retryAt = 0;
+    /** DTLB refill penalty, charged before the access. */
+    std::uint32_t tlbPenalty = 0;
+};
+
+struct StoreResult
+{
+    /** Write buffer had no slot; retry when one frees. */
+    bool bufferStall = false;
+    Cycle retryAt = 0;
+    std::uint32_t tlbPenalty = 0;
+    bool l1Hit = true;
+};
+
+struct FetchResult
+{
+    bool hit = true;
+    /** Total fetch stall in cycles (TLB penalty plus miss stall). */
+    std::uint32_t stall = 0;
+};
+
+/**
+ * Interface the processor core drives. Implementations:
+ * UniMemSystem (workstation) and MpMemSystem (multiprocessor).
+ */
+class MemSystem
+{
+  public:
+    virtual ~MemSystem() = default;
+
+    /** Advance background machinery (fills, MSHR retirement). */
+    virtual void tick(Cycle now) = 0;
+
+    virtual LoadResult load(ProcId p, Addr a, Cycle now) = 0;
+    virtual StoreResult store(ProcId p, Addr a, Cycle now) = 0;
+    virtual FetchResult ifetch(ProcId p, Addr pc, Cycle now) = 0;
+};
+
+} // namespace mtsim
+
+#endif // MTSIM_MEM_MEM_REQUEST_HH

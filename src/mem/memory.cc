@@ -1,0 +1,45 @@
+#include "mem/memory.hh"
+
+namespace mtsim {
+
+InterleavedMemory::InterleavedMemory(std::uint32_t banks,
+                                     std::uint32_t access_lat,
+                                     std::uint32_t busy_cycles,
+                                     std::uint32_t line_shift)
+    : bankFree_(banks, 0),
+      accessLat_(access_lat),
+      busyCycles_(busy_cycles),
+      lineShift_(line_shift)
+{}
+
+std::uint32_t
+InterleavedMemory::bankOf(Addr lineAddr) const
+{
+    return static_cast<std::uint32_t>(
+        (lineAddr >> lineShift_) & (bankFree_.size() - 1));
+}
+
+Cycle
+InterleavedMemory::access(Addr lineAddr, Cycle now)
+{
+    Cycle &free = bankFree_[bankOf(lineAddr)];
+    ++accesses_;
+    Cycle start = now;
+    if (free > now) {
+        start = free;
+        ++conflicts_;
+    }
+    free = start + busyCycles_;
+    return start + accessLat_;
+}
+
+void
+InterleavedMemory::clear()
+{
+    for (Cycle &c : bankFree_)
+        c = 0;
+    accesses_ = 0;
+    conflicts_ = 0;
+}
+
+} // namespace mtsim

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Four-way interleaved main memory (Figure 4). Banks are selected by
+ * line address; each access occupies its bank for a busy period so
+ * bank conflicts add to the unloaded latency, as the paper requires.
+ */
+
+#ifndef MTSIM_MEM_MEMORY_HH
+#define MTSIM_MEM_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mtsim {
+
+class InterleavedMemory
+{
+  public:
+    /**
+     * @param banks number of interleaved banks (power of two)
+     * @param access_lat cycles from bank start to data available
+     * @param busy_cycles cycles the bank stays occupied per access
+     * @param line_shift log2(line size) used for bank selection
+     */
+    InterleavedMemory(std::uint32_t banks, std::uint32_t access_lat,
+                      std::uint32_t busy_cycles,
+                      std::uint32_t line_shift);
+
+    /**
+     * Start an access for @p lineAddr no earlier than @p now.
+     * @return cycle the data is available at the bank pins.
+     */
+    Cycle access(Addr lineAddr, Cycle now);
+
+    std::uint32_t bankOf(Addr lineAddr) const;
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t conflicts() const { return conflicts_; }
+
+    void clear();
+
+  private:
+    std::vector<Cycle> bankFree_;
+    std::uint32_t accessLat_;
+    std::uint32_t busyCycles_;
+    std::uint32_t lineShift_;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t conflicts_ = 0;
+};
+
+} // namespace mtsim
+
+#endif // MTSIM_MEM_MEMORY_HH

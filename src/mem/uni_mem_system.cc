@@ -1,0 +1,225 @@
+#include "mem/uni_mem_system.hh"
+
+#include <bit>
+
+namespace mtsim {
+
+UniMemSystem::UniMemSystem(const Config &cfg)
+    : cfg_(cfg),
+      l1d_(cfg.l1d),
+      l1i_(cfg.l1i, cfg.itlb),
+      l2_(cfg.l2),
+      dtlb_(cfg.dtlb),
+      mshrs_(cfg.numMshrs),
+      wbuf_(cfg.writeBufferDepth),
+      bus_(cfg.uniMem.busRequestCycles, cfg.uniMem.busReplyCycles),
+      mem_(cfg.uniMem.numBanks,
+           // Bank access latency chosen so the unloaded memory reply
+           // lands exactly at Table 2's 34 cycles (see missPath).
+           cfg.uniMem.memLat - cfg.uniMem.l2HitLat,
+           cfg.uniMem.bankBusy,
+           std::countr_zero(cfg.l2.lineBytes))
+{}
+
+void
+UniMemSystem::tick(Cycle now)
+{
+    events_.runUntil(now);
+    mshrs_.retire(now);
+}
+
+void
+UniMemSystem::writeback(Addr lineAddr, Cycle now)
+{
+    Cycle breq = bus_.request(now);
+    mem_.access(lineAddr, breq + cfg_.uniMem.busRequestCycles);
+    counters_.inc("writebacks");
+}
+
+Cycle
+UniMemSystem::missPath(Addr lineAddr, Cycle now, MemLevel &level_out)
+{
+    // Unloaded timeline (cycles after `now`):
+    //   +3  request reaches the secondary cache
+    //   +5  secondary tag check complete
+    //   +9  reply from a secondary hit  (Table 2)
+    //   +34 reply from memory           (Table 2)
+    const Cycle l2_start =
+        l2_.reservePort(now + kL1ToL2, cfg_.l2.readOccupancy);
+    Cycle reply;
+    if (l2_.present(lineAddr)) {
+        counters_.inc("l2_hits");
+        level_out = MemLevel::L2;
+        reply = l2_start + (cfg_.uniMem.l2HitLat - kL1ToL2);
+    } else {
+        counters_.inc("l2_misses");
+        level_out = MemLevel::Memory;
+        const Cycle tag_done = l2_start + cfg_.l2.readOccupancy;
+        const Cycle breq = bus_.request(tag_done);
+        const Cycle data =
+            mem_.access(lineAddr, breq + cfg_.uniMem.busRequestCycles);
+        const Cycle brep = bus_.reply(data);
+        reply = brep + cfg_.uniMem.busReplyCycles + 1;
+
+        // Install into L2 when the data returns.
+        events_.schedule(reply, [this, lineAddr](Cycle when) {
+            l2_.reservePort(when, cfg_.l2.fillOccupancy);
+            Cache::Evicted ev = l2_.fill(lineAddr, LineState::Shared);
+            if (ev.valid && ev.dirty)
+                writeback(ev.lineAddr, when);
+            // Inclusion: an L2 eviction kills the L1 copy too.
+            if (ev.valid)
+                l1d_.invalidate(ev.lineAddr);
+        });
+    }
+    return reply;
+}
+
+LoadResult
+UniMemSystem::load(ProcId, Addr a, Cycle now)
+{
+    LoadResult r;
+    r.tlbPenalty = dtlb_.access(a);
+    now += r.tlbPenalty;
+
+    const Addr line = l1d_.lineAddrOf(a);
+    l1d_.reservePort(now, cfg_.l1d.readOccupancy);
+
+    if (l1d_.present(a)) {
+        counters_.inc("l1d_hits");
+        r.l1Hit = true;
+        r.level = MemLevel::L1;
+        r.ready = now + cfg_.uniMem.l1HitLat;
+        return r;
+    }
+
+    counters_.inc("l1d_misses");
+    r.l1Hit = false;
+
+    if (mshrs_.outstanding(line)) {
+        // Secondary miss: merge with the fetch already in flight.
+        mshrs_.noteMerge();
+        r.level = MemLevel::L2;
+        r.ready = mshrs_.completionOf(line);
+        return r;
+    }
+    if (mshrs_.full()) {
+        r.mshrStall = true;
+        r.retryAt = now + 1;
+        counters_.inc("mshr_stalls");
+        return r;
+    }
+
+    Cycle reply = missPath(line, now, r.level);
+    mshrs_.allocate(line, reply);
+    events_.schedule(reply, [this, line](Cycle when) {
+        l1d_.reservePort(when, cfg_.l1d.fillOccupancy);
+        Cache::Evicted ev = l1d_.fill(line, LineState::Shared);
+        if (ev.valid && ev.dirty) {
+            // Dirty victim written back into the secondary cache.
+            l2_.reservePort(when, cfg_.l2.writeOccupancy);
+            if (l2_.present(ev.lineAddr))
+                l2_.makeDirty(ev.lineAddr);
+        }
+    });
+    r.ready = reply;
+    return r;
+}
+
+StoreResult
+UniMemSystem::store(ProcId, Addr a, Cycle now)
+{
+    StoreResult r;
+    r.tlbPenalty = dtlb_.access(a);
+    now += r.tlbPenalty;
+
+    if (wbuf_.full(now)) {
+        r.bufferStall = true;
+        r.retryAt = wbuf_.freeSlotAt(now);
+        counters_.inc("wbuf_stalls");
+        return r;
+    }
+
+    const Addr line = l1d_.lineAddrOf(a);
+    if (l1d_.present(a)) {
+        counters_.inc("l1d_write_hits");
+        const Cycle start =
+            l1d_.reservePort(now, cfg_.l1d.writeOccupancy);
+        l1d_.makeDirty(a);
+        wbuf_.push(start + cfg_.l1d.writeOccupancy);
+        r.l1Hit = true;
+        return r;
+    }
+
+    // Write-allocate: fetch the line in the background, then dirty it.
+    counters_.inc("l1d_write_misses");
+    r.l1Hit = false;
+    Cycle done;
+    if (mshrs_.outstanding(line)) {
+        mshrs_.noteMerge();
+        done = mshrs_.completionOf(line);
+    } else if (mshrs_.full()) {
+        r.bufferStall = true;
+        r.retryAt = now + 1;
+        counters_.inc("mshr_stalls");
+        return r;
+    } else {
+        MemLevel level;
+        done = missPath(line, now, level);
+        mshrs_.allocate(line, done);
+        events_.schedule(done, [this, line](Cycle when) {
+            l1d_.reservePort(when, cfg_.l1d.fillOccupancy);
+            Cache::Evicted ev = l1d_.fill(line, LineState::Dirty);
+            if (ev.valid && ev.dirty) {
+                l2_.reservePort(when, cfg_.l2.writeOccupancy);
+                if (l2_.present(ev.lineAddr))
+                    l2_.makeDirty(ev.lineAddr);
+            }
+        });
+    }
+    events_.schedule(done, [this, line](Cycle) {
+        l1d_.makeDirty(line);
+    });
+    wbuf_.push(done);
+    return r;
+}
+
+FetchResult
+UniMemSystem::ifetch(ProcId, Addr pc, Cycle now)
+{
+    FetchResult r;
+    if (cfg_.idealICache)
+        return r;
+
+    ICache::Access a = l1i_.access(pc);
+    r.stall = a.tlbPenalty;
+    if (a.hit) {
+        r.hit = true;
+        return r;
+    }
+
+    r.hit = false;
+    // Blocking miss: the processor stalls until the two-line fetch
+    // completes; a fill in progress delays the next miss (fill
+    // occupancy, Table 1).
+    Cycle start = now + a.tlbPenalty;
+    if (l1i_.arrayFreeAt() > start)
+        start = l1i_.arrayFreeAt();
+    MemLevel level;
+    Cycle reply = missPath(a.lineAddr, start, level);
+    counters_.inc(level == MemLevel::L2 ? "l1i_miss_l2"
+                                        : "l1i_miss_mem");
+    l1i_.fill(a.lineAddr, reply);
+    r.stall += static_cast<std::uint32_t>(reply - now);
+    return r;
+}
+
+void
+UniMemSystem::displace(std::uint32_t icache_lines,
+                       std::uint32_t dcache_lines, Rng &rng)
+{
+    l1i_.tags().displaceRandom(icache_lines, rng);
+    l1d_.displaceRandom(dcache_lines, rng);
+}
+
+} // namespace mtsim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The workstation memory hierarchy of Figure 4: lockup-free primary
+ * data cache, blocking primary instruction cache, unified secondary
+ * cache, and four-way interleaved memory across a split-transaction
+ * bus. Unloaded latencies follow Table 2 (1 / 9 / 34 cycles); cache,
+ * bus and bank contention add to them.
+ */
+
+#ifndef MTSIM_MEM_UNI_MEM_SYSTEM_HH
+#define MTSIM_MEM_UNI_MEM_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "cache/cache.hh"
+#include "cache/icache.hh"
+#include "cache/mshr.hh"
+#include "cache/tlb.hh"
+#include "cache/write_buffer.hh"
+#include "common/config.hh"
+#include "common/event_queue.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "mem/bus.hh"
+#include "mem/mem_request.hh"
+#include "mem/memory.hh"
+
+namespace mtsim {
+
+class UniMemSystem : public MemSystem
+{
+  public:
+    explicit UniMemSystem(const Config &cfg);
+
+    void tick(Cycle now) override;
+    LoadResult load(ProcId p, Addr a, Cycle now) override;
+    StoreResult store(ProcId p, Addr a, Cycle now) override;
+    FetchResult ifetch(ProcId p, Addr pc, Cycle now) override;
+
+    /** OS scheduler pollution of the primary caches (Table 6). */
+    void displace(std::uint32_t icache_lines, std::uint32_t dcache_lines,
+                  Rng &rng);
+
+    Cache &l1d() { return l1d_; }
+    ICache &l1i() { return l1i_; }
+    Cache &l2() { return l2_; }
+    Tlb &dtlb() { return dtlb_; }
+    WriteBuffer &writeBuffer() { return wbuf_; }
+    MshrFile &mshrs() { return mshrs_; }
+    Bus &bus() { return bus_; }
+    InterleavedMemory &memory() { return mem_; }
+    CounterSet &counters() { return counters_; }
+
+  private:
+    /**
+     * Compute the reply cycle for a primary-cache read miss of
+     * @p lineAddr issued at @p now, walking L2 and memory with full
+     * contention, scheduling the L2/L1 fills.
+     * @param level_out set to L2 or Memory.
+     */
+    Cycle missPath(Addr lineAddr, Cycle now, MemLevel &level_out);
+
+    /** Dirty-line writeback traffic (bus + bank occupancy only). */
+    void writeback(Addr lineAddr, Cycle now);
+
+    Config cfg_;
+    Cache l1d_;
+    ICache l1i_;
+    Cache l2_;
+    Tlb dtlb_;
+    MshrFile mshrs_;
+    WriteBuffer wbuf_;
+    Bus bus_;
+    InterleavedMemory mem_;
+    EventQueue events_;
+    CounterSet counters_;
+
+    /** Request pipe delay from L1 miss detection to L2 service. */
+    static constexpr std::uint32_t kL1ToL2 = 3;
+};
+
+} // namespace mtsim
+
+#endif // MTSIM_MEM_UNI_MEM_SYSTEM_HH

@@ -1,0 +1,51 @@
+#include "metrics/breakdown.hh"
+
+namespace mtsim {
+
+BreakdownBar
+uniBar(const std::string &label, const CycleBreakdown &bd, double scale)
+{
+    BreakdownBar bar;
+    bar.label = label;
+    bar.scale = scale;
+    bar.categories = {"busy", "instruction", "inst cache/TLB",
+                      "data cache/TLB", "context switch"};
+    bar.fractions = {
+        bd.fraction(CycleClass::Busy),
+        bd.fraction(CycleClass::ShortInstr) +
+            bd.fraction(CycleClass::LongInstr),
+        bd.fraction(CycleClass::InstStall),
+        bd.fraction(CycleClass::DataStall) +
+            bd.fraction(CycleClass::Sync),
+        bd.fraction(CycleClass::Switch),
+    };
+    return bar;
+}
+
+BreakdownBar
+mpBar(const std::string &label, const CycleBreakdown &bd, double scale)
+{
+    BreakdownBar bar;
+    bar.label = label;
+    bar.scale = scale;
+    bar.categories = {"busy",   "instr (short)", "instr (long)",
+                      "memory", "sync",          "context switch"};
+    bar.fractions = {
+        bd.fraction(CycleClass::Busy),
+        bd.fraction(CycleClass::ShortInstr),
+        bd.fraction(CycleClass::LongInstr),
+        bd.fraction(CycleClass::DataStall) +
+            bd.fraction(CycleClass::InstStall),
+        bd.fraction(CycleClass::Sync),
+        bd.fraction(CycleClass::Switch),
+    };
+    return bar;
+}
+
+double
+busyFraction(const CycleBreakdown &bd)
+{
+    return bd.fraction(CycleClass::Busy);
+}
+
+} // namespace mtsim

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Mapping from the raw per-cycle attribution onto the category sets
+ * the paper's figures use: Figures 6-7 (uniprocessor: busy /
+ * instruction / inst cache+TLB / data cache+TLB / context switch) and
+ * Figures 8-9 (multiprocessor: busy / short instruction / long
+ * instruction / memory / synchronization / context switch).
+ */
+
+#ifndef MTSIM_METRICS_BREAKDOWN_HH
+#define MTSIM_METRICS_BREAKDOWN_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace mtsim {
+
+/** One stacked-bar: a label and category fractions summing to ~1. */
+struct BreakdownBar
+{
+    std::string label;
+    std::vector<std::string> categories;
+    std::vector<double> fractions;
+    double scale = 1.0;   ///< bar height relative to the reference
+};
+
+/** Figures 6-7 category folding (uniprocessor). */
+BreakdownBar uniBar(const std::string &label, const CycleBreakdown &bd,
+                    double scale = 1.0);
+
+/** Figures 8-9 category folding (multiprocessor). */
+BreakdownBar mpBar(const std::string &label, const CycleBreakdown &bd,
+                   double scale = 1.0);
+
+/** Busy fraction (the number printed on top of the paper's bars). */
+double busyFraction(const CycleBreakdown &bd);
+
+} // namespace mtsim
+
+#endif // MTSIM_METRICS_BREAKDOWN_HH

@@ -1,0 +1,102 @@
+#include "metrics/report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace mtsim {
+
+TextTable::TextTable(std::vector<std::string> header)
+{
+    rows_.push_back(std::move(header));
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int decimals)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+TextTable::pct(double ratio, bool sign)
+{
+    char buf[48];
+    const double p = ratio * 100.0;
+    std::snprintf(buf, sizeof(buf), sign ? "%+.0f%%" : "%.0f%%", p);
+    return buf;
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths;
+    for (const auto &row : rows_) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        const auto &row = rows_[r];
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << row[i];
+            if (i + 1 < row.size()) {
+                os << std::string(widths[i] - row[i].size() + 2, ' ');
+            }
+        }
+        os << '\n';
+        if (r == 0) {
+            std::size_t total = 0;
+            for (std::size_t w : widths)
+                total += w + 2;
+            os << std::string(total > 2 ? total - 2 : total, '-')
+               << '\n';
+        }
+    }
+}
+
+void
+printBars(std::ostream &os, const std::string &title,
+          const std::vector<BreakdownBar> &bars)
+{
+    os << title << '\n';
+    if (bars.empty())
+        return;
+
+    std::vector<std::string> header{"config"};
+    for (const auto &cat : bars.front().categories)
+        header.push_back(cat);
+    header.push_back("norm.time");
+    header.push_back("bar");
+    TextTable table(std::move(header));
+
+    for (const BreakdownBar &bar : bars) {
+        std::vector<std::string> row{bar.label};
+        for (double f : bar.fractions)
+            row.push_back(TextTable::num(f * bar.scale * 100.0, 1));
+        row.push_back(TextTable::num(bar.scale, 2));
+        // ASCII stacked bar, 50 chars == the reference bar height.
+        static const char glyphs[] = "#=i dxs";
+        std::string ascii;
+        const double unit = 50.0;
+        for (std::size_t i = 0; i < bar.fractions.size(); ++i) {
+            int n = static_cast<int>(
+                std::lround(bar.fractions[i] * bar.scale * unit));
+            ascii.append(static_cast<std::size_t>(std::max(0, n)),
+                         glyphs[i % (sizeof(glyphs) - 1)]);
+        }
+        row.push_back(ascii);
+        table.addRow(std::move(row));
+    }
+    table.print(os);
+}
+
+} // namespace mtsim

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Plain-text reporting: aligned tables for the paper's Tables and
+ * ASCII stacked bars for its Figures. Every bench binary prints the
+ * rows/series the corresponding table or figure reports.
+ */
+
+#ifndef MTSIM_METRICS_REPORT_HH
+#define MTSIM_METRICS_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "metrics/breakdown.hh"
+
+namespace mtsim {
+
+/** Fixed-width text table with a header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with @p decimals places. */
+    static std::string num(double v, int decimals = 2);
+
+    /** Format as a percentage string, e.g. "+22%". */
+    static std::string pct(double ratio, bool sign = true);
+
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Print a group of stacked bars as rows of category percentages plus
+ * a proportional ASCII bar, normalized the way the paper's figures
+ * are (bar height = scale, categories stack within it).
+ */
+void printBars(std::ostream &os, const std::string &title,
+               const std::vector<BreakdownBar> &bars);
+
+} // namespace mtsim
+
+#endif // MTSIM_METRICS_REPORT_HH

@@ -1,0 +1,68 @@
+#include "os/scheduler.hh"
+
+namespace mtsim {
+
+Scheduler::Scheduler(const OsParams &os, Processor &proc,
+                     UniMemSystem &mem, std::uint64_t seed)
+    : os_(os), proc_(proc), mem_(mem), rng_(seed)
+{}
+
+std::uint32_t
+Scheduler::addApp(const std::string &name, InstrSource *src)
+{
+    apps_.push_back({name, src});
+    return static_cast<std::uint32_t>(apps_.size() - 1);
+}
+
+void
+Scheduler::loadSet(std::size_t first_app)
+{
+    const std::size_t n_apps = apps_.size();
+    const std::uint8_t n_ctx = proc_.numContexts();
+    std::uint32_t switched = 0;
+    for (std::uint8_t c = 0; c < n_ctx; ++c) {
+        if (c < n_apps) {
+            std::size_t app = (first_app + c) % n_apps;
+            proc_.osSwap(c, apps_[app].src,
+                         static_cast<std::uint32_t>(app));
+            ++switched;
+        } else {
+            proc_.osSwap(c, nullptr, 0);
+        }
+    }
+    // Table 6: scheduler cache interference scales with the number of
+    // processes switched.
+    mem_.displace(os_.icacheLinesPerProc * switched,
+                  os_.dcacheLinesPerProc * switched, rng_);
+}
+
+void
+Scheduler::start()
+{
+    loadSet(0);
+    setStart_ = 0;
+    sliceInSet_ = 0;
+    nextSlice_ = os_.timeSliceCycles;
+    started_ = true;
+}
+
+void
+Scheduler::tick(Cycle now)
+{
+    if (!started_ || now < nextSlice_)
+        return;
+    nextSlice_ += os_.timeSliceCycles;
+    ++sliceInSet_;
+    if (sliceInSet_ < os_.affinitySlices)
+        return;
+    sliceInSet_ = 0;
+    // With no more applications than contexts, everything stays
+    // resident: the scheduler fires but switches zero processes.
+    if (apps_.size() <= proc_.numContexts())
+        return;
+    setStart_ = (setStart_ + proc_.numContexts()) % apps_.size();
+    loadSet(setStart_);
+    ++swaps_;
+}
+
+} // namespace mtsim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Operating-system scheduler model (Section 4.3). Time is divided
+ * into slices; a resident set of up to numContexts applications runs
+ * for affinitySlices slices before the scheduler rotates the next set
+ * in. The scheduler itself runs with negligible latency but displaces
+ * cache lines (Table 6, scaled per process switched). Rotation over
+ * fixed sets gives every application an equal share of residency,
+ * standing in for the paper's context-usage feedback.
+ */
+
+#ifndef MTSIM_OS_SCHEDULER_HH
+#define MTSIM_OS_SCHEDULER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "core/processor.hh"
+#include "mem/uni_mem_system.hh"
+#include "workload/program.hh"
+
+namespace mtsim {
+
+class Scheduler
+{
+  public:
+    Scheduler(const OsParams &os, Processor &proc, UniMemSystem &mem,
+              std::uint64_t seed);
+
+    /** Register application @p src; returns its app id. */
+    std::uint32_t addApp(const std::string &name, InstrSource *src);
+
+    /** Load the initial resident set (call once before ticking). */
+    void start();
+
+    /**
+     * Advance scheduler time; swaps the resident set at slice
+     * boundaries once affinity expires.
+     */
+    void tick(Cycle now);
+
+    std::size_t numApps() const { return apps_.size(); }
+    const std::string &appName(std::uint32_t id) const
+    {
+        return apps_[id].name;
+    }
+
+    std::uint64_t swaps() const { return swaps_; }
+
+  private:
+    void loadSet(std::size_t first_app);
+
+    struct App
+    {
+        std::string name;
+        InstrSource *src;
+    };
+
+    OsParams os_;
+    Processor &proc_;
+    UniMemSystem &mem_;
+    Rng rng_;
+    std::vector<App> apps_;
+
+    std::size_t setStart_ = 0;   ///< first app of the resident set
+    std::uint32_t sliceInSet_ = 0;
+    Cycle nextSlice_ = 0;
+    std::uint64_t swaps_ = 0;
+    bool started_ = false;
+};
+
+} // namespace mtsim
+
+#endif // MTSIM_OS_SCHEDULER_HH

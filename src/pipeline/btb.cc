@@ -1,0 +1,59 @@
+#include "pipeline/btb.hh"
+
+namespace mtsim {
+
+Btb::Btb(std::uint32_t entries)
+    : entries_(entries), mask_(entries - 1)
+{}
+
+std::size_t
+Btb::indexOf(Addr pc) const
+{
+    // Instructions are 4 bytes; drop the low bits before indexing.
+    return static_cast<std::size_t>((pc >> 2) & mask_);
+}
+
+Btb::Prediction
+Btb::predict(Addr pc) const
+{
+    const Entry &e = entries_[indexOf(pc)];
+    if (e.valid && e.tag == pc) {
+        ++hits_;
+        return {true, e.target};
+    }
+    ++misses_;
+    return {false, 0};
+}
+
+bool
+Btb::resolve(Addr pc, bool taken, Addr target)
+{
+    Entry &e = entries_[indexOf(pc)];
+    const bool hit = e.valid && e.tag == pc;
+    if (hit) {
+        ++hits_;
+    } else {
+        ++misses_;
+    }
+    const bool correct =
+        hit ? (taken && e.target == target) : !taken;
+
+    if (taken) {
+        e.valid = true;
+        e.tag = pc;
+        e.target = target;
+    } else if (hit) {
+        // Predicted taken but fell through: stop predicting it.
+        e.valid = false;
+    }
+    return correct;
+}
+
+void
+Btb::clear()
+{
+    for (Entry &e : entries_)
+        e.valid = false;
+}
+
+} // namespace mtsim

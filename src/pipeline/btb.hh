@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Branch target buffer: 2048-entry direct-mapped (Section 4.1). A hit
+ * predicts taken-to-stored-target; a miss predicts not taken.
+ * Correctly predicted branches cost zero cycles; mispredictions pay
+ * the redirect penalty (3 cycles on the modelled pipeline).
+ */
+
+#ifndef MTSIM_PIPELINE_BTB_HH
+#define MTSIM_PIPELINE_BTB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mtsim {
+
+class Btb
+{
+  public:
+    explicit Btb(std::uint32_t entries = 2048);
+
+    struct Prediction
+    {
+        bool taken = false;
+        Addr target = 0;
+    };
+
+    /** Look up @p pc at fetch time. */
+    Prediction predict(Addr pc) const;
+
+    /**
+     * Resolve a control transfer: update prediction state and report
+     * whether the earlier prediction was correct.
+     * @return true iff the prediction matched (taken-ness and target).
+     */
+    bool resolve(Addr pc, bool taken, Addr target);
+
+    /** Invalidate all entries (between scheduler quanta if desired). */
+    void clear();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr tag = 0;
+        Addr target = 0;
+    };
+
+    std::size_t indexOf(Addr pc) const;
+
+    std::vector<Entry> entries_;
+    std::uint32_t mask_;
+    mutable std::uint64_t hits_ = 0;
+    mutable std::uint64_t misses_ = 0;
+};
+
+} // namespace mtsim
+
+#endif // MTSIM_PIPELINE_BTB_HH

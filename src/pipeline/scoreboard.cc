@@ -1,0 +1,87 @@
+#include "pipeline/scoreboard.hh"
+
+#include <algorithm>
+
+namespace mtsim {
+
+Scoreboard::Scoreboard()
+{
+    reset();
+}
+
+void
+Scoreboard::reset()
+{
+    ready_.fill(0);
+    kind_.fill(ProducerKind::None);
+}
+
+Cycle
+Scoreboard::regReady(RegId r) const
+{
+    if (r == kNoReg || r == kZeroReg)
+        return 0;
+    return ready_[r];
+}
+
+ProducerKind
+Scoreboard::regKind(RegId r) const
+{
+    if (r == kNoReg || r == kZeroReg)
+        return ProducerKind::None;
+    return kind_[r];
+}
+
+Cycle
+Scoreboard::readyCycle(const MicroOp &op,
+                       std::uint32_t result_latency) const
+{
+    Cycle when = std::max(regReady(op.src1), regReady(op.src2));
+    // Output dependence: do not let this write complete before an
+    // older in-flight write to the same register.
+    if (op.dst != kNoReg && op.dst != kZeroReg) {
+        Cycle prior = ready_[op.dst];
+        if (prior > result_latency && prior - result_latency > when)
+            when = prior - result_latency;
+    }
+    return when;
+}
+
+ProducerKind
+Scoreboard::blockingKind(const MicroOp &op, Cycle now) const
+{
+    ProducerKind k = ProducerKind::None;
+    Cycle worst = now;
+    auto consider = [&](RegId r) {
+        if (r == kNoReg || r == kZeroReg)
+            return;
+        if (ready_[r] > worst) {
+            worst = ready_[r];
+            k = kind_[r];
+        }
+    };
+    consider(op.src1);
+    consider(op.src2);
+    consider(op.dst);
+    return k;
+}
+
+void
+Scoreboard::recordWrite(RegId dst, Cycle ready, ProducerKind kind)
+{
+    if (dst == kNoReg || dst == kZeroReg)
+        return;
+    ready_[dst] = ready;
+    kind_[dst] = kind;
+}
+
+void
+Scoreboard::clearWrite(RegId dst)
+{
+    if (dst == kNoReg || dst == kZeroReg)
+        return;
+    ready_[dst] = 0;
+    kind_[dst] = ProducerKind::None;
+}
+
+} // namespace mtsim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Per-context register scoreboard. Tracks, for every architectural
+ * register, the earliest cycle at which a dependent instruction may
+ * issue, plus what kind of producer set that time (used to attribute
+ * stall cycles to the paper's categories). True, anti- and output
+ * dependences are all honoured: RAW through readyCycle, WAW through
+ * the in-order-completion check, WAR implicitly through in-order
+ * issue with operand capture at EX (Section 4.2).
+ */
+
+#ifndef MTSIM_PIPELINE_SCOREBOARD_HH
+#define MTSIM_PIPELINE_SCOREBOARD_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/micro_op.hh"
+
+namespace mtsim {
+
+/** What produced a register's pending value (for stall attribution). */
+enum class ProducerKind : std::uint8_t {
+    None,      ///< value long since available
+    ShortOp,   ///< result latency <= 5 (alu/shift/load-hit/fp add)
+    LongOp,    ///< result latency > 5 (mul, div, fp div)
+    LoadMiss,  ///< load whose line missed in the primary cache
+};
+
+class Scoreboard
+{
+  public:
+    Scoreboard();
+
+    /**
+     * Earliest cycle at which @p op may issue given register
+     * dependences (RAW on sources, WAW on destination).
+     * @param result_latency the op's own result latency (WAW check).
+     */
+    Cycle readyCycle(const MicroOp &op,
+                     std::uint32_t result_latency) const;
+
+    /**
+     * The producer kind of the binding constraint for @p op at @p now
+     * (which source, or the WAW destination, is still pending).
+     */
+    ProducerKind blockingKind(const MicroOp &op, Cycle now) const;
+
+    /** Record an issue: destination becomes ready at @p ready. */
+    void recordWrite(RegId dst, Cycle ready, ProducerKind kind);
+
+    /** Undo a squashed op's destination booking. */
+    void clearWrite(RegId dst);
+
+    /** Reset everything (context reload by the OS). */
+    void reset();
+
+    Cycle regReady(RegId r) const;
+    ProducerKind regKind(RegId r) const;
+
+  private:
+    std::array<Cycle, kNumRegs> ready_;
+    std::array<ProducerKind, kNumRegs> kind_;
+};
+
+} // namespace mtsim
+
+#endif // MTSIM_PIPELINE_SCOREBOARD_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * NASA7 BTRIX: block-tridiagonal solver along one dimension of a
+ * 4-D array (5x5 blocks over a 3-D grid). Block pivoting brings
+ * floating-point divides; successive blocks live a whole plane
+ * apart, so the walk mixes unit-stride block interiors with
+ * multi-KB inter-block strides: data-TLB and cache pressure with a
+ * strong FP component.
+ */
+
+#include "spec/spec_suite.hh"
+#include "workload/emitter.hh"
+
+namespace mtsim {
+
+namespace {
+
+constexpr std::uint32_t kB = 5;        // 5x5 blocks
+constexpr std::uint32_t kJ = 20;       // grid j extent
+constexpr std::uint32_t kK = 20;       // grid k extent
+constexpr std::uint32_t kPlane = kJ * kB * kB;  // doubles per k-plane
+
+KernelCoro
+btrixKernel(Emitter &e)
+{
+    // Three block diagonals plus the RHS.
+    const Addr lo = e.mem().alloc(kK * kPlane * 8);
+    const Addr di = e.mem().alloc(kK * kPlane * 8);
+    const Addr up = e.mem().alloc(kK * kPlane * 8);
+    const Addr rhs = e.mem().alloc(kK * kJ * kB * 8);
+    auto blk = [&](Addr m, std::uint32_t k, std::uint32_t j,
+                   std::uint32_t r, std::uint32_t c) {
+        return m + ((static_cast<Addr>(k) * kPlane) +
+                    (static_cast<Addr>(j) * kB * kB) + r * kB + c) * 8;
+    };
+    auto vec = [&](std::uint32_t k, std::uint32_t j, std::uint32_t r) {
+        return rhs + ((static_cast<Addr>(k) * kJ + j) * kB + r) * 8;
+    };
+
+    EmitLoop forever(e);
+    for (;;) {
+        // The block recurrence runs along k (one whole plane per
+        // step); j indexes independent systems. Walking k innermost
+        // reproduces the original's plane-sized strides.
+        EmitLoop jloop(e);
+        for (std::uint32_t j = 0;; ++j) {
+            EmitLoop kloop(e);
+            for (std::uint32_t k = 1;; ++k) {
+                // Eliminate the lower block: D[k] -= L[k] * U[k-1],
+                // with a divide per pivot row.
+                EmitLoop rloop(e);
+                for (std::uint32_t r = 0;; ++r) {
+                    RegId piv = e.fload(blk(di, k, j, r, r));
+                    RegId rec = e.fdiv(e.fadd(), piv);
+                    EmitLoop cloop(e);
+                    for (std::uint32_t c = 0;; ++c) {
+                        RegId lv = e.fload(blk(lo, k, j, r, c));
+                        RegId uv = e.fload(blk(up, k - 1, j, c, r));
+                        RegId dv = e.fload(blk(di, k, j, r, c));
+                        RegId nv =
+                            e.fadd(dv, e.fmul(e.fmul(lv, uv), rec));
+                        e.store(blk(di, k, j, r, c), nv);
+                        if (!cloop.next(c + 1 < kB))
+                            break;
+                    }
+                    RegId rv = e.fload(vec(k, j, r));
+                    RegId r1 = e.fload(vec(k - 1, j, r));
+                    e.store(vec(k, j, r),
+                            e.fadd(rv, e.fmul(r1, rec)));
+                    if (!rloop.next(r + 1 < kB))
+                        break;
+                }
+                if (!kloop.next(k + 1 < kK))
+                    break;
+            }
+            co_await e.pause();
+            if (!jloop.next(j + 1 < kJ))
+                break;
+        }
+        forever.next(true);
+    }
+}
+
+} // namespace
+
+KernelFn
+makeBtrixKernel()
+{
+    return [](Emitter &e) { return btrixKernel(e); };
+}
+
+} // namespace mtsim

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * NASA7 CFFT2D: two-dimensional complex FFT. The row pass has unit
+ * stride; the column pass strides a full (power-of-two) row per
+ * butterfly leg, so legs alias onto the same direct-mapped cache
+ * sets - the classic FFT conflict-miss pattern that stresses the
+ * data cache.
+ */
+
+#include "spec/spec_suite.hh"
+#include "workload/emitter.hh"
+
+namespace mtsim {
+
+namespace {
+
+constexpr std::uint32_t kN = 128;        // 128x128 complex = 256 KB
+constexpr std::uint32_t kLogN = 7;
+
+KernelCoro
+cfft2dKernel(Emitter &e)
+{
+    // Interleaved re/im: element (i,j) occupies 16 bytes.
+    const Addr grid = e.mem().alloc(kN * kN * 16);
+    const Addr twiddle = e.mem().alloc(kN * 16);
+    auto re = [&](std::uint32_t i, std::uint32_t j) {
+        return grid + (static_cast<Addr>(i) * kN + j) * 16;
+    };
+    auto im = [&](std::uint32_t i, std::uint32_t j) {
+        return re(i, j) + 8;
+    };
+
+    // One radix-2 butterfly: 6 loads, 10 FP ops, 4 stores.
+    auto butterfly = [&](Addr ar, Addr ai, Addr br, Addr bi,
+                         std::uint32_t tw) {
+        RegId xr = e.fload(ar);
+        RegId xi = e.fload(ai);
+        RegId yr = e.fload(br);
+        RegId yi = e.fload(bi);
+        RegId wr = e.fload(twiddle + tw * 16);
+        RegId wi = e.fload(twiddle + tw * 16 + 8);
+        RegId tr = e.fadd(e.fmul(yr, wr), e.fmul(yi, wi));
+        RegId ti = e.fadd(e.fmul(yi, wr), e.fmul(yr, wi));
+        e.store(ar, e.fadd(xr, tr));
+        e.store(ai, e.fadd(xi, ti));
+        e.store(br, e.fadd(xr, tr));
+        e.store(bi, e.fadd(xi, ti));
+    };
+
+    EmitLoop forever(e);
+    for (;;) {
+        // Row FFTs: unit stride within each row.
+        EmitLoop rloop(e);
+        for (std::uint32_t row = 0;; ++row) {
+            EmitLoop stage(e);
+            for (std::uint32_t s = 0;; ++s) {
+                const std::uint32_t half = 1u << s;
+                EmitLoop bfly(e);
+                for (std::uint32_t k = 0;; ++k) {
+                    const std::uint32_t grp = k / half;
+                    const std::uint32_t pos = k % half;
+                    const std::uint32_t a = grp * half * 2 + pos;
+                    const std::uint32_t b = a + half;
+                    butterfly(re(row, a), im(row, a), re(row, b),
+                              im(row, b), (pos << (kLogN - 1 - s)));
+                    if (!bfly.next(k + 1 < kN / 2))
+                        break;
+                }
+                if (!stage.next(s + 1 < kLogN))
+                    break;
+            }
+            co_await e.pause();
+            if (!rloop.next(row + 1 < kN))
+                break;
+        }
+        // Column FFTs: stride = one full row (2 KB) per leg.
+        EmitLoop cloop(e);
+        for (std::uint32_t col = 0;; ++col) {
+            EmitLoop stage(e);
+            for (std::uint32_t s = 0;; ++s) {
+                const std::uint32_t half = 1u << s;
+                EmitLoop bfly(e);
+                for (std::uint32_t k = 0;; ++k) {
+                    const std::uint32_t grp = k / half;
+                    const std::uint32_t pos = k % half;
+                    const std::uint32_t a = grp * half * 2 + pos;
+                    const std::uint32_t b = a + half;
+                    butterfly(re(a, col), im(a, col), re(b, col),
+                              im(b, col), (pos << (kLogN - 1 - s)));
+                    if (!bfly.next(k + 1 < kN / 2))
+                        break;
+                }
+                co_await e.pause();
+                if (!stage.next(s + 1 < kLogN))
+                    break;
+            }
+            if (!cloop.next(col + 1 < kN))
+                break;
+        }
+        forever.next(true);
+    }
+}
+
+} // namespace
+
+KernelFn
+makeCfft2dKernel()
+{
+    return [](Emitter &e) { return cfft2dKernel(e); };
+}
+
+} // namespace mtsim

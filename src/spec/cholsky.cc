@@ -1,0 +1,82 @@
+/**
+ * @file
+ * NASA7 CHOLSKY: dense Cholesky factorisation (lower triangular).
+ * Column-oriented updates stride full rows of the matrix, mixing a
+ * divide per pivot with long FP multiply/add chains - moderate data
+ * TLB pressure on top of the FP pipeline.
+ */
+
+#include "spec/spec_suite.hh"
+#include "workload/emitter.hh"
+
+namespace mtsim {
+
+namespace {
+
+constexpr std::uint32_t kN = 192;   // 192x192 doubles = 295 KB
+
+KernelCoro
+cholskyKernel(Emitter &e)
+{
+    const Addr m = e.mem().alloc(kN * kN * 8);
+    auto at = [&](std::uint32_t i, std::uint32_t j) {
+        return m + (static_cast<Addr>(i) * kN + j) * 8;
+    };
+
+    EmitLoop forever(e);
+    for (;;) {
+        EmitLoop jloop(e);
+        for (std::uint32_t j = 0;; ++j) {
+            // Pivot: d = 1 / sqrt(m[j][j]) (sqrt modelled by the
+            // divide unit, as on the R4000 FP pipe).
+            RegId mjj = e.fload(at(j, j));
+            RegId d = e.fdiv(e.fadd(mjj, mjj), mjj);
+            e.store(at(j, j), d);
+            // Scale the pivot column (stride = one row).
+            EmitLoop sloop(e);
+            for (std::uint32_t i = j + 1;; ++i) {
+                RegId v = e.fload(at(i, j));
+                e.store(at(i, j), e.fmul(v, d));
+                if (!sloop.next(i + 1 < kN))
+                    break;
+            }
+            co_await e.pause();
+            // Rank-1 update of the trailing submatrix: row sweeps.
+            const std::uint32_t width =
+                (kN - (j + 1) > 12) ? 12 : kN - (j + 1);
+            if (width > 0) {
+                EmitLoop iloop(e);
+                for (std::uint32_t i = j + 1;; ++i) {
+                    RegId lij = e.fload(at(i, j));
+                    EmitLoop kloop(e);
+                    for (std::uint32_t kk = 0;; ++kk) {
+                        const std::uint32_t col = j + 1 + kk;
+                        RegId lkj = e.fload(at(col, j));
+                        RegId v = e.fload(at(i, col));
+                        e.store(at(i, col),
+                                e.fadd(v, e.fmul(lij, lkj)));
+                        if (!kloop.next(kk + 1 < width &&
+                                        j + 1 + kk + 1 <= i))
+                            break;
+                    }
+                    if (!iloop.next(i + 1 < kN))
+                        break;
+                }
+            }
+            co_await e.pause();
+            if (!jloop.next(j + 1 < kN))
+                break;
+        }
+        forever.next(true);
+    }
+}
+
+} // namespace
+
+KernelFn
+makeCholskyKernel()
+{
+    return [](Emitter &e) { return cholskyKernel(e); };
+}
+
+} // namespace mtsim

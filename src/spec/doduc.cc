@@ -1,0 +1,112 @@
+/**
+ * @file
+ * SPEC89 Doduc: Monte Carlo simulation of a nuclear reactor
+ * component. The real program is thousands of lines of branchy
+ * Fortran spread over many subroutines with little loop structure -
+ * the instruction-cache stressor of the suite. Modelled as a large
+ * population of distinct subroutine regions (~45 KB of text) called
+ * in a data-driven pseudo-random order, each full of short FP chains,
+ * occasional divides and data-dependent branches over a compact data
+ * set.
+ */
+
+#include "spec/spec_suite.hh"
+#include "workload/emitter.hh"
+
+namespace mtsim {
+
+namespace {
+
+constexpr std::uint32_t kFuncs = 144;      // ~45 KB of text
+constexpr std::uint32_t kOpsPerFunc = 72;
+constexpr std::uint32_t kDataWords = 6 * 1024;  // 48 KB of state
+
+KernelCoro
+doducKernel(Emitter &e)
+{
+    const Addr state = e.mem().alloc(kDataWords * 8);
+    Rng &rng = e.rng();
+
+    // Per-function private constants so every region's body is
+    // identical across calls (PC discipline) yet distinct from other
+    // regions.
+    std::vector<std::uint32_t> func_seed(kFuncs);
+    for (std::uint32_t f = 0; f < kFuncs; ++f)
+        func_seed[f] = static_cast<std::uint32_t>(rng.next());
+
+    // Emit one subroutine body; shape depends only on the function
+    // index (deterministic given f), data addresses vary per call.
+    auto emitFunc = [&](std::uint32_t f) {
+        Rng shape(func_seed[f]);
+        RegId acc = e.fadd();
+        std::uint32_t i = 0;
+        while (i < kOpsPerFunc) {
+            const double pick = shape.uniform();
+            const Addr addr =
+                state +
+                ((shape.next() + f * 977) % kDataWords) * 8;
+            if (pick < 0.30) {
+                acc = e.fadd(acc, acc);
+                ++i;
+            } else if (pick < 0.50) {
+                acc = e.fmul(acc, acc);
+                ++i;
+            } else if (pick < 0.65) {
+                RegId v = e.fload(addr);
+                acc = e.fadd(acc, v);
+                i += 2;
+            } else if (pick < 0.72) {
+                e.store(addr, acc);
+                ++i;
+            } else if (pick < 0.76) {
+                acc = e.fdiv(acc, acc, true);  // single precision
+                ++i;
+            } else if (pick < 0.92) {
+                // Data-dependent forward branch over 3 ops. The
+                // outcome varies per call (dynamic rng) while the
+                // code layout stays fixed (shape rng).
+                const bool taken = rng.chance(0.45);
+                RegId cond = e.iop();
+                e.branchFwd(cond, taken, 3);
+                if (!taken) {
+                    acc = e.fadd(acc, acc);
+                    e.iop();
+                    e.iop();
+                }
+                i += 4;
+            } else {
+                e.iop();
+                ++i;
+            }
+        }
+    };
+
+    EmitLoop forever(e);
+    std::uint32_t walk = 1;
+    for (;;) {
+        // A Monte Carlo "history": a chain of subroutine calls in a
+        // data-driven order that sweeps the whole text segment.
+        EmitLoop hist(e);
+        for (std::uint32_t step = 0;; ++step) {
+            walk = walk * 1103515245u + 12345u;
+            const std::uint32_t f = (walk >> 8) % kFuncs;
+            auto ret = e.call(e.codeRegion(f));
+            emitFunc(f);
+            e.ret(ret);
+            co_await e.pause();
+            if (!hist.next(step + 1 < 64))
+                break;
+        }
+        forever.next(true);
+    }
+}
+
+} // namespace
+
+KernelFn
+makeDoducKernel()
+{
+    return [](Emitter &e) { return doducKernel(e); };
+}
+
+} // namespace mtsim

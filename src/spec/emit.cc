@@ -1,0 +1,70 @@
+/**
+ * @file
+ * NASA7 EMIT: vortex emission. A sequential sweep over a particle
+ * array computing induced velocities - long FP chains with a divide
+ * per particle pair and a compact, cache-resident working set: a
+ * floating-point-pipeline stressor.
+ */
+
+#include "spec/spec_suite.hh"
+#include "workload/emitter.hh"
+
+namespace mtsim {
+
+namespace {
+
+constexpr std::uint32_t kParticles = 1536;  // 1536 * 32 B = 48 KB
+
+KernelCoro
+emitKernel(Emitter &e)
+{
+    const Addr p = e.mem().alloc(kParticles * 32);
+    auto field = [&](std::uint32_t i, std::uint32_t f) {
+        return p + static_cast<Addr>(i) * 32 + f * 8;
+    };
+
+    const RegId vx = e.fpin();
+    const RegId vy = e.fpin();
+
+    EmitLoop forever(e);
+    for (;;) {
+        EmitLoop iloop(e);
+        for (std::uint32_t i = 0;; ++i) {
+            e.faddInto(vx);
+            e.faddInto(vy);
+            // Interactions with a ring of 8 neighbours.
+            EmitLoop nloop(e);
+            for (std::uint32_t n = 1;; ++n) {
+                const std::uint32_t j = (i + n * 181) % kParticles;
+                RegId xi = e.fload(field(i, 0));
+                RegId yi = e.fload(field(i, 1));
+                RegId xj = e.fload(field(j, 0));
+                RegId yj = e.fload(field(j, 1));
+                RegId dx = e.fadd(xi, xj);
+                RegId dy = e.fadd(yi, yj);
+                RegId r2 = e.fadd(e.fmul(dx, dx), e.fmul(dy, dy));
+                RegId gj = e.fload(field(j, 2));
+                RegId inv = e.fdiv(gj, r2, true);
+                e.faddInto(vx, vx, e.fmul(dy, inv));
+                e.faddInto(vy, vy, e.fmul(dx, inv));
+                if (!nloop.next(n < 8))
+                    break;
+            }
+            e.store(field(i, 3), vx);
+            co_await e.pause();
+            if (!iloop.next(i + 1 < kParticles))
+                break;
+        }
+        forever.next(true);
+    }
+}
+
+} // namespace
+
+KernelFn
+makeEmitKernel()
+{
+    return [](Emitter &e) { return emitKernel(e); };
+}
+
+} // namespace mtsim

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * SPEC89 Eqntott: boolean equation to truth-table conversion. Its
+ * execution time is dominated by sorting bit-vector product terms
+ * (qsort with a word-wise comparison callback): integer compares,
+ * data-dependent branches, and a mix of sequential and shuffled
+ * access over a few hundred KB of terms, spread over a sizeable
+ * dispatch-heavy text segment.
+ */
+
+#include "spec/spec_suite.hh"
+#include "workload/emitter.hh"
+
+namespace mtsim {
+
+namespace {
+
+constexpr std::uint32_t kTerms = 4096;
+constexpr std::uint32_t kWordsPerTerm = 4;   // 8192*32 B = 256 KB
+constexpr std::uint32_t kCmpFuncs = 24;      // comparison variants
+
+KernelCoro
+eqntottKernel(Emitter &e)
+{
+    const Addr terms = e.mem().alloc(kTerms * kWordsPerTerm * 8);
+    Rng &rng = e.rng();
+    auto word = [&](std::uint32_t t, std::uint32_t w) {
+        return terms + (static_cast<Addr>(t) * kWordsPerTerm + w) * 8;
+    };
+
+    // cmppt(): compare two terms word by word with early exit.
+    auto emitCompare = [&](std::uint32_t a, std::uint32_t b,
+                           std::uint32_t f) {
+        auto ret = e.call(e.codeRegion(f));
+        RegId diff = e.imm();
+        EmitLoop wloop(e);
+        for (std::uint32_t w = 0;; ++w) {
+            RegId wa = e.load(word(a, w));
+            RegId wb = e.load(word(b, w));
+            diff = e.iop(wa, wb);
+            // Early exit when the words differ.
+            const bool differ = rng.chance(0.6);
+            if (!wloop.next(!differ && w + 1 < kWordsPerTerm))
+                break;
+        }
+        e.iop(diff);
+        e.ret(ret);
+        return diff;
+    };
+
+    EmitLoop forever(e);
+    std::uint32_t gap = kTerms / 2;
+    for (;;) {
+        // Shell-sort style passes over the term array.
+        EmitLoop pass(e);
+        for (std::uint32_t chunk = 0;; ++chunk) {
+            EmitLoop iloop(e);
+            for (std::uint32_t n = 0;; ++n) {
+                const std::uint32_t i =
+                    (chunk * 61 + n) % (kTerms - gap);
+                const std::uint32_t j = i + gap;
+                const std::uint32_t f =
+                    (i * 7 + j) % kCmpFuncs;
+                RegId cmp = emitCompare(i, j, f);
+                // Swap if out of order (data-dependent).
+                const bool swap = rng.chance(0.35);
+                // Swap body = 4 ops per word (2 loads + 2 stores).
+                e.branchFwd(cmp, !swap, 4 * kWordsPerTerm);
+                if (swap) {
+                    for (std::uint32_t w = 0; w < kWordsPerTerm;
+                         ++w) {
+                        RegId va = e.load(word(i, w));
+                        RegId vb = e.load(word(j, w));
+                        e.store(word(i, w), vb);
+                        e.store(word(j, w), va);
+                    }
+                }
+                if (!iloop.next(n + 1 < 48))
+                    break;
+            }
+            co_await e.pause();
+            if (!pass.next(chunk + 1 < 32))
+                break;
+        }
+        gap = gap > 1 ? gap / 2 : kTerms / 2;
+        forever.next(true);
+    }
+}
+
+} // namespace
+
+KernelFn
+makeEqntottKernel()
+{
+    return [](Emitter &e) { return eqntottKernel(e); };
+}
+
+} // namespace mtsim

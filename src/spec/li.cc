@@ -1,0 +1,147 @@
+/**
+ * @file
+ * SPEC89 Li (xlisp): a Lisp interpreter. Execution alternates
+ * between eval/apply dispatch across a large interpreter text
+ * (instruction-cache pressure), serial pointer chasing through cons
+ * cells scattered over a multi-MB heap (dependent loads), and
+ * mark-and-sweep garbage-collection sweeps.
+ */
+
+#include "spec/spec_suite.hh"
+#include "workload/emitter.hh"
+
+namespace mtsim {
+
+namespace {
+
+constexpr std::uint32_t kCells = 32 * 1024;   // 32 K cons cells, 1 MB
+constexpr std::uint32_t kCellBytes = 32;      // car, cdr, tag, mark
+constexpr std::uint32_t kEvalFuncs = 128;     // dispatch targets
+constexpr std::uint32_t kHandlerPad = 88;     // ops of C glue per
+                                              // handler (~60 KB text)
+
+KernelCoro
+liKernel(Emitter &e)
+{
+    const Addr heap = e.mem().alloc(
+        static_cast<std::uint64_t>(kCells) * kCellBytes);
+    Rng &rng = e.rng();
+    auto cell = [&](std::uint32_t c) {
+        return heap + static_cast<Addr>(c) * kCellBytes;
+    };
+
+    // Pseudo-random successor pointers: a permutation-ish stride
+    // walk mimicking a heap fragmented by repeated cons/gc cycles.
+    auto succ = [&](std::uint32_t c) {
+        return (c * 40503u + 9973u) % kCells;
+    };
+
+    // One eval handler: tag checks, a couple of cell accesses, FP
+    // arithmetic for the numeric handlers.
+    auto emitHandler = [&](std::uint32_t f, std::uint32_t c) {
+        auto ret = e.call(e.codeRegion(f));
+        RegId tag = e.load(cell(c) + 16);
+        const bool is_num = rng.chance(0.3);
+        e.branchFwd(tag, !is_num, 4);
+        if (is_num) {
+            RegId v = e.fload(cell(c));
+            RegId w = e.fload(cell(succ(c)));
+            RegId s = e.fadd(v, w);
+            e.store(cell(c) + 8, s);
+        }
+        RegId car = e.load(cell(c), tag);
+        RegId cdr = e.load(cell(c) + 8, car);
+        e.iop(car, cdr);
+        // Interpreter glue: type tests, environment bookkeeping,
+        // argument shuffling - the bulk of each handler's text.
+        Rng shape(0xC0FFEEu + f * 2654435761u);
+        RegId t = e.iop(cdr);
+        std::uint32_t i = 0;
+        while (i < kHandlerPad) {
+            const double pick = shape.uniform();
+            if (pick < 0.55) {
+                t = e.iop(t);
+                ++i;
+            } else if (pick < 0.70) {
+                t = e.ishift(t);
+                ++i;
+            } else if (pick < 0.85) {
+                const bool taken = rng.chance(0.4);
+                e.branchFwd(t, taken, 2);
+                if (!taken) {
+                    t = e.iop(t);
+                    e.iop(t);
+                }
+                i += 3;
+            } else {
+                RegId v = e.load(cell((c + i) % kCells) + 16);
+                t = e.iop(t, v);
+                i += 2;
+            }
+        }
+        e.ret(ret);
+    };
+
+    EmitLoop forever(e);
+    std::uint32_t cur = 1;
+    std::uint32_t dispatch = 0;
+    for (;;) {
+        // Eval phase: chase a list, dispatching per cell.
+        EmitLoop eval(e);
+        for (std::uint32_t n = 0;; ++n) {
+            // Serial dependent pointer chase: the next address
+            // depends on the loaded cdr.
+            RegId ptr = e.load(cell(cur) + 8);
+            cur = succ(cur);
+            RegId p2 = e.load(cell(cur) + 8, ptr);
+            cur = succ(cur);
+            e.iop(p2);
+            // Stride coprime to the table size so the dispatch
+            // sweeps the whole interpreter text over time.
+            dispatch += 37;
+            const std::uint32_t f =
+                (dispatch + cur) % kEvalFuncs;
+            emitHandler(f, cur);
+            if (!eval.next(n + 1 < 32))
+                break;
+        }
+        co_await e.pause();
+
+        // GC mark phase: a longer dependent chase with mark stores.
+        EmitLoop mark(e);
+        for (std::uint32_t n = 0;; ++n) {
+            RegId ptr = e.load(cell(cur));
+            e.store(cell(cur) + 24, ptr);   // set mark bit
+            cur = succ(cur);
+            if (!mark.next(n + 1 < 32))
+                break;
+        }
+        co_await e.pause();
+
+        // Sweep phase: sequential scan of a heap segment.
+        const std::uint32_t seg =
+            static_cast<std::uint32_t>(rng.range(kCells - 512));
+        EmitLoop sweep(e);
+        for (std::uint32_t n = 0;; ++n) {
+            RegId m = e.load(cell(seg + n) + 24);
+            const bool free_it = rng.chance(0.4);
+            e.branchFwd(m, !free_it, 1);
+            if (free_it)
+                e.store(cell(seg + n), m);
+            if (!sweep.next(n + 1 < 512))
+                break;
+        }
+        co_await e.pause();
+        forever.next(true);
+    }
+}
+
+} // namespace
+
+KernelFn
+makeLiKernel()
+{
+    return [](Emitter &e) { return liKernel(e); };
+}
+
+} // namespace mtsim

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * SPEC89 Matrix300: dense matrix multiply in the original unblocked,
+ * column-oriented formulation (the pre-cache-blocking era code).
+ * Column walks stride a full row length, so unlike MXM this kernel
+ * streams through the caches with little reuse: heavy FP plus heavy
+ * memory traffic.
+ */
+
+#include "spec/spec_suite.hh"
+#include "workload/emitter.hh"
+
+namespace mtsim {
+
+namespace {
+
+constexpr std::uint32_t kN = 128;   // 128x128 doubles = 131 KB/matrix
+
+KernelCoro
+matrix300Kernel(Emitter &e)
+{
+    const Addr a = e.mem().alloc(kN * kN * 8);
+    const Addr b = e.mem().alloc(kN * kN * 8);
+    const Addr c = e.mem().alloc(kN * kN * 8);
+    // Column-major storage, as in the Fortran original: the i-inner
+    // SAXPY loops below are unit stride.
+    auto at = [&](Addr m, std::uint32_t i, std::uint32_t j) {
+        return m + (static_cast<Addr>(j) * kN + i) * 8;
+    };
+
+    EmitLoop forever(e);
+    for (;;) {
+        // C(:,j) += A(:,k) * B(k,j) - SAXPY down columns.
+        EmitLoop jloop(e);
+        for (std::uint32_t j = 0;; ++j) {
+            EmitLoop kloop(e);
+            for (std::uint32_t k = 0;; ++k) {
+                RegId bkj = e.fload(at(b, k, j));
+                EmitLoop iloop(e);
+                for (std::uint32_t i = 0;; i += 4) {
+                    for (std::uint32_t u = 0; u < 4; ++u) {
+                        RegId av = e.fload(at(a, i + u, k));
+                        RegId cv = e.fload(at(c, i + u, j));
+                        RegId prod = e.fmul(av, bkj);
+                        RegId sum = e.fadd(cv, prod);
+                        e.store(at(c, i + u, j), sum);
+                    }
+                    if (!iloop.next(i + 4 < kN))
+                        break;
+                }
+                co_await e.pause();
+                if (!kloop.next(k + 1 < kN))
+                    break;
+            }
+            if (!jloop.next(j + 1 < kN))
+                break;
+        }
+        forever.next(true);
+    }
+}
+
+} // namespace
+
+KernelFn
+makeMatrix300Kernel()
+{
+    return [](Emitter &e) { return matrix300Kernel(e); };
+}
+
+} // namespace mtsim

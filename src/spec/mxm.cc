@@ -1,0 +1,73 @@
+/**
+ * @file
+ * NASA7 MXM: dense matrix multiply C = A * B, the classic high-IPC
+ * floating-point kernel. Unit-stride inner loops with 4-way
+ * unrolling give high reuse: the working set lives mostly in the
+ * primary cache, so this kernel chiefly stresses the FP pipeline,
+ * with a small instruction footprint.
+ */
+
+#include "spec/spec_suite.hh"
+#include "workload/emitter.hh"
+
+namespace mtsim {
+
+namespace {
+
+constexpr std::uint32_t kN = 96;      // 96x96 doubles = 72 KB/matrix
+
+KernelCoro
+mxmKernel(Emitter &e)
+{
+    const Addr a = e.mem().alloc(kN * kN * 8);
+    const Addr b = e.mem().alloc(kN * kN * 8);
+    const Addr c = e.mem().alloc(kN * kN * 8);
+    auto at = [&](Addr m, std::uint32_t i, std::uint32_t j) {
+        return m + (static_cast<Addr>(i) * kN + j) * 8;
+    };
+
+    const RegId acc0 = e.fpin();
+    const RegId acc1 = e.fpin();
+
+    EmitLoop forever(e);
+    for (;;) {
+        EmitLoop iloop(e);
+        for (std::uint32_t i = 0;; ++i) {
+            EmitLoop jloop(e);
+            for (std::uint32_t j = 0;; j += 2) {
+                e.faddInto(acc0);   // acc = 0
+                e.faddInto(acc1);
+                EmitLoop kloop(e);
+                for (std::uint32_t k = 0;; k += 4) {
+                    for (std::uint32_t u = 0; u < 4; ++u) {
+                        RegId av = e.fload(at(a, i, k + u));
+                        RegId b0 = e.fload(at(b, k + u, j));
+                        RegId b1 = e.fload(at(b, k + u, j + 1));
+                        e.faddInto(acc0, acc0, e.fmul(av, b0));
+                        e.faddInto(acc1, acc1, e.fmul(av, b1));
+                    }
+                    if (!kloop.next(k + 4 < kN))
+                        break;
+                }
+                e.store(at(c, i, j), acc0);
+                e.store(at(c, i, j + 1), acc1);
+                co_await e.pause();
+                if (!jloop.next(j + 2 < kN))
+                    break;
+            }
+            if (!iloop.next(i + 1 < kN))
+                break;
+        }
+        forever.next(true);
+    }
+}
+
+} // namespace
+
+KernelFn
+makeMxmKernel()
+{
+    return [](Emitter &e) { return mxmKernel(e); };
+}
+
+} // namespace mtsim

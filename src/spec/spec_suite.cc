@@ -1,0 +1,70 @@
+#include "spec/spec_suite.hh"
+
+#include <stdexcept>
+
+namespace mtsim {
+
+KernelFn
+specKernel(const std::string &name)
+{
+    if (name == "doduc")
+        return makeDoducKernel();
+    if (name == "eqntott")
+        return makeEqntottKernel();
+    if (name == "li")
+        return makeLiKernel();
+    if (name == "matrix300")
+        return makeMatrix300Kernel();
+    if (name == "tomcatv")
+        return makeTomcatvKernel();
+    if (name == "btrix")
+        return makeBtrixKernel();
+    if (name == "cholsky")
+        return makeCholskyKernel();
+    if (name == "cfft2d")
+        return makeCfft2dKernel();
+    if (name == "emit")
+        return makeEmitKernel();
+    if (name == "gmtry")
+        return makeGmtryKernel();
+    if (name == "mxm")
+        return makeMxmKernel();
+    if (name == "vpenta")
+        return makeVpentaKernel();
+    throw std::invalid_argument("unknown SPEC kernel: " + name);
+}
+
+std::vector<std::string>
+specApps()
+{
+    return {"doduc", "eqntott", "li",    "matrix300",
+            "tomcatv", "btrix", "cholsky", "cfft2d",
+            "emit",  "gmtry",   "mxm",   "vpenta"};
+}
+
+std::vector<std::string>
+uniWorkload(const std::string &mix)
+{
+    // Table 5.
+    if (mix == "IC")
+        return {"doduc", "li", "eqntott", "mxm"};
+    if (mix == "DC")
+        return {"cfft2d", "gmtry", "tomcatv", "vpenta"};
+    if (mix == "DT")
+        return {"btrix", "cholsky", "gmtry", "vpenta"};
+    if (mix == "FP")
+        return {"emit", "cholsky", "doduc", "matrix300"};
+    if (mix == "R0")
+        return {"emit", "btrix", "cfft2d", "eqntott"};
+    if (mix == "R1")
+        return {"mxm", "li", "matrix300", "tomcatv"};
+    throw std::invalid_argument("unknown workload mix: " + mix);
+}
+
+std::vector<std::string>
+uniWorkloadNames()
+{
+    return {"IC", "DC", "DT", "FP", "R0", "R1"};
+}
+
+} // namespace mtsim

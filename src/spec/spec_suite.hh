@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The SPEC89-derived uniprocessor application set of Section 4.3 and
+ * the six workload mixes of Table 5 (plus SP, the uniprocessor SPLASH
+ * mix, provided by splash_suite). Each kernel is a from-scratch
+ * reimplementation of the application's computational core that
+ * reproduces its instruction mix, locality and footprint at the
+ * scaled sizes documented in DESIGN.md.
+ */
+
+#ifndef MTSIM_SPEC_SPEC_SUITE_HH
+#define MTSIM_SPEC_SPEC_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/program.hh"
+
+namespace mtsim {
+
+// ---- SPEC89 applications -------------------------------------------
+KernelFn makeDoducKernel();     ///< Monte Carlo reactor: branchy FP,
+                                ///< large code footprint
+KernelFn makeEqntottKernel();   ///< truth tables: integer sort/compare
+KernelFn makeLiKernel();        ///< lisp interpreter: pointer chasing,
+                                ///< dispatch over large code
+KernelFn makeMatrix300Kernel(); ///< dense 300x300-class matrix ops
+KernelFn makeTomcatvKernel();   ///< vectorised mesh generation
+
+// ---- NASA7 kernels --------------------------------------------------
+KernelFn makeBtrixKernel();     ///< block tridiagonal solver (4-D)
+KernelFn makeCholskyKernel();   ///< dense Cholesky factorisation
+KernelFn makeCfft2dKernel();    ///< 2-D complex FFT
+KernelFn makeEmitKernel();      ///< vortex emission
+KernelFn makeGmtryKernel();     ///< Gaussian elimination geometry setup
+KernelFn makeMxmKernel();       ///< blocked matrix multiply
+KernelFn makeVpentaKernel();    ///< pentadiagonal inversion
+
+/** Kernel by application name (lowercase); throws if unknown. */
+KernelFn specKernel(const std::string &name);
+
+/** All application names this suite provides. */
+std::vector<std::string> specApps();
+
+/**
+ * The four applications of one Table 5 workload mix. Valid names:
+ * IC, DC, DT, FP, R0, R1 (SP lives in splash_suite).
+ */
+std::vector<std::string> uniWorkload(const std::string &mix);
+
+/** All Table 5 mix names handled by uniWorkload(), in paper order. */
+std::vector<std::string> uniWorkloadNames();
+
+} // namespace mtsim
+
+#endif // MTSIM_SPEC_SPEC_SUITE_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * SPEC89 Tomcatv: vectorised 2-D mesh generation. Row-order sweeps
+ * over seven n-by-n arrays with 9-point stencils, long FP add/mul
+ * chains and a pair of divides per point, followed by a residual /
+ * relaxation pass. Unit-stride streaming over a multi-hundred-KB
+ * working set: the classic data-cache stressor.
+ */
+
+#include "spec/spec_suite.hh"
+#include "workload/emitter.hh"
+
+namespace mtsim {
+
+namespace {
+
+constexpr std::uint32_t kN = 96;    // 96x96 doubles = 72 KB/array
+
+KernelCoro
+tomcatvKernel(Emitter &e)
+{
+    const Addr x = e.mem().alloc(kN * kN * 8);
+    const Addr y = e.mem().alloc(kN * kN * 8);
+    const Addr rx = e.mem().alloc(kN * kN * 8);
+    const Addr ry = e.mem().alloc(kN * kN * 8);
+    const Addr aa = e.mem().alloc(kN * kN * 8);
+    const Addr dd = e.mem().alloc(kN * kN * 8);
+    auto at = [&](Addr m, std::uint32_t i, std::uint32_t j) {
+        return m + (static_cast<Addr>(i) * kN + j) * 8;
+    };
+
+    EmitLoop forever(e);
+    for (;;) {
+        // Pass 1: stencil residuals with two divides per point.
+        EmitLoop iloop(e);
+        for (std::uint32_t i = 1;; ++i) {
+            EmitLoop jloop(e);
+            for (std::uint32_t j = 1;; ++j) {
+                RegId xe = e.fload(at(x, i, j + 1));
+                RegId xw = e.fload(at(x, i, j - 1));
+                RegId xn = e.fload(at(x, i - 1, j));
+                RegId xs = e.fload(at(x, i + 1, j));
+                RegId ye = e.fload(at(y, i, j + 1));
+                RegId yw = e.fload(at(y, i, j - 1));
+                RegId yn = e.fload(at(y, i - 1, j));
+                RegId ys = e.fload(at(y, i + 1, j));
+                RegId dxx = e.fadd(xe, xw);
+                RegId dxy = e.fadd(xn, xs);
+                RegId dyx = e.fadd(ye, yw);
+                RegId dyy = e.fadd(yn, ys);
+                RegId ax = e.fmul(dxx, dyy);
+                RegId bx = e.fmul(dxy, dyx);
+                RegId det = e.fadd(ax, bx);
+                RegId pxx = e.fmul(dxx, dxx);
+                RegId qyy = e.fmul(dyy, dyy);
+                RegId anum = e.fadd(pxx, qyy);
+                // One reciprocal per point, reused for both
+                // residual components (as the vectorised original
+                // hoists the divide).
+                RegId rec = e.fdiv(e.fadd(det, det), det, true);
+                RegId r1 = e.fmul(anum, rec);
+                RegId r2 = e.fmul(bx, rec);
+                RegId t1 = e.fadd(e.fmul(pxx, r1), qyy);
+                RegId t2 = e.fadd(e.fmul(qyy, r2), pxx);
+                e.store(at(rx, i, j), e.fadd(t1, r1));
+                e.store(at(ry, i, j), e.fadd(t2, r2));
+                e.store(at(aa, i, j), e.fadd(r1, r2));
+                if (!jloop.next(j + 1 < kN - 1))
+                    break;
+            }
+            co_await e.pause();
+            if (!iloop.next(i + 1 < kN - 1))
+                break;
+        }
+        // Pass 2: relaxation update of x and y from the residuals.
+        EmitLoop i2loop(e);
+        for (std::uint32_t i = 1;; ++i) {
+            EmitLoop j2loop(e);
+            for (std::uint32_t j = 0;; j += 2) {
+                for (std::uint32_t u = 0; u < 2; ++u) {
+                    RegId xv = e.fload(at(x, i, j + u));
+                    RegId rv = e.fload(at(rx, i, j + u));
+                    RegId yv = e.fload(at(y, i, j + u));
+                    RegId sv = e.fload(at(ry, i, j + u));
+                    RegId dv = e.fload(at(dd, i, j + u));
+                    RegId nx = e.fadd(xv, e.fmul(rv, dv));
+                    RegId ny = e.fadd(yv, e.fmul(sv, dv));
+                    e.store(at(x, i, j + u), nx);
+                    e.store(at(y, i, j + u), ny);
+                }
+                if (!j2loop.next(j + 2 < kN))
+                    break;
+            }
+            co_await e.pause();
+            if (!i2loop.next(i + 1 < kN - 1))
+                break;
+        }
+        forever.next(true);
+    }
+}
+
+} // namespace
+
+KernelFn
+makeTomcatvKernel()
+{
+    return [](Emitter &e) { return tomcatvKernel(e); };
+}
+
+} // namespace mtsim

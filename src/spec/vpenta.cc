@@ -1,0 +1,83 @@
+/**
+ * @file
+ * NASA7 VPENTA: simultaneous inversion of pentadiagonal systems,
+ * vectorised down the columns of wide row-major arrays. Every step
+ * of the column walk strides a full 4 KB row - one element per page -
+ * across four arrays, so the data TLB (and data cache) thrash: the
+ * suite's data-TLB stressor.
+ */
+
+#include "spec/spec_suite.hh"
+#include "workload/emitter.hh"
+
+namespace mtsim {
+
+namespace {
+
+constexpr std::uint32_t kRows = 48;
+constexpr std::uint32_t kCols = 384;  // 3 KB row stride: ~page/step
+
+KernelCoro
+vpentaKernel(Emitter &e)
+{
+    const Addr a = e.mem().alloc(kRows * kCols * 8);
+    const Addr b = e.mem().alloc(kRows * kCols * 8);
+    const Addr cm = e.mem().alloc(kRows * kCols * 8);
+    const Addr xm = e.mem().alloc(kRows * kCols * 8);
+    auto at = [&](Addr m, std::uint32_t i, std::uint32_t j) {
+        return m + (static_cast<Addr>(i) * kCols + j) * 8;
+    };
+
+    EmitLoop forever(e);
+    for (;;) {
+        // Forward elimination, vectorised across columns j; the
+        // recurrence runs down rows i (page-sized stride).
+        EmitLoop jloop(e);
+        for (std::uint32_t j = 0;; j += 2) {
+            EmitLoop iloop(e);
+            for (std::uint32_t i = 2;; ++i) {
+                for (std::uint32_t u = 0; u < 2; ++u) {
+                    RegId av = e.fload(at(a, i, j + u));
+                    RegId b1 = e.fload(at(b, i - 1, j + u));
+                    RegId c2 = e.fload(at(cm, i - 2, j + u));
+                    RegId den = e.fadd(b1, c2);
+                    RegId f = e.fdiv(av, den);
+                    RegId x1 = e.fload(at(xm, i - 1, j + u));
+                    RegId nb = e.fadd(e.fmul(f, b1), x1);
+                    e.store(at(b, i, j + u), nb);
+                    e.store(at(xm, i, j + u), e.fmul(f, x1));
+                }
+                if (!iloop.next(i + 1 < kRows))
+                    break;
+            }
+            co_await e.pause();
+            // Back substitution up the same columns.
+            EmitLoop bloop(e);
+            for (std::uint32_t i = kRows - 2;; --i) {
+                for (std::uint32_t u = 0; u < 2; ++u) {
+                    RegId xv = e.fload(at(xm, i, j + u));
+                    RegId xb = e.fload(at(xm, i + 1, j + u));
+                    RegId cv = e.fload(at(cm, i, j + u));
+                    RegId nx = e.fadd(xv, e.fmul(cv, xb));
+                    e.store(at(xm, i, j + u), nx);
+                }
+                if (!bloop.next(i > 1))
+                    break;
+            }
+            co_await e.pause();
+            if (!jloop.next(j + 2 < kCols))
+                break;
+        }
+        forever.next(true);
+    }
+}
+
+} // namespace
+
+KernelFn
+makeVpentaKernel()
+{
+    return [](Emitter &e) { return vpentaKernel(e); };
+}
+
+} // namespace mtsim

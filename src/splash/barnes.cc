@@ -1,0 +1,194 @@
+/**
+ * @file
+ * SPLASH Barnes-Hut: hierarchical N-body gravitation. Each step
+ * (re)builds the octree over the bodies, computes per-body forces by
+ * walking the tree (irregular dependent loads over shared cells,
+ * gravity kernels full of divides), then integrates. Tree cells are
+ * shared read-mostly data; body updates are private. Like Water,
+ * Barnes carries a large floating-point-divide latency component.
+ */
+
+#include "splash/splash_suite.hh"
+#include "workload/emitter.hh"
+
+namespace mtsim {
+
+namespace {
+
+constexpr std::uint32_t kBodies = 512;
+constexpr std::uint32_t kBodyBytes = 64;
+constexpr std::uint32_t kCells = 256;     // interior tree cells
+constexpr std::uint32_t kCellBytes = 64;
+constexpr std::uint32_t kSteps = 3;
+constexpr std::uint32_t kWalkLen = 24;    // cells visited per body
+
+struct BarnesLayout
+{
+    Addr body = 0;
+    Addr cell = 0;
+};
+
+struct BarnesParams
+{
+    BarnesLayout lay;
+    std::uint32_t tid = 0;
+    std::uint32_t nThreads = 1;
+    std::uint64_t seed = 1;
+    bool forever = false;
+};
+
+KernelCoro
+barnesThread(Emitter &e, BarnesParams p)
+{
+    auto body = [&](std::uint32_t i) {
+        return p.lay.body + static_cast<Addr>(i % kBodies) * kBodyBytes;
+    };
+    auto cellAt = [&](std::uint32_t c) {
+        return p.lay.cell + static_cast<Addr>(c % kCells) * kCellBytes;
+    };
+    const std::uint32_t chunk =
+        (kBodies + p.nThreads - 1) / p.nThreads;
+    const std::uint32_t lo = p.tid * chunk;
+    const std::uint32_t hi =
+        (lo + chunk < kBodies) ? lo + chunk : kBodies;
+    const std::uint32_t cell_chunk =
+        (kCells + p.nThreads - 1) / p.nThreads;
+    const std::uint32_t clo = p.tid * cell_chunk;
+    const std::uint32_t chi =
+        (clo + cell_chunk < kCells) ? clo + cell_chunk : kCells;
+
+    EmitLoop init(e);
+    for (std::uint32_t i = lo;; ++i) {
+        if (i < hi)
+            e.store(body(i), e.fadd());
+        if (!init.next(i + 1 < hi))
+            break;
+    }
+    e.barrier(kStatsBarrier);
+    co_await e.pause();
+
+    EmitLoop forever(e);
+    for (;;) {
+        EmitLoop steps(e);
+        for (std::uint32_t step = 0;; ++step) {
+            // Phase 1: tree build - insert this partition's bodies
+            // under a lock per cell subtree.
+            EmitLoop build(e);
+            for (std::uint32_t i = lo;; ++i) {
+                if (i < hi) {
+                    const std::uint32_t c = (i * 2654435761u) % kCells;
+                    RegId x = e.fload(body(i));
+                    e.lock(200 + (c % 32));
+                    RegId cm = e.fload(cellAt(c));
+                    e.store(cellAt(c), e.fadd(cm, x));
+                    RegId cnt = e.load(cellAt(c) + 8);
+                    e.store(cellAt(c) + 8, e.iop(cnt));
+                    e.unlock(200 + (c % 32));
+                }
+                if ((i & 15) == 15)
+                    co_await e.pause();
+                if (!build.next(i + 1 < hi))
+                    break;
+            }
+            e.barrier(1);
+            co_await e.pause();
+
+            // Phase 2: centre-of-mass propagation over a cell band.
+            EmitLoop com(e);
+            for (std::uint32_t c = clo;; ++c) {
+                if (c < chi) {
+                    RegId m = e.fload(cellAt(c));
+                    RegId mc = e.fload(cellAt(c / 2));
+                    RegId tot = e.fadd(m, mc);
+                    RegId inv = e.fdiv(m, tot, true);
+                    e.store(cellAt(c) + 16, inv);
+                }
+                if (!com.next(c + 1 < chi))
+                    break;
+            }
+            e.barrier(2);
+            co_await e.pause();
+
+            // Phase 3: force computation - tree walk per body with
+            // dependent loads and a divide per visited cell.
+            EmitLoop force(e);
+            for (std::uint32_t i = lo;; ++i) {
+                if (i < hi) {
+                    RegId ax = e.fadd();
+                    RegId link = e.load(body(i) + 8);
+                    std::uint32_t c = (i * 40503u) % kCells;
+                    EmitLoop walk(e);
+                    for (std::uint32_t w = 0;; ++w) {
+                        RegId cm = e.fload(cellAt(c), link);
+                        RegId dx = e.fadd(cm, ax);
+                        RegId r2 = e.fmul(dx, dx);
+                        RegId g = e.fdiv(cm, r2, true);
+                        ax = e.fadd(ax, e.fmul(g, dx));
+                        link = e.load(cellAt(c) + 24, link);
+                        c = (c * 48271u + 11u) % kCells;
+                        if (!walk.next(w + 1 < kWalkLen))
+                            break;
+                    }
+                    e.store(body(i) + 16, ax);
+                    co_await e.pause();
+                }
+                if (!force.next(i + 1 < hi))
+                    break;
+            }
+            e.barrier(3);
+            co_await e.pause();
+
+            // Phase 4: integrate.
+            EmitLoop integ(e);
+            for (std::uint32_t i = lo;; ++i) {
+                if (i < hi) {
+                    RegId a = e.fload(body(i) + 16);
+                    RegId x = e.fload(body(i));
+                    e.store(body(i), e.fadd(x, a));
+                }
+                if (!integ.next(i + 1 < hi))
+                    break;
+            }
+            e.barrier(4);
+            co_await e.pause();
+            if (!steps.next(step + 1 < kSteps))
+                break;
+        }
+        if (!p.forever)
+            co_return;
+        forever.next(true);
+    }
+}
+
+} // namespace
+
+ParallelAppFn
+makeBarnesApp()
+{
+    return [](std::uint32_t n_threads, AddressSpace &shared,
+              std::uint64_t seed) {
+        BarnesLayout lay;
+        lay.body = shared.alloc(kBodies * kBodyBytes);
+        lay.cell = shared.alloc(kCells * kCellBytes);
+        std::vector<KernelFn> kernels;
+        for (std::uint32_t t = 0; t < n_threads; ++t) {
+            BarnesParams p{lay, t, n_threads, seed, false};
+            kernels.push_back(
+                [p](Emitter &e) { return barnesThread(e, p); });
+        }
+        return kernels;
+    };
+}
+
+KernelFn
+makeBarnesUniKernel()
+{
+    return [](Emitter &e) {
+        BarnesLayout lay;
+        lay.body = e.mem().alloc(kBodies * kBodyBytes);
+        lay.cell = e.mem().alloc(kCells * kCellBytes);
+        return barnesThread(e, BarnesParams{lay, 0, 1, 11, true});
+    };
+}
+
+} // namespace mtsim

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * SPLASH Cholesky: sparse Cholesky factorisation (supernodal
+ * outer-product formulation). Threads pull column tasks from a
+ * lock-protected queue; each task scales its pivot column (a
+ * divide) and applies outer-product updates to a limited set of
+ * later columns. Available parallelism shrinks towards the end of
+ * the factorisation and the task queue serialises - the paper finds
+ * Cholesky gains essentially nothing from multiple contexts.
+ */
+
+#include "splash/splash_suite.hh"
+#include "workload/emitter.hh"
+
+namespace mtsim {
+
+namespace {
+
+constexpr std::uint32_t kN = 600;          // columns
+constexpr std::uint32_t kColEntries = 48;  // avg nonzeros per column
+constexpr std::uint32_t kUpdates = 3;      // update tasks per width
+constexpr std::uint32_t kTasksPerLevel = 12;
+constexpr std::uint32_t kQueueLock = 700;
+
+struct CholLayout
+{
+    Addr col = 0;     // packed nonzero storage
+    Addr queue = 0;
+};
+
+struct CholParams
+{
+    CholLayout lay;
+    std::uint32_t tid = 0;
+    std::uint32_t nThreads = 1;
+    std::uint64_t seed = 1;
+    bool forever = false;
+};
+
+KernelCoro
+cholThread(Emitter &e, CholParams p)
+{
+    auto entry = [&](std::uint32_t c, std::uint32_t k) {
+        return p.lay.col +
+               (static_cast<Addr>(c % kN) * kColEntries +
+                (k % kColEntries)) * 8;
+    };
+    Rng rng(p.seed + 433494437ull * (p.tid + 1));
+
+    e.barrier(kStatsBarrier);
+    co_await e.pause();
+
+    // The elimination tree is processed level by level; a level has
+    // only kTasksPerLevel independent column tasks of uneven size,
+    // so parallelism is capped regardless of the thread count - the
+    // reason the paper's Cholesky gains nothing from extra contexts.
+    constexpr std::uint32_t kLevels = kN / kTasksPerLevel;
+    EmitLoop forever(e);
+    for (;;) {
+        EmitLoop levels(e);
+        for (std::uint32_t lvl = 0;; ++lvl) {
+            EmitLoop tasks(e);
+            for (std::uint32_t task = p.tid;;
+                 task += p.nThreads) {
+                if (task < kTasksPerLevel) {
+                    // Dequeue bookkeeping on the shared queue.
+                    e.lock(kQueueLock);
+                    RegId head = e.load(p.lay.queue);
+                    e.store(p.lay.queue, e.iop(head));
+                    e.unlock(kQueueLock);
+
+                    const std::uint32_t c =
+                        lvl * kTasksPerLevel + task;
+                    // Supernode width varies: load imbalance.
+                    const std::uint32_t reps = 1 + (task % 3);
+
+                    // Scale the pivot column.
+                    RegId piv = e.fload(entry(c, 0));
+                    RegId rec = e.fdiv(e.fadd(piv, piv), piv);
+                    EmitLoop scale(e);
+                    for (std::uint32_t k = 1;; ++k) {
+                        RegId v = e.fload(entry(c, k));
+                        e.store(entry(c, k), e.fmul(v, rec));
+                        if (!scale.next(k + 1 < kColEntries))
+                            break;
+                    }
+
+                    // Outer-product updates into later columns.
+                    EmitLoop upd(e);
+                    for (std::uint32_t u = 0;; ++u) {
+                        const std::uint32_t dst =
+                            (c + 1 +
+                             static_cast<std::uint32_t>(
+                                 rng.range(64))) % kN;
+                        e.lock(800 + (dst % 64));
+                        EmitLoop inner(e);
+                        for (std::uint32_t k = 0;; k += 2) {
+                            for (std::uint32_t w = 0; w < 2; ++w) {
+                                RegId s = e.fload(entry(c, k + w));
+                                RegId d =
+                                    e.fload(entry(dst, k + w));
+                                e.store(entry(dst, k + w),
+                                        e.fadd(d, e.fmul(s, s)));
+                            }
+                            if (!inner.next(k + 2 < kColEntries))
+                                break;
+                        }
+                        e.unlock(800 + (dst % 64));
+                        co_await e.pause();
+                        if (!upd.next(u + 1 < kUpdates * reps))
+                            break;
+                    }
+                }
+                if (!tasks.next(task + p.nThreads <
+                                kTasksPerLevel))
+                    break;
+            }
+            e.barrier(1);
+            co_await e.pause();
+            if (!levels.next(lvl + 1 < kLevels))
+                break;
+        }
+        if (!p.forever)
+            co_return;
+        forever.next(true);
+    }
+}
+
+} // namespace
+
+ParallelAppFn
+makeSplashCholeskyApp()
+{
+    return [](std::uint32_t n_threads, AddressSpace &shared,
+              std::uint64_t seed) {
+        CholLayout lay;
+        lay.col = shared.alloc(
+            static_cast<std::uint64_t>(kN) * kColEntries * 8);
+        lay.queue = shared.alloc(64);
+        std::vector<KernelFn> kernels;
+        for (std::uint32_t t = 0; t < n_threads; ++t) {
+            CholParams p{lay, t, n_threads, seed, false};
+            kernels.push_back(
+                [p](Emitter &e) { return cholThread(e, p); });
+        }
+        return kernels;
+    };
+}
+
+KernelFn
+makeSplashCholeskyUniKernel()
+{
+    return [](Emitter &e) {
+        CholLayout lay;
+        lay.col = e.mem().alloc(
+            static_cast<std::uint64_t>(kN) * kColEntries * 8);
+        lay.queue = e.mem().alloc(64);
+        return cholThread(e, CholParams{lay, 0, 1, 19, true});
+    };
+}
+
+} // namespace mtsim

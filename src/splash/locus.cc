@@ -1,0 +1,142 @@
+/**
+ * @file
+ * SPLASH LocusRoute: global routing of wires in VLSI standard-cell
+ * designs. Threads pull wires from a lock-protected work queue,
+ * evaluate candidate two-bend routes by reading the shared cost
+ * grid, then write the chosen route back - read-modify-writes to the
+ * cost array are the application's communication.
+ */
+
+#include "splash/splash_suite.hh"
+#include "workload/emitter.hh"
+
+namespace mtsim {
+
+namespace {
+
+constexpr std::uint32_t kGridW = 96;
+constexpr std::uint32_t kGridH = 24;
+constexpr std::uint32_t kWires = 480;
+constexpr std::uint32_t kRouteLen = 20;   // cells per candidate
+constexpr std::uint32_t kQueueLock = 500;
+
+struct LocusLayout
+{
+    Addr cost = 0;
+    Addr queue = 0;
+};
+
+struct LocusParams
+{
+    LocusLayout lay;
+    std::uint32_t tid = 0;
+    std::uint32_t nThreads = 1;
+    std::uint64_t seed = 1;
+    bool forever = false;
+};
+
+KernelCoro
+locusThread(Emitter &e, LocusParams p)
+{
+    auto cost = [&](std::uint32_t x, std::uint32_t y) {
+        return p.lay.cost +
+               (static_cast<Addr>(y % kGridH) * kGridW +
+                (x % kGridW)) * 8;
+    };
+    Rng rng(p.seed + 104729ull * (p.tid + 1));
+    const std::uint32_t my_wires =
+        (kWires + p.nThreads - 1) / p.nThreads;
+
+    e.store(p.lay.queue, e.imm());
+    e.barrier(kStatsBarrier);
+    co_await e.pause();
+
+    EmitLoop forever(e);
+    for (;;) {
+        EmitLoop wires(e);
+        for (std::uint32_t n = 0;; ++n) {
+            // Grab the next wire from the central queue.
+            e.lock(kQueueLock);
+            RegId idx = e.load(p.lay.queue);
+            e.store(p.lay.queue, e.iop(idx));
+            e.unlock(kQueueLock);
+
+            const std::uint32_t x0 =
+                static_cast<std::uint32_t>(rng.range(kGridW));
+            const std::uint32_t y0 =
+                static_cast<std::uint32_t>(rng.range(kGridH));
+
+            // Evaluate two candidate routes: horizontal-first and
+            // vertical-first; sum costs along each.
+            RegId best = e.imm();
+            EmitLoop cand(e);
+            for (std::uint32_t candn = 0;; ++candn) {
+                RegId sum = e.imm();
+                EmitLoop scan(e);
+                for (std::uint32_t s = 0;; ++s) {
+                    const std::uint32_t x =
+                        candn == 0 ? x0 + s : x0 + s / 2;
+                    const std::uint32_t y =
+                        candn == 0 ? y0 + s / 4 : y0 + s;
+                    RegId c = e.load(cost(x, y));
+                    sum = e.iop(sum, c);
+                    if (!scan.next(s + 1 < kRouteLen))
+                        break;
+                }
+                best = e.iop(best, sum);
+                if (!cand.next(candn == 0))
+                    break;
+            }
+
+            // Write the chosen route into the shared cost grid.
+            EmitLoop write(e);
+            for (std::uint32_t s = 0;; ++s) {
+                RegId c = e.load(cost(x0 + s, y0 + s / 4));
+                e.store(cost(x0 + s, y0 + s / 4), e.iop(c, best));
+                if (!write.next(s + 1 < kRouteLen))
+                    break;
+            }
+            co_await e.pause();
+            if (!wires.next(n + 1 < my_wires))
+                break;
+        }
+        e.barrier(1);
+        co_await e.pause();
+        if (!p.forever)
+            co_return;
+        forever.next(true);
+    }
+}
+
+} // namespace
+
+ParallelAppFn
+makeLocusApp()
+{
+    return [](std::uint32_t n_threads, AddressSpace &shared,
+              std::uint64_t seed) {
+        LocusLayout lay;
+        lay.cost = shared.alloc(kGridW * kGridH * 8);
+        lay.queue = shared.alloc(64);
+        std::vector<KernelFn> kernels;
+        for (std::uint32_t t = 0; t < n_threads; ++t) {
+            LocusParams p{lay, t, n_threads, seed, false};
+            kernels.push_back(
+                [p](Emitter &e) { return locusThread(e, p); });
+        }
+        return kernels;
+    };
+}
+
+KernelFn
+makeLocusUniKernel()
+{
+    return [](Emitter &e) {
+        LocusLayout lay;
+        lay.cost = e.mem().alloc(kGridW * kGridH * 8);
+        lay.queue = e.mem().alloc(64);
+        return locusThread(e, LocusParams{lay, 0, 1, 13, true});
+    };
+}
+
+} // namespace mtsim

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * SPLASH MP3D: rarefied hypersonic flow with a particle-in-cell
+ * method. Each step moves every particle (short FP work) and
+ * scatters updates into the shared space-cell array - the scattered
+ * read-modify-writes to cells owned by other processors make MP3D
+ * the most communication-bound SPLASH application.
+ */
+
+#include "splash/splash_suite.hh"
+#include "workload/emitter.hh"
+
+namespace mtsim {
+
+namespace {
+
+constexpr std::uint32_t kParticles = 12 * 1024;
+constexpr std::uint32_t kPartBytes = 48;   // x,v,cell + padding
+constexpr std::uint32_t kCells = 4096;
+constexpr std::uint32_t kCellBytes = 32;
+constexpr std::uint32_t kSteps = 4;
+
+struct Mp3dLayout
+{
+    Addr part = 0;
+    Addr cells = 0;
+};
+
+struct Mp3dParams
+{
+    Mp3dLayout lay;
+    std::uint32_t tid = 0;
+    std::uint32_t nThreads = 1;
+    std::uint64_t seed = 1;
+    bool forever = false;
+};
+
+KernelCoro
+mp3dThread(Emitter &e, Mp3dParams p)
+{
+    auto part = [&](std::uint32_t i) {
+        return p.lay.part + static_cast<Addr>(i) * kPartBytes;
+    };
+    auto cellAt = [&](std::uint32_t c) {
+        return p.lay.cells + static_cast<Addr>(c % kCells) * kCellBytes;
+    };
+    const std::uint32_t chunk =
+        (kParticles + p.nThreads - 1) / p.nThreads;
+    const std::uint32_t lo = p.tid * chunk;
+    const std::uint32_t hi =
+        (lo + chunk < kParticles) ? lo + chunk : kParticles;
+    Rng rng(p.seed + 39916801ull * (p.tid + 1));
+
+    // Initialise the particle partition.
+    EmitLoop init(e);
+    for (std::uint32_t i = lo;; i += 8) {
+        if (i < hi)
+            e.store(part(i), e.fadd());
+        if (!init.next(i + 8 < hi))
+            break;
+    }
+    e.barrier(kStatsBarrier);
+    co_await e.pause();
+
+    std::uint32_t cell_walk =
+        static_cast<std::uint32_t>(rng.next());
+    EmitLoop forever(e);
+    for (;;) {
+        EmitLoop steps(e);
+        for (std::uint32_t step = 0;; ++step) {
+            EmitLoop move(e);
+            for (std::uint32_t i = lo;; ++i) {
+                if (i < hi) {
+                    // Move: load position/velocity, advance.
+                    RegId x = e.fload(part(i));
+                    RegId v = e.fload(part(i) + 8);
+                    RegId nx = e.fadd(x, e.fmul(v, v));
+                    e.store(part(i), nx);
+                    // Scatter into the (shared) space cell: the
+                    // particle's cell is effectively random, so most
+                    // updates touch lines dirty in other caches.
+                    cell_walk = cell_walk * 1664525u + 1013904223u;
+                    const std::uint32_t c =
+                        (cell_walk >> 10) % kCells;
+                    RegId cnt = e.load(cellAt(c));
+                    e.store(cellAt(c), e.iop(cnt));
+                    RegId en = e.fload(cellAt(c) + 8);
+                    e.store(cellAt(c) + 8, e.fadd(en, nx));
+                    // Occasional collision: a divide.
+                    const bool collide = rng.chance(0.2);
+                    e.branchFwd(cnt, !collide, 2);
+                    if (collide) {
+                        RegId r = e.fdiv(nx, en, true);
+                        e.store(part(i) + 16, r);
+                    }
+                }
+                if ((i & 31) == 31)
+                    co_await e.pause();
+                if (!move.next(i + 1 < hi))
+                    break;
+            }
+            e.barrier(1);
+            co_await e.pause();
+            if (!steps.next(step + 1 < kSteps))
+                break;
+        }
+        if (!p.forever)
+            co_return;
+        forever.next(true);
+    }
+}
+
+} // namespace
+
+ParallelAppFn
+makeMp3dApp()
+{
+    return [](std::uint32_t n_threads, AddressSpace &shared,
+              std::uint64_t seed) {
+        Mp3dLayout lay;
+        lay.part = shared.alloc(kParticles * kPartBytes);
+        lay.cells = shared.alloc(kCells * kCellBytes);
+        std::vector<KernelFn> kernels;
+        for (std::uint32_t t = 0; t < n_threads; ++t) {
+            Mp3dParams p{lay, t, n_threads, seed, false};
+            kernels.push_back(
+                [p](Emitter &e) { return mp3dThread(e, p); });
+        }
+        return kernels;
+    };
+}
+
+KernelFn
+makeMp3dUniKernel()
+{
+    return [](Emitter &e) {
+        Mp3dLayout lay;
+        lay.part = e.mem().alloc(kParticles * kPartBytes);
+        lay.cells = e.mem().alloc(kCells * kCellBytes);
+        return mp3dThread(e, Mp3dParams{lay, 0, 1, 7, true});
+    };
+}
+
+} // namespace mtsim

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * SPLASH Ocean: eddy currents in an ocean basin. Red/black
+ * Gauss-Seidel relaxation sweeps over a shared grid partitioned into
+ * row bands; boundary rows are written by one processor and read by
+ * its neighbour, producing regular nearest-neighbour communication.
+ * Barriers separate the red and black half-sweeps and the timestep
+ * phases.
+ */
+
+#include "splash/splash_suite.hh"
+#include "workload/emitter.hh"
+
+namespace mtsim {
+
+namespace {
+
+constexpr std::uint32_t kN = 66;       // 66x66 grid
+constexpr std::uint32_t kSteps = 3;
+constexpr std::uint32_t kSweeps = 3;   // relaxations per step
+
+struct OceanLayout
+{
+    Addr grid = 0;
+    Addr rhs = 0;
+};
+
+struct OceanParams
+{
+    OceanLayout lay;
+    std::uint32_t tid = 0;
+    std::uint32_t nThreads = 1;
+    bool forever = false;
+};
+
+KernelCoro
+oceanThread(Emitter &e, OceanParams p)
+{
+    auto at = [&](Addr m, std::uint32_t i, std::uint32_t j) {
+        return m + (static_cast<Addr>(i) * kN + j) * 8;
+    };
+    const std::uint32_t rows = kN - 2;
+    const std::uint32_t chunk = (rows + p.nThreads - 1) / p.nThreads;
+    const std::uint32_t lo = 1 + p.tid * chunk;
+    const std::uint32_t hi =
+        (lo + chunk < kN - 1) ? lo + chunk : kN - 1;
+
+    // Initialise this band.
+    EmitLoop init(e);
+    for (std::uint32_t i = lo;; ++i) {
+        if (i < hi) {
+            EmitLoop cols(e);
+            for (std::uint32_t j = 0;; j += 4) {
+                e.store(at(p.lay.grid, i, j), e.fadd());
+                if (!cols.next(j + 4 < kN))
+                    break;
+            }
+        }
+        if (!init.next(i + 1 < hi))
+            break;
+    }
+    e.barrier(kStatsBarrier);
+    co_await e.pause();
+
+    EmitLoop forever(e);
+    for (;;) {
+        EmitLoop steps(e);
+        for (std::uint32_t step = 0;; ++step) {
+            EmitLoop sweeps(e);
+            for (std::uint32_t sweep = 0;; ++sweep) {
+                // Two coloured half-sweeps with a barrier between.
+                EmitLoop colour_loop(e);
+                for (std::uint32_t colour = 0;; ++colour) {
+                    EmitLoop iloop(e);
+                    for (std::uint32_t i = lo;; ++i) {
+                        if (i < hi) {
+                            EmitLoop jloop(e);
+                            for (std::uint32_t j =
+                                     1 + ((i + colour) & 1);;
+                                 j += 2) {
+                                RegId c =
+                                    e.fload(at(p.lay.grid, i, j));
+                                RegId n =
+                                    e.fload(at(p.lay.grid, i - 1, j));
+                                RegId s =
+                                    e.fload(at(p.lay.grid, i + 1, j));
+                                RegId w =
+                                    e.fload(at(p.lay.grid, i, j - 1));
+                                RegId ea =
+                                    e.fload(at(p.lay.grid, i, j + 1));
+                                RegId f =
+                                    e.fload(at(p.lay.rhs, i, j));
+                                RegId sum = e.fadd(e.fadd(n, s),
+                                                   e.fadd(w, ea));
+                                RegId res = e.fadd(e.fmul(sum, f), c);
+                                e.store(at(p.lay.grid, i, j),
+                                        e.fadd(c, res));
+                                if (!jloop.next(j + 2 < kN - 1))
+                                    break;
+                            }
+                        }
+                        co_await e.pause();
+                        if (!iloop.next(i + 1 < hi))
+                            break;
+                    }
+                    e.barrier(1 + colour);
+                    co_await e.pause();
+                    if (!colour_loop.next(colour == 0))
+                        break;
+                }
+                if (!sweeps.next(sweep + 1 < kSweeps))
+                    break;
+            }
+            // Residual phase with a divide, then the step barrier.
+            RegId acc = e.fadd();
+            EmitLoop res(e);
+            for (std::uint32_t i = lo;; ++i) {
+                if (i < hi) {
+                    RegId v = e.fload(at(p.lay.grid, i, kN / 2));
+                    acc = e.fadd(acc, e.fmul(v, v));
+                }
+                if (!res.next(i + 1 < hi))
+                    break;
+            }
+            RegId norm = e.fdiv(acc, e.fadd(acc, acc));
+            e.store(at(p.lay.rhs, lo, 0), norm);
+            e.barrier(3);
+            co_await e.pause();
+            if (!steps.next(step + 1 < kSteps))
+                break;
+        }
+        if (!p.forever)
+            co_return;
+        forever.next(true);
+    }
+}
+
+} // namespace
+
+ParallelAppFn
+makeOceanApp()
+{
+    return [](std::uint32_t n_threads, AddressSpace &shared,
+              std::uint64_t) {
+        OceanLayout lay;
+        lay.grid = shared.alloc(kN * kN * 8);
+        lay.rhs = shared.alloc(kN * kN * 8);
+        std::vector<KernelFn> kernels;
+        for (std::uint32_t t = 0; t < n_threads; ++t) {
+            OceanParams p{lay, t, n_threads, false};
+            kernels.push_back(
+                [p](Emitter &e) { return oceanThread(e, p); });
+        }
+        return kernels;
+    };
+}
+
+KernelFn
+makeOceanUniKernel()
+{
+    return [](Emitter &e) {
+        OceanLayout lay;
+        lay.grid = e.mem().alloc(kN * kN * 8);
+        lay.rhs = e.mem().alloc(kN * kN * 8);
+        return oceanThread(e, OceanParams{lay, 0, 1, true});
+    };
+}
+
+} // namespace mtsim

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * SPLASH PTHOR: parallel event-driven digital logic simulation
+ * (Chandy-Misra style). Gates are distributed across threads; each
+ * simulated clock cycle a thread drains its event list, evaluates
+ * gates (integer work), and posts events onto the fanout gates'
+ * owners' lists under per-list locks. Frequent small critical
+ * sections and per-cycle barriers give PTHOR the suite's largest
+ * synchronisation component.
+ */
+
+#include "splash/splash_suite.hh"
+#include "workload/emitter.hh"
+
+namespace mtsim {
+
+namespace {
+
+constexpr std::uint32_t kGates = 1200;
+constexpr std::uint32_t kGateBytes = 48;
+constexpr std::uint32_t kFanout = 3;
+constexpr std::uint32_t kCycles = 20;
+constexpr std::uint32_t kListLockBase = 600;
+constexpr std::uint32_t kEventsPerList = 64;
+
+struct PthorLayout
+{
+    Addr gate = 0;
+    Addr list = 0;    ///< per-thread event lists
+};
+
+struct PthorParams
+{
+    PthorLayout lay;
+    std::uint32_t tid = 0;
+    std::uint32_t nThreads = 1;
+    std::uint64_t seed = 1;
+    bool forever = false;
+};
+
+KernelCoro
+pthorThread(Emitter &e, PthorParams p)
+{
+    auto gate = [&](std::uint32_t g) {
+        return p.lay.gate + static_cast<Addr>(g % kGates) * kGateBytes;
+    };
+    auto list = [&](std::uint32_t owner, std::uint32_t slot) {
+        return p.lay.list +
+               (static_cast<Addr>(owner % p.nThreads) *
+                    kEventsPerList +
+                (slot % kEventsPerList)) * 8;
+    };
+    const std::uint32_t chunk =
+        (kGates + p.nThreads - 1) / p.nThreads;
+    const std::uint32_t lo = p.tid * chunk;
+    const std::uint32_t hi =
+        (lo + chunk < kGates) ? lo + chunk : kGates;
+    Rng rng(p.seed + 2246822519ull * (p.tid + 1));
+
+    EmitLoop init(e);
+    for (std::uint32_t g = lo;; ++g) {
+        if (g < hi)
+            e.store(gate(g), e.imm());
+        if (!init.next(g + 1 < hi))
+            break;
+    }
+    e.barrier(kStatsBarrier);
+    co_await e.pause();
+
+    EmitLoop forever(e);
+    for (;;) {
+        EmitLoop cycles(e);
+        for (std::uint32_t cyc = 0;; ++cyc) {
+            // Drain my event list and evaluate affected gates; the
+            // event count scales with the gates this thread owns so
+            // total work is independent of the thread count.
+            const std::uint32_t events =
+                hi > lo ? ((hi - lo) + 2) / 3 : 1;
+            EmitLoop drain(e);
+            for (std::uint32_t n = 0;; ++n) {
+                const std::uint32_t g =
+                    lo + static_cast<std::uint32_t>(
+                             rng.range(hi > lo ? hi - lo : 1));
+                // Evaluate: load inputs, compute new output.
+                RegId in0 = e.load(gate(g));
+                RegId in1 = e.load(gate(g) + 8);
+                RegId out = e.iop(in0, in1);
+                RegId old = e.load(gate(g) + 16);
+                e.store(gate(g) + 16, out);
+                // Changed? Post events to fanout gate owners.
+                const bool changed = rng.chance(0.55);
+                // Post body = 7 ops per fanout branch (lock, load,
+                // two iop+store pairs, unlock).
+                e.branchFwd(old, !changed, 7 * kFanout);
+                if (changed) {
+                    for (std::uint32_t f = 0; f < kFanout; ++f) {
+                        const std::uint32_t dst =
+                            (g * 7919u + f * 104729u) % kGates;
+                        const std::uint32_t owner = dst / chunk;
+                        e.lock(kListLockBase +
+                               (owner % p.nThreads));
+                        RegId head = e.load(list(owner, 0));
+                        e.store(list(owner, 1 + (n + f) %
+                                                (kEventsPerList - 1)),
+                                e.iop(head));
+                        e.store(list(owner, 0), e.iop(head));
+                        e.unlock(kListLockBase +
+                                 (owner % p.nThreads));
+                    }
+                }
+                if ((n & 15) == 15)
+                    co_await e.pause();
+                if (!drain.next(n + 1 < events))
+                    break;
+            }
+            // Deadlock-avoidance / cycle barrier.
+            e.barrier(1);
+            co_await e.pause();
+            if (!cycles.next(cyc + 1 < kCycles))
+                break;
+        }
+        if (!p.forever)
+            co_return;
+        forever.next(true);
+    }
+}
+
+} // namespace
+
+ParallelAppFn
+makePthorApp()
+{
+    return [](std::uint32_t n_threads, AddressSpace &shared,
+              std::uint64_t seed) {
+        PthorLayout lay;
+        lay.gate = shared.alloc(kGates * kGateBytes);
+        lay.list = shared.alloc(
+            static_cast<std::uint64_t>(n_threads) * kEventsPerList *
+            8);
+        std::vector<KernelFn> kernels;
+        for (std::uint32_t t = 0; t < n_threads; ++t) {
+            PthorParams p{lay, t, n_threads, seed, false};
+            kernels.push_back(
+                [p](Emitter &e) { return pthorThread(e, p); });
+        }
+        return kernels;
+    };
+}
+
+KernelFn
+makePthorUniKernel()
+{
+    return [](Emitter &e) {
+        PthorLayout lay;
+        lay.gate = e.mem().alloc(kGates * kGateBytes);
+        lay.list = e.mem().alloc(kEventsPerList * 8);
+        return pthorThread(e, PthorParams{lay, 0, 1, 17, true});
+    };
+}
+
+} // namespace mtsim

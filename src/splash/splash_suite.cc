@@ -1,0 +1,70 @@
+#include "splash/splash_suite.hh"
+
+#include <stdexcept>
+
+namespace mtsim {
+
+// Endless single-threaded variants, defined alongside each app.
+KernelFn makeMp3dUniKernel();
+KernelFn makeBarnesUniKernel();
+KernelFn makeWaterUniKernel();
+KernelFn makeOceanUniKernel();
+KernelFn makeLocusUniKernel();
+KernelFn makePthorUniKernel();
+KernelFn makeSplashCholeskyUniKernel();
+
+ParallelAppFn
+splashApp(const std::string &name)
+{
+    if (name == "mp3d")
+        return makeMp3dApp();
+    if (name == "barnes")
+        return makeBarnesApp();
+    if (name == "water")
+        return makeWaterApp();
+    if (name == "ocean")
+        return makeOceanApp();
+    if (name == "locus")
+        return makeLocusApp();
+    if (name == "pthor")
+        return makePthorApp();
+    if (name == "cholesky")
+        return makeSplashCholeskyApp();
+    throw std::invalid_argument("unknown SPLASH app: " + name);
+}
+
+std::vector<std::string>
+splashApps()
+{
+    return {"mp3d", "barnes", "water", "ocean",
+            "locus", "pthor",  "cholesky"};
+}
+
+KernelFn
+splashUniKernel(const std::string &name)
+{
+    if (name == "mp3d")
+        return makeMp3dUniKernel();
+    if (name == "barnes")
+        return makeBarnesUniKernel();
+    if (name == "water")
+        return makeWaterUniKernel();
+    if (name == "ocean")
+        return makeOceanUniKernel();
+    if (name == "locus")
+        return makeLocusUniKernel();
+    if (name == "pthor")
+        return makePthorUniKernel();
+    if (name == "cholesky")
+        return makeSplashCholeskyUniKernel();
+    throw std::invalid_argument("unknown SPLASH app: " + name);
+}
+
+std::vector<std::string>
+spWorkload()
+{
+    // Table 5: SP = uniprocessor versions of four SPLASH codes.
+    return {"mp3d", "water", "locus", "barnes"};
+}
+
+} // namespace mtsim

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * SPLASH-like parallel applications (Table 9), reimplemented from
+ * scratch at the scaled sizes in DESIGN.md: MP3D, Barnes-Hut, Water,
+ * Ocean, LocusRoute, PTHOR and Cholesky. Each is available in two
+ * forms: a ParallelAppFn (one thread per hardware context, finite
+ * work, barrier 0 marks end-of-initialisation for the statistics
+ * reset) driving the multiprocessor experiments, and an endless
+ * single-threaded kernel used by the paper's SP uniprocessor
+ * workload.
+ */
+
+#ifndef MTSIM_SPLASH_SPLASH_SUITE_HH
+#define MTSIM_SPLASH_SPLASH_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "system/mp_system.hh"
+#include "workload/program.hh"
+
+namespace mtsim {
+
+/** Barrier id reserved for "initialisation finished" (stats reset). */
+inline constexpr std::uint32_t kStatsBarrier = 0;
+
+ParallelAppFn makeMp3dApp();     ///< rarefied hypersonic flow
+ParallelAppFn makeBarnesApp();   ///< hierarchical N-body gravitation
+ParallelAppFn makeWaterApp();    ///< water molecule interaction
+ParallelAppFn makeOceanApp();    ///< eddy currents in an ocean basin
+ParallelAppFn makeLocusApp();    ///< VLSI standard-cell wire routing
+ParallelAppFn makePthorApp();    ///< digital logic simulation
+ParallelAppFn makeSplashCholeskyApp(); ///< sparse Cholesky factoring
+
+/** Parallel application by name; throws on unknown names. */
+ParallelAppFn splashApp(const std::string &name);
+
+/** All application names, in the paper's Table 9/10 order. */
+std::vector<std::string> splashApps();
+
+/** Endless single-threaded variant (the SP workload's members). */
+KernelFn splashUniKernel(const std::string &name);
+
+/** The SP uniprocessor workload of Table 5. */
+std::vector<std::string> spWorkload();
+
+} // namespace mtsim
+
+#endif // MTSIM_SPLASH_SPLASH_SUITE_HH

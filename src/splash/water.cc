@@ -1,0 +1,182 @@
+/**
+ * @file
+ * SPLASH Water: molecular dynamics of liquid water. Each step
+ * computes intra-molecule geometry, then O(n^2/2) inter-molecule
+ * pair forces over a half shell (per-molecule locks guard the force
+ * accumulation), then integrates positions. The force kernels are
+ * saturated with floating-point divides - the paper calls out Water
+ * (with Barnes) as having the largest instruction-latency component.
+ */
+
+#include "splash/splash_suite.hh"
+#include "workload/emitter.hh"
+
+namespace mtsim {
+
+namespace {
+
+constexpr std::uint32_t kMolecules = 96;
+constexpr std::uint32_t kMolBytes = 128;   // 9 atoms-ish of state
+constexpr std::uint32_t kSteps = 2;
+
+struct WaterLayout
+{
+    Addr mol = 0;       // positions / velocities
+    Addr frc = 0;       // force accumulators
+};
+
+struct WaterParams
+{
+    WaterLayout lay;
+    std::uint32_t tid = 0;
+    std::uint32_t nThreads = 1;
+    bool forever = false;
+};
+
+KernelCoro
+waterThread(Emitter &e, WaterParams p)
+{
+    auto mol = [&](std::uint32_t i) {
+        return p.lay.mol + static_cast<Addr>(i) * kMolBytes;
+    };
+    auto frc = [&](std::uint32_t i) {
+        return p.lay.frc + static_cast<Addr>(i) * kMolBytes;
+    };
+    const std::uint32_t chunk =
+        (kMolecules + p.nThreads - 1) / p.nThreads;
+    const std::uint32_t lo = p.tid * chunk;
+    const std::uint32_t hi =
+        (lo + chunk < kMolecules) ? lo + chunk : kMolecules;
+
+    // Initialise this thread's molecules (touch the partition).
+    EmitLoop init(e);
+    for (std::uint32_t i = lo;; ++i) {
+        if (i < hi) {
+            e.store(mol(i), e.fadd());
+            e.store(frc(i), e.fadd());
+        }
+        if (!init.next(i + 1 < hi))
+            break;
+    }
+    e.barrier(kStatsBarrier);
+    co_await e.pause();
+
+    EmitLoop forever(e);
+    for (;;) {
+        EmitLoop steps(e);
+        for (std::uint32_t step = 0;; ++step) {
+            // Phase 1: intra-molecular geometry (independent).
+            EmitLoop intra(e);
+            for (std::uint32_t i = lo;; ++i) {
+                if (i < hi) {
+                    RegId x = e.fload(mol(i));
+                    RegId y = e.fload(mol(i) + 8);
+                    RegId z = e.fload(mol(i) + 16);
+                    RegId r2 = e.fadd(e.fmul(x, x),
+                                      e.fadd(e.fmul(y, y),
+                                             e.fmul(z, z)));
+                    RegId inv = e.fdiv(e.fadd(x, y), r2);
+                    e.store(mol(i) + 24, e.fmul(inv, inv));
+                }
+                if (!intra.next(i + 1 < hi))
+                    break;
+            }
+            e.barrier(1);
+            co_await e.pause();
+
+            // Phase 2: inter-molecular pair forces (half shell).
+            EmitLoop pairs(e);
+            for (std::uint32_t i = lo;; ++i) {
+                if (i < hi) {
+                    EmitLoop shell(e);
+                    for (std::uint32_t d = 1;; ++d) {
+                        const std::uint32_t j =
+                            (i + d) % kMolecules;
+                        RegId xi = e.fload(mol(i));
+                        RegId xj = e.fload(mol(j));
+                        RegId yi = e.fload(mol(i) + 8);
+                        RegId yj = e.fload(mol(j) + 8);
+                        RegId dx = e.fadd(xi, xj);
+                        RegId dy = e.fadd(yi, yj);
+                        RegId r2 = e.fadd(e.fmul(dx, dx),
+                                          e.fmul(dy, dy));
+                        // O-O, O-H, H-H terms: three divides.
+                        RegId f1 = e.fdiv(dx, r2);
+                        RegId f2 = e.fdiv(dy, r2, true);
+                        RegId f3 = e.fdiv(r2, e.fadd(f1, f2), true);
+                        RegId fs = e.fadd(f1, e.fmul(f2, f3));
+                        // Accumulate forces under per-molecule locks.
+                        e.lock(100 + i);
+                        RegId fi = e.fload(frc(i));
+                        e.store(frc(i), e.fadd(fi, fs));
+                        e.unlock(100 + i);
+                        e.lock(100 + j);
+                        RegId fj = e.fload(frc(j));
+                        e.store(frc(j), e.fadd(fj, fs));
+                        e.unlock(100 + j);
+                        if (!shell.next(d < kMolecules / 2))
+                            break;
+                    }
+                    co_await e.pause();
+                }
+                if (!pairs.next(i + 1 < hi))
+                    break;
+            }
+            e.barrier(2);
+            co_await e.pause();
+
+            // Phase 3: integrate positions.
+            EmitLoop integ(e);
+            for (std::uint32_t i = lo;; ++i) {
+                if (i < hi) {
+                    RegId f = e.fload(frc(i));
+                    RegId x = e.fload(mol(i));
+                    e.store(mol(i), e.fadd(x, e.fmul(f, f)));
+                    e.store(frc(i), e.fadd());
+                }
+                if (!integ.next(i + 1 < hi))
+                    break;
+            }
+            e.barrier(3);
+            co_await e.pause();
+            if (!steps.next(step + 1 < kSteps))
+                break;
+        }
+        if (!p.forever)
+            co_return;
+        forever.next(true);
+    }
+}
+
+} // namespace
+
+ParallelAppFn
+makeWaterApp()
+{
+    return [](std::uint32_t n_threads, AddressSpace &shared,
+              std::uint64_t) {
+        WaterLayout lay;
+        lay.mol = shared.alloc(kMolecules * kMolBytes);
+        lay.frc = shared.alloc(kMolecules * kMolBytes);
+        std::vector<KernelFn> kernels;
+        for (std::uint32_t t = 0; t < n_threads; ++t) {
+            WaterParams p{lay, t, n_threads, false};
+            kernels.push_back(
+                [p](Emitter &e) { return waterThread(e, p); });
+        }
+        return kernels;
+    };
+}
+
+KernelFn
+makeWaterUniKernel()
+{
+    return [](Emitter &e) {
+        WaterLayout lay;
+        lay.mol = e.mem().alloc(kMolecules * kMolBytes);
+        lay.frc = e.mem().alloc(kMolecules * kMolBytes);
+        return waterThread(e, WaterParams{lay, 0, 1, true});
+    };
+}
+
+} // namespace mtsim

@@ -1,0 +1,95 @@
+#include "sync/sync_manager.hh"
+
+#include <utility>
+
+namespace mtsim {
+
+SyncManager::SyncManager(const MpMemParams &mp, std::uint64_t seed)
+    : mp_(mp), rng_(seed)
+{}
+
+SyncManager::LockResult
+SyncManager::lock(std::uint32_t id, Cycle now, WakeFn wake)
+{
+    LockState &l = locks_[id];
+    if (!l.held) {
+        l.held = true;
+        ++uncontended_;
+        return {true, now + kUncontendedLat};
+    }
+    ++contended_;
+    l.waiters.push_back(std::move(wake));
+    return {false, 0};
+}
+
+void
+SyncManager::unlock(std::uint32_t id, Cycle now)
+{
+    LockState &l = locks_[id];
+    if (l.waiters.empty()) {
+        l.held = false;
+        return;
+    }
+    // Hand the lock straight to the queue head: the line migrates
+    // from the releaser's cache to the new owner's cache.
+    WakeFn next = std::move(l.waiters.front());
+    l.waiters.pop_front();
+    Cycle handoff = now + rng_.rangeInclusive(mp_.remoteCacheLo,
+                                              mp_.remoteCacheHi);
+    next(handoff);
+}
+
+SyncManager::BarrierResult
+SyncManager::arrive(std::uint32_t id, std::uint32_t total, Cycle now,
+                    WakeFn wake)
+{
+    if (total <= 1)
+        return {true, now + 1};
+
+    BarrierState &b = barriers_[id];
+    ++b.arrived;
+    if (b.arrived < total) {
+        b.waiters.push_back(std::move(wake));
+        return {false, 0};
+    }
+
+    // Last arriver: release everyone with a staggered invalidate
+    // fan-out of the release flag.
+    ++barrierEpisodes_;
+    Cycle release = now + rng_.rangeInclusive(mp_.remoteMemLo,
+                                              mp_.remoteMemHi);
+    Cycle stagger = 0;
+    for (WakeFn &w : b.waiters)
+        w(release + ++stagger);
+    b.waiters.clear();
+    b.arrived = 0;
+    if (hook_)
+        hook_(id, release);
+    return {true, now + 1};
+}
+
+bool
+SyncManager::held(std::uint32_t id) const
+{
+    auto it = locks_.find(id);
+    return it != locks_.end() && it->second.held;
+}
+
+std::size_t
+SyncManager::lockWaiters(std::uint32_t id) const
+{
+    auto it = locks_.find(id);
+    return it == locks_.end() ? 0 : it->second.waiters.size();
+}
+
+void
+SyncManager::reset()
+{
+    locks_.clear();
+    barriers_.clear();
+    contended_ = 0;
+    uncontended_ = 0;
+    barrierEpisodes_ = 0;
+}
+
+} // namespace mtsim

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Interprocess synchronization for the multiprocessor study: a lock
+ * table with FIFO handoff and sense-reversing barriers. Waiting
+ * contexts are made unavailable (blocked: explicit switch,
+ * interleaved: backoff) and woken when the lock or barrier releases;
+ * the wait time is the paper's "synchronization" category.
+ */
+
+#ifndef MTSIM_SYNC_SYNC_MANAGER_HH
+#define MTSIM_SYNC_SYNC_MANAGER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace mtsim {
+
+class SyncManager
+{
+  public:
+    /** Called with the cycle at which the waiter may resume. */
+    using WakeFn = std::function<void(Cycle)>;
+
+    SyncManager(const MpMemParams &mp, std::uint64_t seed);
+
+    struct LockResult
+    {
+        bool acquired = false;
+        /** Cycle the acquire completes when acquired immediately. */
+        Cycle ready = 0;
+    };
+
+    /**
+     * Attempt to acquire lock @p id at @p now. On contention the
+     * caller is queued and @p wake fires when the lock is handed
+     * over (the lock is then owned by the caller).
+     */
+    LockResult lock(std::uint32_t id, Cycle now, WakeFn wake);
+
+    /** Release lock @p id, handing it to the queue head if any. */
+    void unlock(std::uint32_t id, Cycle now);
+
+    struct BarrierResult
+    {
+        bool released = false;
+        Cycle ready = 0;
+    };
+
+    /**
+     * Arrive at barrier @p id with @p total participants. The last
+     * arriver releases everyone; earlier arrivers are woken through
+     * their @p wake callbacks with slightly staggered resume cycles
+     * (the invalidate fan-out of the release).
+     */
+    BarrierResult arrive(std::uint32_t id, std::uint32_t total,
+                         Cycle now, WakeFn wake);
+
+    /** True if lock @p id is currently held. */
+    bool held(std::uint32_t id) const;
+
+    /** Waiters currently queued on lock @p id. */
+    std::size_t lockWaiters(std::uint32_t id) const;
+
+    /** Hook fired when a barrier releases (id, release cycle). */
+    using BarrierHook = std::function<void(std::uint32_t, Cycle)>;
+    void setBarrierHook(BarrierHook hook) { hook_ = std::move(hook); }
+
+    std::uint64_t contendedAcquires() const { return contended_; }
+    std::uint64_t uncontendedAcquires() const { return uncontended_; }
+    std::uint64_t barrierEpisodes() const { return barrierEpisodes_; }
+
+    void reset();
+
+  private:
+    struct LockState
+    {
+        bool held = false;
+        std::deque<WakeFn> waiters;
+    };
+
+    struct BarrierState
+    {
+        std::uint32_t arrived = 0;
+        std::vector<WakeFn> waiters;
+    };
+
+    /** Cached test&set on a locally held line. */
+    static constexpr std::uint32_t kUncontendedLat = 3;
+
+    MpMemParams mp_;
+    Rng rng_;
+    std::unordered_map<std::uint32_t, LockState> locks_;
+    std::unordered_map<std::uint32_t, BarrierState> barriers_;
+    std::uint64_t contended_ = 0;
+    std::uint64_t uncontended_ = 0;
+    std::uint64_t barrierEpisodes_ = 0;
+    BarrierHook hook_;
+};
+
+} // namespace mtsim
+
+#endif // MTSIM_SYNC_SYNC_MANAGER_HH

@@ -1,0 +1,127 @@
+#include "system/mp_system.hh"
+
+namespace mtsim {
+
+namespace {
+
+Addr
+threadCodeBase(std::uint32_t tid)
+{
+    // Staggered so threads do not collide on identical cache indices.
+    return ((static_cast<Addr>(tid) + 1) << 32) +
+           static_cast<Addr>(tid) * 0x7000;
+}
+
+Addr
+threadDataBase(std::uint32_t tid)
+{
+    return threadCodeBase(tid) + 0x10000000ull +
+           static_cast<Addr>(tid) * 0x13000;
+}
+
+/** Shared segment, above every thread-private segment. */
+constexpr Addr kSharedBase = 0x4000000000ull;
+
+} // namespace
+
+MpSystem::MpSystem(const Config &cfg)
+    : cfg_(cfg), mem_(cfg_), sync_(cfg_.mpMem, cfg_.seed + 31)
+{
+    procs_.reserve(cfg_.numProcessors);
+    const std::uint32_t n_threads = numThreads();
+    for (ProcId p = 0; p < cfg_.numProcessors; ++p) {
+        procs_.push_back(std::make_unique<Processor>(
+            cfg_, mem_, p, &sync_, n_threads));
+    }
+}
+
+std::uint32_t
+MpSystem::numThreads() const
+{
+    return static_cast<std::uint32_t>(cfg_.numProcessors) *
+           cfg_.numContexts;
+}
+
+void
+MpSystem::loadApp(const ParallelAppFn &app)
+{
+    const std::uint32_t n = numThreads();
+    AddressSpace shared(kSharedBase);
+    std::vector<KernelFn> kernels = app(n, shared, cfg_.seed);
+    for (std::uint32_t t = 0; t < n; ++t) {
+        sources_.push_back(std::make_unique<ThreadSource>(
+            threadCodeBase(t), threadDataBase(t),
+            cfg_.seed + 577 * (t + 1), kernels[t]));
+        const ProcId p = static_cast<ProcId>(t % cfg_.numProcessors);
+        const CtxId c = static_cast<CtxId>(t / cfg_.numProcessors);
+        procs_[p]->context(c).loadThread(sources_.back().get(), t);
+    }
+}
+
+void
+MpSystem::setStatsBarrier(std::uint32_t id)
+{
+    statsBarrier_ = id;
+    sync_.setBarrierHook([this](std::uint32_t bid, Cycle) {
+        if (bid == statsBarrier_ && !statsCleared_)
+            statsPending_ = true;
+    });
+}
+
+void
+MpSystem::clearAllStats()
+{
+    for (auto &p : procs_)
+        p->clearStats();
+    statsStart_ = now_;
+    statsCleared_ = true;
+    statsPending_ = false;
+}
+
+bool
+MpSystem::finished() const
+{
+    for (const auto &p : procs_) {
+        if (!p->allFinished())
+            return false;
+    }
+    return true;
+}
+
+Cycle
+MpSystem::run(Cycle max_cycles)
+{
+    const Cycle end = now_ + max_cycles;
+    while (now_ < end) {
+        mem_.tick(now_);
+        for (auto &p : procs_)
+            p->tick(now_);
+        if (statsPending_)
+            clearAllStats();
+        ++now_;
+        if ((now_ & 63) == 0 && finished())
+            break;
+    }
+    measured_ = now_ - statsStart_;
+    return measured_;
+}
+
+CycleBreakdown
+MpSystem::aggregateBreakdown() const
+{
+    CycleBreakdown sum;
+    for (const auto &p : procs_)
+        sum += p->breakdown();
+    return sum;
+}
+
+std::uint64_t
+MpSystem::retired() const
+{
+    std::uint64_t n = 0;
+    for (const auto &p : procs_)
+        n += p->retired();
+    return n;
+}
+
+} // namespace mtsim

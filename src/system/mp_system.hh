@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The scalable shared-memory multiprocessor of Figure 1: N nodes,
+ * each a (multiple-context) processor with a private coherent data
+ * cache, running one parallel application with one software thread
+ * per hardware context. This is the top-level object the
+ * multiprocessor experiments (Table 10, Figures 8-9) drive.
+ */
+
+#ifndef MTSIM_SYSTEM_MP_SYSTEM_HH
+#define MTSIM_SYSTEM_MP_SYSTEM_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "coherence/mp_mem_system.hh"
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "core/processor.hh"
+#include "sync/sync_manager.hh"
+#include "workload/emitter.hh"
+#include "workload/program.hh"
+
+namespace mtsim {
+
+/**
+ * Builds the per-thread kernels of one parallel application: given
+ * the thread count, a shared address space and a seed, returns
+ * nThreads kernels that cooperate through shared addresses and
+ * lock/barrier ids.
+ */
+using ParallelAppFn = std::function<std::vector<KernelFn>(
+    std::uint32_t n_threads, AddressSpace &shared,
+    std::uint64_t seed)>;
+
+class MpSystem
+{
+  public:
+    explicit MpSystem(const Config &cfg);
+
+    /** Total hardware thread slots (processors x contexts). */
+    std::uint32_t numThreads() const;
+
+    /**
+     * Instantiate the application with one thread per hardware
+     * context. Thread t runs on processor t % P, context t / P, so
+     * data distribution is stable as the context count varies.
+     */
+    void loadApp(const ParallelAppFn &app);
+
+    /**
+     * Barrier id whose first release resets statistics (the paper
+     * discards each application's initialisation / first step).
+     */
+    void setStatsBarrier(std::uint32_t id);
+
+    /**
+     * Run until every thread finishes (or @p max_cycles elapse).
+     * @return measured cycles (from the stats barrier, if one fired).
+     */
+    Cycle run(Cycle max_cycles = 500000000ull);
+
+    bool finished() const;
+
+    /** Sum of all processors' cycle breakdowns. */
+    CycleBreakdown aggregateBreakdown() const;
+
+    Processor &processor(ProcId p) { return *procs_[p]; }
+    MpMemSystem &mem() { return mem_; }
+    SyncManager &sync() { return sync_; }
+    const Config &config() const { return cfg_; }
+    Cycle now() const { return now_; }
+    Cycle measuredCycles() const { return measured_; }
+    std::uint64_t retired() const;
+
+  private:
+    void clearAllStats();
+
+    Config cfg_;
+    MpMemSystem mem_;
+    SyncManager sync_;
+    std::vector<std::unique_ptr<Processor>> procs_;
+    std::vector<std::unique_ptr<ThreadSource>> sources_;
+    Cycle now_ = 0;
+    Cycle statsStart_ = 0;
+    Cycle measured_ = 0;
+    std::uint32_t statsBarrier_ = ~0u;
+    bool statsCleared_ = false;
+    bool statsPending_ = false;
+};
+
+} // namespace mtsim
+
+#endif // MTSIM_SYSTEM_MP_SYSTEM_HH

@@ -1,0 +1,80 @@
+#include "system/uni_system.hh"
+
+namespace mtsim {
+
+namespace {
+
+/**
+ * Disjoint per-application segments. The bases are staggered by a
+ * page-aligned offset that is not a multiple of any cache size, so
+ * different applications do not collide on identical cache indices
+ * (real program load addresses are similarly unaligned).
+ */
+Addr
+codeBaseOf(std::uint32_t app)
+{
+    return ((static_cast<Addr>(app) + 1) << 32) +
+           static_cast<Addr>(app) * 0x7000;
+}
+
+Addr
+dataBaseOf(std::uint32_t app)
+{
+    return codeBaseOf(app) + 0x10000000ull +
+           static_cast<Addr>(app) * 0x13000;
+}
+
+} // namespace
+
+UniSystem::UniSystem(const Config &cfg)
+    : cfg_(cfg),
+      mem_(cfg_),
+      proc_(cfg_, mem_),
+      sched_(cfg_.os, proc_, mem_, cfg_.seed + 17)
+{}
+
+std::uint32_t
+UniSystem::addApp(const std::string &name, const KernelFn &kernel)
+{
+    const auto app = static_cast<std::uint32_t>(sources_.size());
+    sources_.push_back(std::make_unique<ThreadSource>(
+        codeBaseOf(app), dataBaseOf(app), cfg_.seed + 101 * (app + 1),
+        kernel));
+    return sched_.addApp(name, sources_.back().get());
+}
+
+void
+UniSystem::run(Cycle warmup, Cycle measure)
+{
+    if (!started_) {
+        sched_.start();
+        started_ = true;
+    }
+    const Cycle warm_end = now_ + warmup;
+    while (now_ < warm_end) {
+        mem_.tick(now_);
+        sched_.tick(now_);
+        proc_.tick(now_);
+        ++now_;
+    }
+    proc_.clearStats();
+    const Cycle measure_end = now_ + measure;
+    while (now_ < measure_end) {
+        mem_.tick(now_);
+        sched_.tick(now_);
+        proc_.tick(now_);
+        ++now_;
+    }
+    measured_ += measure;
+}
+
+double
+UniSystem::throughput() const
+{
+    if (measured_ == 0)
+        return 0.0;
+    return static_cast<double>(proc_.retired()) /
+           static_cast<double>(measured_);
+}
+
+} // namespace mtsim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The workstation system of Figure 4: one (multiple-context)
+ * processor, the two-level cache hierarchy with interleaved memory,
+ * and the OS scheduler multiprogramming a set of applications.
+ * This is the top-level object the uniprocessor experiments
+ * (Figures 6-7, Table 7) drive.
+ */
+
+#ifndef MTSIM_SYSTEM_UNI_SYSTEM_HH
+#define MTSIM_SYSTEM_UNI_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "core/processor.hh"
+#include "mem/uni_mem_system.hh"
+#include "os/scheduler.hh"
+#include "workload/emitter.hh"
+#include "workload/program.hh"
+
+namespace mtsim {
+
+class UniSystem
+{
+  public:
+    explicit UniSystem(const Config &cfg);
+
+    /**
+     * Add an application to the multiprogramming workload. Each app
+     * receives a disjoint text and data segment.
+     */
+    std::uint32_t addApp(const std::string &name,
+                         const KernelFn &kernel);
+
+    /**
+     * Simulate @p warmup cycles (loading caches, completing app
+     * initialisation - the paper's discarded first slice), reset the
+     * statistics, then simulate @p measure further cycles.
+     */
+    void run(Cycle warmup, Cycle measure);
+
+    Cycle measuredCycles() const { return measured_; }
+    const CycleBreakdown &breakdown() const
+    {
+        return proc_.breakdown();
+    }
+
+    /** Useful instructions retired during the measured window. */
+    std::uint64_t retired() const { return proc_.retired(); }
+
+    /** Aggregate throughput in instructions per cycle. */
+    double throughput() const;
+
+    std::uint64_t
+    retiredForApp(std::uint32_t app) const
+    {
+        return proc_.retiredForApp(app);
+    }
+
+    Processor &processor() { return proc_; }
+    UniMemSystem &mem() { return mem_; }
+    Scheduler &scheduler() { return sched_; }
+    const Config &config() const { return cfg_; }
+
+  private:
+    Config cfg_;
+    UniMemSystem mem_;
+    Processor proc_;
+    Scheduler sched_;
+    std::vector<std::unique_ptr<ThreadSource>> sources_;
+    Cycle now_ = 0;
+    Cycle measured_ = 0;
+    bool started_ = false;
+};
+
+} // namespace mtsim
+
+#endif // MTSIM_SYSTEM_UNI_SYSTEM_HH

@@ -1,0 +1,124 @@
+#include "trace/pipe_trace.hh"
+
+#include <cctype>
+
+#include "workload/emitter.hh"
+
+namespace mtsim {
+
+void
+PipeTrace::attach(Processor &proc)
+{
+    proc.setIssueHook([this](Cycle now, CtxId c, const MicroOp &op) {
+        issues_[now] = {c, op.seq};
+        lastIssueOf_[{c, op.seq}] = now;
+        if (now > lastIssue_)
+            lastIssue_ = now;
+    });
+    proc.setSquashHook([this](CtxId c, SeqNum seq) {
+        auto it = lastIssueOf_.find({c, seq});
+        if (it != lastIssueOf_.end())
+            squashedSlots_.insert(it->second);
+    });
+}
+
+std::string
+PipeTrace::render(Cycle from, Cycle to) const
+{
+    std::string out;
+    out.reserve(static_cast<std::size_t>(to - from));
+    for (Cycle t = from; t < to; ++t) {
+        auto it = issues_.find(t);
+        if (it == issues_.end()) {
+            out.push_back('.');
+            continue;
+        }
+        char ch = static_cast<char>('A' + it->second.first);
+        if (squashedSlots_.count(t))
+            ch = static_cast<char>(std::tolower(ch));
+        out.push_back(ch);
+    }
+    return out;
+}
+
+Cycle
+PipeTrace::lastSquashedIssueCycle() const
+{
+    Cycle last = 0;
+    for (Cycle c : squashedSlots_) {
+        if (c > last)
+            last = c;
+    }
+    return last;
+}
+
+void
+PipeTrace::clear()
+{
+    issues_.clear();
+    lastIssueOf_.clear();
+    squashedSlots_.clear();
+    lastIssue_ = 0;
+}
+
+namespace {
+
+/**
+ * One Figure 3 thread: warm a private line, resynchronise with a
+ * long backoff, then execute the scripted instruction sequence whose
+ * final load misses.
+ */
+KernelCoro
+figThread(Emitter &e, int which)
+{
+    const Addr warm = e.mem().alloc(64);
+    const Addr cold = e.mem().alloc(1 << 20) + (1 << 18);
+
+    RegId r = e.load(warm);
+    e.iop(r);
+    co_await e.pause();
+    e.backoff(400);
+    co_await e.pause();
+
+    switch (which) {
+      case 0: // A: two instructions, the second misses.
+        e.iop();
+        e.load(cold);
+        break;
+      case 1: // B: three instructions, 2-cycle dep between 1 and 2.
+        r = e.load(warm);
+        e.iop(r);
+        e.load(cold);
+        break;
+      case 2: // C: four instructions.
+        e.iop();
+        e.iop();
+        e.iop();
+        e.load(cold);
+        break;
+      default: // D: six instructions.
+        e.iop();
+        e.iop();
+        e.iop();
+        e.iop();
+        e.iop();
+        e.load(cold);
+        break;
+    }
+    co_await e.pause();
+}
+
+} // namespace
+
+std::vector<KernelFn>
+figure3Threads()
+{
+    std::vector<KernelFn> threads;
+    for (int i = 0; i < 4; ++i) {
+        threads.push_back(
+            [i](Emitter &e) { return figThread(e, i); });
+    }
+    return threads;
+}
+
+} // namespace mtsim

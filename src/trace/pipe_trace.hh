@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Issue-slot timeline recorder regenerating the paper's Figures 2-3:
+ * which context owned each cycle's issue slot, with squashed slots
+ * shown in lowercase. Also provides the scripted four-thread workload
+ * (A: 2 instructions; B: 3 with a two-cycle dependence; C: 4; D: 6;
+ * each ending in a cache-missing load) that Figure 3 executes.
+ */
+
+#ifndef MTSIM_TRACE_PIPE_TRACE_HH
+#define MTSIM_TRACE_PIPE_TRACE_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/processor.hh"
+#include "workload/program.hh"
+
+namespace mtsim {
+
+class PipeTrace
+{
+  public:
+    /** Register the hooks on @p proc (one trace per processor). */
+    void attach(Processor &proc);
+
+    /**
+     * Render the slot timeline for [from, to): one character per
+     * cycle - 'A'..'Z' for issuing contexts, lowercase when that
+     * instruction was later squashed, '.' for an idle slot.
+     */
+    std::string render(Cycle from, Cycle to) const;
+
+    /** Cycle of the last recorded issue (for auto-ranging). */
+    Cycle lastIssueCycle() const { return lastIssue_; }
+
+    /**
+     * Issue cycle of the youngest slot that was later squashed
+     * (0 if none) - the last miss detection, where the paper's
+     * Figure 3 timeline ends.
+     */
+    Cycle lastSquashedIssueCycle() const;
+
+    std::uint64_t issues() const { return issues_.size(); }
+    std::uint64_t squashes() const { return squashedSlots_.size(); }
+
+    void clear();
+
+  private:
+    std::map<Cycle, std::pair<CtxId, SeqNum>> issues_;
+    /** Issue cycle of each (ctx, seq) instance, for squash marking. */
+    std::map<std::pair<CtxId, SeqNum>, Cycle> lastIssueOf_;
+    /** The specific slots that were squashed (a replayed instruction
+     *  gets a fresh, non-squashed slot). */
+    std::set<Cycle> squashedSlots_;
+    Cycle lastIssue_ = 0;
+};
+
+/**
+ * The four scripted threads of Figure 3. @p miss_target supplies a
+ * distinct cold address per thread so each thread's final load
+ * misses.
+ */
+std::vector<KernelFn> figure3Threads();
+
+} // namespace mtsim
+
+#endif // MTSIM_TRACE_PIPE_TRACE_HH

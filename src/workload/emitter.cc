@@ -1,0 +1,595 @@
+#include "workload/emitter.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "isa/latency.hh"
+
+namespace mtsim {
+
+namespace {
+
+/**
+ * Twine stand-in: list-schedule one basic block by critical path so
+ * that loads and long-latency producers are separated from their
+ * consumers, while preserving every register and memory dependence.
+ */
+class BlockScheduler
+{
+  public:
+    explicit BlockScheduler(std::vector<MicroOp> &ops) : ops_(ops) {}
+
+    void
+    run()
+    {
+        const std::size_t n = ops_.size();
+        if (n < 2)
+            return;
+
+        buildEdges();
+        computePriorities();
+
+        std::vector<MicroOp> out;
+        out.reserve(n);
+        std::vector<bool> emitted(n, false);
+        std::vector<int> preds_left(n);
+        for (std::size_t i = 0; i < n; ++i)
+            preds_left[i] = static_cast<int>(preds_[i].size());
+
+        for (std::size_t step = 0; step < n; ++step) {
+            // Pick the ready op with the longest remaining critical
+            // path; break ties by program order for determinism.
+            std::size_t best = n;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (emitted[i] || preds_left[i] != 0)
+                    continue;
+                if (best == n || prio_[i] > prio_[best])
+                    best = i;
+            }
+            emitted[best] = true;
+            out.push_back(ops_[best]);
+            for (std::size_t succ : succs_[best])
+                --preds_left[succ];
+        }
+        ops_ = std::move(out);
+    }
+
+  private:
+    void
+    addEdge(std::size_t from, std::size_t to)
+    {
+        succs_[from].push_back(to);
+        preds_[to].push_back(from);
+    }
+
+    static bool
+    reads(const MicroOp &op, RegId r)
+    {
+        return r != kNoReg && (op.src1 == r || op.src2 == r);
+    }
+
+    void
+    buildEdges()
+    {
+        const std::size_t n = ops_.size();
+        succs_.assign(n, {});
+        preds_.assign(n, {});
+        for (std::size_t i = 0; i < n; ++i) {
+            const MicroOp &a = ops_[i];
+            for (std::size_t j = i + 1; j < n; ++j) {
+                const MicroOp &b = ops_[j];
+                bool dep = false;
+                // RAW: b reads a's destination.
+                if (reads(b, a.dst))
+                    dep = true;
+                // WAW: both write the same register.
+                if (a.dst != kNoReg && a.dst == b.dst)
+                    dep = true;
+                // WAR: b writes a register a reads.
+                if (reads(a, b.dst))
+                    dep = true;
+                // Memory: same-address pairs involving a store.
+                bool a_mem = isLoad(a.op) || isStore(a.op);
+                bool b_mem = isLoad(b.op) || isStore(b.op);
+                if (a_mem && b_mem && a.addr == b.addr &&
+                    (isStore(a.op) || isStore(b.op))) {
+                    dep = true;
+                }
+                if (dep)
+                    addEdge(i, j);
+            }
+        }
+    }
+
+    void
+    computePriorities()
+    {
+        static const LatencyParams lat;
+        const std::size_t n = ops_.size();
+        prio_.assign(n, 0);
+        for (std::size_t ii = n; ii-- > 0;) {
+            std::uint32_t best_succ = 0;
+            for (std::size_t s : succs_[ii])
+                best_succ = std::max(best_succ, prio_[s]);
+            prio_[ii] = best_succ + resultLatency(lat, ops_[ii]);
+        }
+    }
+
+    std::vector<MicroOp> &ops_;
+    std::vector<std::vector<std::size_t>> succs_;
+    std::vector<std::vector<std::size_t>> preds_;
+    std::vector<std::uint32_t> prio_;
+};
+
+} // namespace
+
+Emitter::Emitter(Addr code_base, Addr data_base, std::uint64_t seed,
+                 bool schedule)
+    : space_(data_base), rng_(seed), codeBase_(code_base),
+      pc_(code_base), schedule_(schedule)
+{}
+
+Addr
+Emitter::codeRegion(std::uint32_t idx) const
+{
+    return codeBase_ + 0x800000ull + static_cast<Addr>(idx) * 2048;
+}
+
+PauseAwaiter
+Emitter::pause()
+{
+    flushBlock();
+    return {};
+}
+
+RegId
+Emitter::ipin()
+{
+    for (RegId r = 1; r <= 7; ++r) {
+        if (!(intPinned_ & (1u << r))) {
+            intPinned_ |= (1u << r);
+            return r;
+        }
+    }
+    throw std::runtime_error("Emitter: out of pinned integer registers");
+}
+
+RegId
+Emitter::fpin()
+{
+    for (RegId r = 1; r <= 7; ++r) {
+        if (!(fpPinned_ & (1u << r))) {
+            fpPinned_ |= (1u << r);
+            return static_cast<RegId>(kFpRegBase + r);
+        }
+    }
+    throw std::runtime_error("Emitter: out of pinned fp registers");
+}
+
+void
+Emitter::unpin(RegId r)
+{
+    if (r >= kFpRegBase) {
+        fpPinned_ &= ~(1u << (r - kFpRegBase));
+    } else {
+        intPinned_ &= ~(1u << r);
+    }
+}
+
+RegId
+Emitter::allocInt()
+{
+    RegId r = static_cast<RegId>(8 + intRot_);
+    intRot_ = (intRot_ + 1) % 24;
+    return r;
+}
+
+RegId
+Emitter::allocFp()
+{
+    RegId r = static_cast<RegId>(kFpRegBase + 8 + fpRot_);
+    fpRot_ = (fpRot_ + 1) % 24;
+    return r;
+}
+
+void
+Emitter::push(MicroOp op)
+{
+    ++emitted_;
+    block_.push_back(op);
+    if (block_.size() >= kMaxBlockOps)
+        flushBlock();
+}
+
+void
+Emitter::flushBlock()
+{
+    if (block_.empty())
+        return;
+    if (schedule_) {
+        BlockScheduler sched(block_);
+        sched.run();
+    }
+    commit(block_);
+    block_.clear();
+}
+
+void
+Emitter::commit(std::vector<MicroOp> &ops)
+{
+    for (MicroOp &op : ops) {
+        op.pc = pc_;
+        pc_ += 4;
+        ready_.push_back(op);
+    }
+}
+
+MicroOp
+Emitter::popOp()
+{
+    MicroOp op = ready_.front();
+    ready_.pop_front();
+    return op;
+}
+
+std::size_t
+Emitter::pendingOps() const
+{
+    return ready_.size() + block_.size();
+}
+
+RegId
+Emitter::load(Addr a, RegId addr_src)
+{
+    MicroOp op;
+    op.op = Op::Load;
+    op.dst = allocInt();
+    op.src1 = addr_src;
+    op.addr = a;
+    push(op);
+    return op.dst;
+}
+
+RegId
+Emitter::fload(Addr a, RegId addr_src)
+{
+    MicroOp op;
+    op.op = Op::Load;
+    op.dst = allocFp();
+    op.src1 = addr_src;
+    op.addr = a;
+    push(op);
+    return op.dst;
+}
+
+RegId
+Emitter::loadInto(RegId dst, Addr a)
+{
+    MicroOp op;
+    op.op = Op::Load;
+    op.dst = dst;
+    op.addr = a;
+    push(op);
+    return dst;
+}
+
+void
+Emitter::prefetch(Addr a)
+{
+    MicroOp op;
+    op.op = Op::Prefetch;
+    op.addr = a;
+    push(op);
+}
+
+void
+Emitter::store(Addr a, RegId v)
+{
+    MicroOp op;
+    op.op = Op::Store;
+    op.src1 = v;
+    op.addr = a;
+    push(op);
+}
+
+RegId
+Emitter::iop(RegId a, RegId b)
+{
+    MicroOp op;
+    op.op = Op::IntAlu;
+    op.dst = allocInt();
+    op.src1 = a;
+    op.src2 = b;
+    push(op);
+    return op.dst;
+}
+
+RegId
+Emitter::iopInto(RegId dst, RegId a, RegId b)
+{
+    MicroOp op;
+    op.op = Op::IntAlu;
+    op.dst = dst;
+    op.src1 = a;
+    op.src2 = b;
+    push(op);
+    return dst;
+}
+
+RegId
+Emitter::ishift(RegId a)
+{
+    MicroOp op;
+    op.op = Op::Shift;
+    op.dst = allocInt();
+    op.src1 = a;
+    push(op);
+    return op.dst;
+}
+
+RegId
+Emitter::imul(RegId a, RegId b)
+{
+    MicroOp op;
+    op.op = Op::IntMul;
+    op.dst = allocInt();
+    op.src1 = a;
+    op.src2 = b;
+    push(op);
+    return op.dst;
+}
+
+RegId
+Emitter::idiv(RegId a, RegId b)
+{
+    MicroOp op;
+    op.op = Op::IntDiv;
+    op.dst = allocInt();
+    op.src1 = a;
+    op.src2 = b;
+    push(op);
+    return op.dst;
+}
+
+RegId
+Emitter::fadd(RegId a, RegId b)
+{
+    MicroOp op;
+    op.op = Op::FpAdd;
+    op.dst = allocFp();
+    op.src1 = a;
+    op.src2 = b;
+    push(op);
+    return op.dst;
+}
+
+RegId
+Emitter::faddInto(RegId dst, RegId a, RegId b)
+{
+    MicroOp op;
+    op.op = Op::FpAdd;
+    op.dst = dst;
+    op.src1 = a;
+    op.src2 = b;
+    push(op);
+    return dst;
+}
+
+RegId
+Emitter::fmul(RegId a, RegId b)
+{
+    MicroOp op;
+    op.op = Op::FpMul;
+    op.dst = allocFp();
+    op.src1 = a;
+    op.src2 = b;
+    push(op);
+    return op.dst;
+}
+
+RegId
+Emitter::fmulInto(RegId dst, RegId a, RegId b)
+{
+    MicroOp op;
+    op.op = Op::FpMul;
+    op.dst = dst;
+    op.src1 = a;
+    op.src2 = b;
+    push(op);
+    return dst;
+}
+
+RegId
+Emitter::fdiv(RegId a, RegId b, bool single_prec)
+{
+    MicroOp op;
+    op.op = Op::FpDiv;
+    op.dst = allocFp();
+    op.src1 = a;
+    op.src2 = b;
+    op.singlePrec = single_prec;
+    push(op);
+    return op.dst;
+}
+
+RegId
+Emitter::imm()
+{
+    MicroOp op;
+    op.op = Op::IntAlu;
+    op.dst = allocInt();
+    push(op);
+    return op.dst;
+}
+
+void
+Emitter::nop()
+{
+    MicroOp op;
+    op.op = Op::Nop;
+    push(op);
+}
+
+Emitter::Label
+Emitter::here()
+{
+    flushBlock();
+    return Label{pc_};
+}
+
+void
+Emitter::branch(RegId cond, Label target, bool taken)
+{
+    flushBlock();
+    MicroOp op;
+    op.op = Op::Branch;
+    op.src1 = cond;
+    op.target = target.pc;
+    op.taken = taken;
+    op.pc = pc_;
+    pc_ += 4;
+    ready_.push_back(op);
+    ++emitted_;
+    if (taken)
+        pc_ = target.pc;
+}
+
+void
+Emitter::branchFwd(RegId cond, bool taken, std::uint32_t skip_ops)
+{
+    flushBlock();
+    MicroOp op;
+    op.op = Op::Branch;
+    op.src1 = cond;
+    op.pc = pc_;
+    op.target = pc_ + 4ull * (skip_ops + 1);
+    op.taken = taken;
+    pc_ += 4;
+    ready_.push_back(op);
+    ++emitted_;
+    if (taken)
+        pc_ = op.target;
+}
+
+void
+Emitter::jump(Label target)
+{
+    flushBlock();
+    MicroOp op;
+    op.op = Op::Jump;
+    op.target = target.pc;
+    op.taken = true;
+    op.pc = pc_;
+    ready_.push_back(op);
+    ++emitted_;
+    pc_ = target.pc;
+}
+
+Emitter::Label
+Emitter::call(Addr region_pc)
+{
+    flushBlock();
+    MicroOp op;
+    op.op = Op::Jump;
+    op.target = region_pc;
+    op.taken = true;
+    op.pc = pc_;
+    ready_.push_back(op);
+    ++emitted_;
+    Label return_to{pc_ + 4};
+    pc_ = region_pc;
+    return return_to;
+}
+
+void
+Emitter::ret(Label return_to)
+{
+    jump(return_to);
+}
+
+void
+Emitter::backoff(std::uint16_t cycles)
+{
+    flushBlock();
+    MicroOp op;
+    op.op = Op::Backoff;
+    op.backoffCycles = cycles;
+    op.pc = pc_;
+    pc_ += 4;
+    ready_.push_back(op);
+    ++emitted_;
+}
+
+void
+Emitter::ctxSwitch()
+{
+    flushBlock();
+    MicroOp op;
+    op.op = Op::CtxSwitch;
+    op.pc = pc_;
+    pc_ += 4;
+    ready_.push_back(op);
+    ++emitted_;
+}
+
+void
+Emitter::lock(std::uint32_t id)
+{
+    flushBlock();
+    MicroOp op;
+    op.op = Op::Lock;
+    op.syncId = id;
+    op.pc = pc_;
+    pc_ += 4;
+    ready_.push_back(op);
+    ++emitted_;
+}
+
+void
+Emitter::unlock(std::uint32_t id)
+{
+    flushBlock();
+    MicroOp op;
+    op.op = Op::Unlock;
+    op.syncId = id;
+    op.pc = pc_;
+    pc_ += 4;
+    ready_.push_back(op);
+    ++emitted_;
+}
+
+void
+Emitter::barrier(std::uint32_t id)
+{
+    flushBlock();
+    MicroOp op;
+    op.op = Op::Barrier;
+    op.syncId = id;
+    op.pc = pc_;
+    pc_ += 4;
+    ready_.push_back(op);
+    ++emitted_;
+}
+
+ThreadSource::ThreadSource(Addr code_base, Addr data_base,
+                           std::uint64_t seed, const KernelFn &kernel,
+                           bool schedule)
+    : em_(code_base, data_base, seed, schedule), coro_(kernel(em_))
+{}
+
+bool
+ThreadSource::next(MicroOp &op)
+{
+    while (em_.streamEmpty() && coro_.alive())
+        coro_.resume();
+    if (em_.streamEmpty()) {
+        // Coroutine finished: flush any trailing half-block.
+        em_.pause();
+        if (em_.streamEmpty())
+            return false;
+    }
+    op = em_.popOp();
+    return true;
+}
+
+} // namespace mtsim

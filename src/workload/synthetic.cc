@@ -1,0 +1,118 @@
+#include "workload/synthetic.hh"
+
+#include <array>
+
+#include "workload/emitter.hh"
+
+namespace mtsim {
+
+namespace {
+
+KernelCoro
+syntheticKernel(Emitter &e, SyntheticParams p)
+{
+    Rng &rng = e.rng();
+    const Addr data = e.mem().alloc(p.footprintBytes);
+    Addr seq_ptr = data;
+
+    // Normalise the mix weights into cumulative thresholds.
+    std::array<double, 8> w{p.wAlu,   p.wLoad,  p.wStore, p.wBranch,
+                            p.wFpAdd, p.wFpMul, p.wFpDiv, p.wIntMul};
+    double total = 0.0;
+    for (double x : w)
+        total += x;
+    std::array<double, 8> cum{};
+    double run = 0.0;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        run += w[i] / total;
+        cum[i] = run;
+    }
+
+    RegId last_int = e.iop();
+    RegId last_fp = e.fadd();
+    std::uint64_t emitted = 0;
+
+    // Several distinct loop bodies give the instruction cache a
+    // footprint; each body re-executes at stable PCs.
+    std::vector<Emitter::Label> tops(p.numLoops);
+    for (std::uint32_t body = 0;; body = (body + 1) % p.numLoops) {
+        if (tops[body].pc == 0)
+            tops[body] = e.here();
+        else
+            e.jump(tops[body]);
+        const std::uint32_t iters =
+            4 + static_cast<std::uint32_t>(rng.range(4));
+        for (std::uint32_t it = 0; it < iters; ++it) {
+            auto next_addr = [&]() -> Addr {
+                if (rng.chance(p.sequentialFraction)) {
+                    seq_ptr += 8;
+                    if (seq_ptr >= data + p.footprintBytes)
+                        seq_ptr = data;
+                    return seq_ptr;
+                }
+                return data + (rng.range(p.footprintBytes) & ~7ull);
+            };
+            for (std::uint32_t i = 0; i + 1 < p.loopBodyOps; ++i) {
+                const double pick = rng.uniform();
+                const bool tight =
+                    rng.chance(p.tightDependenceFraction);
+                if (pick < cum[0]) {
+                    last_int =
+                        e.iop(tight ? last_int : kNoReg, kNoReg);
+                } else if (pick < cum[1]) {
+                    const Addr a = next_addr();
+                    if (p.prefetchDistance > 0 && a == seq_ptr) {
+                        Addr ahead = a + p.prefetchDistance;
+                        if (ahead >= data + p.footprintBytes)
+                            ahead -= p.footprintBytes;
+                        e.prefetch(ahead);
+                        ++i;
+                    }
+                    last_int = e.load(a);
+                } else if (pick < cum[2]) {
+                    e.store(next_addr(), last_int);
+                } else if (pick < cum[3]) {
+                    // Forward branch over a tiny then-clause.
+                    const bool taken = rng.chance(0.5);
+                    e.branchFwd(last_int, taken, 2);
+                    if (!taken) {
+                        last_int = e.iop(last_int);
+                        last_int = e.iop(last_int);
+                    }
+                    i += 2;
+                } else if (pick < cum[4]) {
+                    last_fp =
+                        e.fadd(tight ? last_fp : kNoReg, kNoReg);
+                } else if (pick < cum[5]) {
+                    last_fp =
+                        e.fmul(tight ? last_fp : kNoReg, kNoReg);
+                } else if (pick < cum[6]) {
+                    last_fp = e.fdiv(last_fp, last_fp);
+                } else {
+                    last_int = e.imul(last_int, last_int);
+                }
+            }
+            // Loop-back branch, mostly taken.
+            const bool back = it + 1 < iters &&
+                              rng.chance(p.branchTakenFraction);
+            e.branch(last_int, tops[body], back);
+            emitted += p.loopBodyOps;
+            co_await e.pause();
+            if (p.maxOps != 0 && emitted >= p.maxOps)
+                co_return;
+            if (back)
+                continue;
+            break;
+        }
+    }
+}
+
+} // namespace
+
+KernelFn
+makeSyntheticKernel(const SyntheticParams &params)
+{
+    return [params](Emitter &e) { return syntheticKernel(e, params); };
+}
+
+} // namespace mtsim

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Parameterised synthetic workload. Generates an endless instruction
+ * stream with controllable instruction mix, dependence distance,
+ * memory footprint and access pattern, and branch behaviour. Used by
+ * unit tests, the Table 4 / Figure 2-3 micro-experiments, and the
+ * sensitivity-ablation benches; the SPEC/SPLASH-like kernels provide
+ * the headline workloads.
+ */
+
+#ifndef MTSIM_WORKLOAD_SYNTHETIC_HH
+#define MTSIM_WORKLOAD_SYNTHETIC_HH
+
+#include <cstdint>
+
+#include "workload/program.hh"
+
+namespace mtsim {
+
+struct SyntheticParams
+{
+    /** Instruction-mix weights (normalised internally). */
+    double wAlu = 0.45;
+    double wLoad = 0.25;
+    double wStore = 0.10;
+    double wBranch = 0.10;
+    double wFpAdd = 0.05;
+    double wFpMul = 0.03;
+    double wFpDiv = 0.01;
+    double wIntMul = 0.01;
+
+    /** Data footprint in bytes (drives cache/TLB miss rate). */
+    std::uint64_t footprintBytes = 32 * 1024;
+    /** Fraction of memory ops that are sequential (vs random). */
+    double sequentialFraction = 0.7;
+    /** Probability a consumer immediately follows its producer. */
+    double tightDependenceFraction = 0.4;
+    /** Loop body length in instructions (drives I-footprint). */
+    std::uint32_t loopBodyOps = 64;
+    /** Number of distinct loop bodies (code footprint). */
+    std::uint32_t numLoops = 4;
+    /** Fraction of loop-back branches that are taken. */
+    double branchTakenFraction = 0.9;
+    /** Stop after this many emitted ops (0 = endless). */
+    std::uint64_t maxOps = 0;
+    /**
+     * Software-prefetch distance in bytes for the sequential stream
+     * (0 = no prefetching). When set, every sequential load is
+     * paired with a non-binding prefetch this far ahead - the
+     * compiler-directed latency-tolerance alternative the paper's
+     * introduction compares multiple contexts against.
+     */
+    std::uint32_t prefetchDistance = 0;
+};
+
+/** Build a synthetic kernel with the given parameters. */
+KernelFn makeSyntheticKernel(const SyntheticParams &params);
+
+} // namespace mtsim
+
+#endif // MTSIM_WORKLOAD_SYNTHETIC_HH

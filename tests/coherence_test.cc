@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Tests of the multiprocessor substrate: the full-bit-vector
+ * directory and the DASH-like invalidation protocol (transaction
+ * classification, Table 8 latency ranges, invalidations,
+ * interventions, upgrades and eviction bookkeeping).
+ */
+
+#include <gtest/gtest.h>
+
+#include "coherence/directory.hh"
+#include "coherence/mp_mem_system.hh"
+#include "common/config.hh"
+
+namespace mtsim {
+namespace {
+
+// ---- Directory ----------------------------------------------------------
+
+TEST(Directory, HomeDistributesPages)
+{
+    Directory d(4, 4096);
+    EXPECT_EQ(d.homeOf(0x0000), 0);
+    EXPECT_EQ(d.homeOf(0x1000), 1);
+    EXPECT_EQ(d.homeOf(0x2000), 2);
+    EXPECT_EQ(d.homeOf(0x3000), 3);
+    EXPECT_EQ(d.homeOf(0x4000), 0);
+    // Same page, same home regardless of offset.
+    EXPECT_EQ(d.homeOf(0x1fff), d.homeOf(0x1000));
+}
+
+TEST(Directory, EntriesStartUncached)
+{
+    Directory d(4);
+    EXPECT_EQ(d.probe(0x100).state, Directory::State::Uncached);
+    EXPECT_EQ(d.trackedLines(), 0u);
+    d.entry(0x100);
+    EXPECT_EQ(d.trackedLines(), 1u);
+}
+
+TEST(Directory, SharerBookkeeping)
+{
+    Directory d(4);
+    Directory::Entry &e = d.entry(0x100);
+    e.state = Directory::State::Shared;
+    e.sharers = Directory::bitOf(1) | Directory::bitOf(3);
+    d.dropSharer(0x100, 1);
+    EXPECT_EQ(d.probe(0x100).sharers, Directory::bitOf(3));
+    d.dropSharer(0x100, 3);
+    EXPECT_EQ(d.probe(0x100).state, Directory::State::Uncached);
+}
+
+TEST(Directory, WritebackClearsDirtyOwner)
+{
+    Directory d(4);
+    Directory::Entry &e = d.entry(0x200);
+    e.state = Directory::State::Dirty;
+    e.owner = 2;
+    e.sharers = Directory::bitOf(2);
+    d.writeback(0x200, 1);   // wrong owner: ignored
+    EXPECT_EQ(d.probe(0x200).state, Directory::State::Dirty);
+    d.writeback(0x200, 2);
+    EXPECT_EQ(d.probe(0x200).state, Directory::State::Uncached);
+}
+
+TEST(Directory, RejectsTooManyProcessors)
+{
+    EXPECT_THROW(Directory(65), std::invalid_argument);
+    EXPECT_THROW(Directory(0), std::invalid_argument);
+    EXPECT_NO_THROW(Directory(64));
+}
+
+// ---- MpMemSystem -----------------------------------------------------------
+
+class MpMemTest : public ::testing::Test
+{
+  protected:
+    MpMemTest() : cfg(makeCfg()), mem(cfg) {}
+
+    static Config
+    makeCfg()
+    {
+        Config c = Config::makeMp(Scheme::Interleaved, 2, 4);
+        c.dtlb.missPenalty = 0;
+        return c;
+    }
+
+    /** An address homed on processor @p p (page-interleaved). */
+    Addr
+    homedOn(ProcId p, Addr salt = 0)
+    {
+        return (static_cast<Addr>(p) + 4 * (1 + salt)) * 4096;
+    }
+
+    Config cfg;
+    MpMemSystem mem;
+};
+
+TEST_F(MpMemTest, LocalMissSampledFromLocalRange)
+{
+    const Addr a = homedOn(0);
+    LoadResult r = mem.load(0, a, 100);
+    EXPECT_FALSE(r.l1Hit);
+    EXPECT_EQ(r.level, MemLevel::Memory);
+    EXPECT_GE(r.ready, 100u + cfg.mpMem.localMemLo);
+    EXPECT_LE(r.ready, 100u + cfg.mpMem.localMemHi);
+}
+
+TEST_F(MpMemTest, RemoteMissSampledFromRemoteRange)
+{
+    const Addr a = homedOn(2);
+    LoadResult r = mem.load(0, a, 100);
+    EXPECT_EQ(r.level, MemLevel::RemoteMem);
+    EXPECT_GE(r.ready, 100u + cfg.mpMem.remoteMemLo);
+    EXPECT_LE(r.ready, 100u + cfg.mpMem.remoteMemHi);
+}
+
+TEST_F(MpMemTest, DirtyRemoteFetchIsRemoteCacheClass)
+{
+    const Addr a = homedOn(3);
+    // Processor 1 writes the line (dirty in its cache).
+    StoreResult s = mem.store(1, a, 0);
+    ASSERT_FALSE(s.bufferStall);
+    mem.tick(400);
+    ASSERT_EQ(mem.l1d(1).state(a), LineState::Dirty);
+
+    LoadResult r = mem.load(0, a, 500);
+    EXPECT_EQ(r.level, MemLevel::RemoteCache);
+    EXPECT_GE(r.ready, 500u + cfg.mpMem.remoteCacheLo);
+    // Owner downgraded to shared by the intervention.
+    EXPECT_EQ(mem.l1d(1).state(a), LineState::Shared);
+    mem.tick(r.ready + 1);
+    EXPECT_TRUE(mem.l1d(0).present(a));
+}
+
+TEST_F(MpMemTest, WriteInvalidatesSharers)
+{
+    const Addr a = homedOn(0);
+    LoadResult r0 = mem.load(0, a, 0);
+    LoadResult r1 = mem.load(1, a, 0);
+    mem.tick(std::max(r0.ready, r1.ready) + 1);
+    ASSERT_TRUE(mem.l1d(0).present(a));
+    ASSERT_TRUE(mem.l1d(1).present(a));
+
+    // Processor 2 writes: both copies must be invalidated.
+    StoreResult s = mem.store(2, a, 1000);
+    ASSERT_FALSE(s.bufferStall);
+    EXPECT_FALSE(mem.l1d(0).present(a));
+    EXPECT_FALSE(mem.l1d(1).present(a));
+    EXPECT_GE(mem.counters().get("invalidations"), 2u);
+    mem.tick(2000);
+    EXPECT_EQ(mem.l1d(2).state(a), LineState::Dirty);
+}
+
+TEST_F(MpMemTest, UpgradeFromSharedKeepsLineAndDirties)
+{
+    const Addr a = homedOn(1);
+    LoadResult r = mem.load(0, a, 0);
+    mem.tick(r.ready + 1);
+    ASSERT_EQ(mem.l1d(0).state(a), LineState::Shared);
+    StoreResult s = mem.store(0, a, 500);
+    EXPECT_FALSE(s.bufferStall);
+    EXPECT_EQ(mem.l1d(0).state(a), LineState::Dirty);
+    EXPECT_EQ(mem.counters().get("upgrades"), 1u);
+    // Directory agrees on ownership.
+    EXPECT_EQ(mem.directory().probe(mem.l1d(0).lineAddrOf(a)).state,
+              Directory::State::Dirty);
+    EXPECT_EQ(mem.directory().probe(mem.l1d(0).lineAddrOf(a)).owner,
+              0);
+}
+
+TEST_F(MpMemTest, SecondaryMissMerges)
+{
+    const Addr a = homedOn(0);
+    LoadResult r0 = mem.load(0, a, 100);
+    LoadResult r1 = mem.load(0, a + 8, 105);   // same line
+    EXPECT_EQ(r1.ready, r0.ready);
+}
+
+TEST_F(MpMemTest, DirtyEvictionWritesBackToDirectory)
+{
+    const Addr a = homedOn(0);
+    StoreResult s = mem.store(0, a, 0);
+    ASSERT_FALSE(s.bufferStall);
+    mem.tick(300);
+    const Addr line = mem.l1d(0).lineAddrOf(a);
+    ASSERT_EQ(mem.directory().probe(line).state,
+              Directory::State::Dirty);
+
+    // Evict with an aliasing line (same L1 index).
+    const Addr alias = a + 64 * 1024;
+    LoadResult r = mem.load(0, alias, 400);
+    mem.tick(r.ready + 1);
+    EXPECT_FALSE(mem.l1d(0).present(a));
+    EXPECT_EQ(mem.directory().probe(line).state,
+              Directory::State::Uncached);
+    EXPECT_GE(mem.counters().get("eviction_writebacks"), 1u);
+}
+
+TEST_F(MpMemTest, MeanLatencyTracksRangeMidpoints)
+{
+    Rng addr_rng(3);
+    for (int i = 0; i < 3000; ++i) {
+        Addr a = (addr_rng.next() % (1 << 22)) & ~7ull;
+        mem.load(static_cast<ProcId>(i % 4), a,
+                 static_cast<Cycle>(i) * 3);
+        if (i % 64 == 0)
+            mem.tick(static_cast<Cycle>(i) * 3);
+    }
+    const double local = mem.meanLatency(MemLevel::Memory);
+    const double remote = mem.meanLatency(MemLevel::RemoteMem);
+    EXPECT_NEAR(local,
+                (cfg.mpMem.localMemLo + cfg.mpMem.localMemHi) / 2.0,
+                2.0);
+    EXPECT_NEAR(remote,
+                (cfg.mpMem.remoteMemLo + cfg.mpMem.remoteMemHi) / 2.0,
+                3.0);
+}
+
+TEST_F(MpMemTest, FalseSharingPingPong)
+{
+    // Two processors write different words of the same line: the
+    // line's ownership must ping-pong, invalidating the other copy
+    // each time, and later fetches see the dirty-remote class.
+    const Addr line = homedOn(0);
+    StoreResult s0 = mem.store(0, line, 0);
+    ASSERT_FALSE(s0.bufferStall);
+    mem.tick(300);
+    ASSERT_EQ(mem.l1d(0).state(line), LineState::Dirty);
+
+    StoreResult s1 = mem.store(1, line + 8, 400);
+    ASSERT_FALSE(s1.bufferStall);
+    mem.tick(900);
+    EXPECT_FALSE(mem.l1d(0).present(line));
+    EXPECT_EQ(mem.l1d(1).state(line), LineState::Dirty);
+
+    StoreResult s2 = mem.store(0, line + 16, 1000);
+    ASSERT_FALSE(s2.bufferStall);
+    mem.tick(1600);
+    EXPECT_FALSE(mem.l1d(1).present(line));
+    EXPECT_EQ(mem.l1d(0).state(line), LineState::Dirty);
+    EXPECT_EQ(mem.directory().probe(line).owner, 0);
+    // Each transfer raised an invalidation or intervention.
+    EXPECT_GE(mem.counters().get("remote_cache_fetches") +
+                  mem.counters().get("invalidations"),
+              2u);
+}
+
+TEST_F(MpMemTest, ReadSharingThenWriteInvalidatesAll)
+{
+    const Addr a = homedOn(1);
+    // All four processors read-share the line.
+    Cycle last = 0;
+    for (ProcId p = 0; p < 4; ++p) {
+        LoadResult r = mem.load(p, a, 100 + p * 10);
+        last = std::max(last, r.ready);
+    }
+    mem.tick(last + 1);
+    const Addr line = mem.l1d(0).lineAddrOf(a);
+    EXPECT_EQ(__builtin_popcountll(
+                  mem.directory().probe(line).sharers),
+              4);
+    // One write leaves exactly one copy.
+    mem.store(2, a, last + 100);
+    for (ProcId p = 0; p < 4; ++p) {
+        if (p != 2) {
+            EXPECT_FALSE(mem.l1d(p).present(a)) << p;
+        }
+    }
+    EXPECT_EQ(mem.directory().probe(line).sharers,
+              Directory::bitOf(2));
+}
+
+TEST(MpNetwork, OccupancyQueuesRemoteTransactions)
+{
+    Config cfg = Config::makeMp(Scheme::Interleaved, 2, 4);
+    cfg.dtlb.missPenalty = 0;
+    cfg.mpMem.networkOccupancy = 10;
+    MpMemSystem mem(cfg);
+    // Two remote misses back to back: the second queues behind the
+    // first on the interconnect.
+    const Addr a = 1 * 4096 + 64;   // homed on node 1
+    const Addr b = 2 * 4096 + 64;   // homed on node 2
+    LoadResult r1 = mem.load(0, a, 100);
+    LoadResult r2 = mem.load(0, b, 100);
+    ASSERT_EQ(r1.level, MemLevel::RemoteMem);
+    ASSERT_EQ(r2.level, MemLevel::RemoteMem);
+    EXPECT_GE(r2.ready, 100u + cfg.mpMem.remoteMemLo + 10);
+    EXPECT_GE(mem.counters().get("network_queue_cycles"), 10u);
+}
+
+TEST(MpNetwork, ZeroOccupancyIsContentionless)
+{
+    Config cfg = Config::makeMp(Scheme::Interleaved, 2, 4);
+    cfg.dtlb.missPenalty = 0;
+    MpMemSystem mem(cfg);
+    mem.load(0, 1 * 4096 + 64, 100);
+    LoadResult r2 = mem.load(0, 2 * 4096 + 64, 100);
+    EXPECT_LE(r2.ready, 100u + cfg.mpMem.remoteMemHi);
+    EXPECT_EQ(mem.counters().get("network_queue_cycles"), 0u);
+}
+
+TEST_F(MpMemTest, IdealIfetchNeverStalls)
+{
+    FetchResult f = mem.ifetch(0, 0x123456, 10);
+    EXPECT_TRUE(f.hit);
+    EXPECT_EQ(f.stall, 0u);
+}
+
+} // namespace
+} // namespace mtsim

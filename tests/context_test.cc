@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests of the per-context fetch/replay machinery (the EPC restart
+ * semantics) and availability tracking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/context.hh"
+#include "core/issue_policy.hh"
+#include "test_util.hh"
+
+namespace mtsim {
+namespace {
+
+using test::VectorSource;
+using test::mkOp;
+
+std::vector<MicroOp>
+aluOps(int n)
+{
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < n; ++i)
+        ops.push_back(mkOp(Op::IntAlu, static_cast<RegId>(8 + i)));
+    return ops;
+}
+
+TEST(ThreadContext, FetchAssignsMonotonicSeq)
+{
+    VectorSource src(aluOps(3));
+    ThreadContext ctx(0);
+    ctx.loadThread(&src, 1);
+    MicroOp op;
+    for (SeqNum s = 0; s < 3; ++s) {
+        ASSERT_TRUE(ctx.peek(op));
+        EXPECT_EQ(op.seq, s);
+        ctx.consume();
+    }
+    EXPECT_FALSE(ctx.peek(op));
+    EXPECT_TRUE(ctx.finished());
+}
+
+TEST(ThreadContext, PeekIsIdempotent)
+{
+    VectorSource src(aluOps(2));
+    ThreadContext ctx(0);
+    ctx.loadThread(&src, 1);
+    MicroOp a, b;
+    ctx.peek(a);
+    ctx.peek(b);
+    EXPECT_EQ(a.seq, b.seq);
+    EXPECT_EQ(src.consumed(), 1u);   // fetched once
+}
+
+TEST(ThreadContext, RollbackReplaysIdenticalOps)
+{
+    VectorSource src(aluOps(5));
+    ThreadContext ctx(0);
+    ctx.loadThread(&src, 1);
+    MicroOp op;
+    std::vector<RegId> first;
+    for (int i = 0; i < 4; ++i) {
+        ctx.peek(op);
+        first.push_back(op.dst);
+        ctx.consume();
+    }
+    ctx.rollbackTo(1);
+    for (int i = 1; i < 4; ++i) {
+        ASSERT_TRUE(ctx.peek(op));
+        EXPECT_EQ(op.seq, static_cast<SeqNum>(i));
+        EXPECT_EQ(op.dst, first[static_cast<std::size_t>(i)]);
+        ctx.consume();
+    }
+}
+
+TEST(ThreadContext, RetireReleasesWindow)
+{
+    VectorSource src(aluOps(10));
+    ThreadContext ctx(0);
+    ctx.loadThread(&src, 1);
+    MicroOp op;
+    for (int i = 0; i < 6; ++i) {
+        ctx.peek(op);
+        ctx.consume();
+    }
+    EXPECT_EQ(ctx.windowSize(), 6u);
+    ctx.retireUpTo(3);
+    EXPECT_EQ(ctx.windowSize(), 2u);
+    EXPECT_EQ(ctx.nextIssueSeq(), 6u);
+}
+
+TEST(ThreadContext, RetireNeverReleasesUnissued)
+{
+    VectorSource src(aluOps(4));
+    ThreadContext ctx(0);
+    ctx.loadThread(&src, 1);
+    MicroOp op;
+    ctx.peek(op);   // fetched but NOT consumed
+    ctx.retireUpTo(0);
+    EXPECT_EQ(ctx.windowSize(), 1u);
+    EXPECT_EQ(ctx.nextIssueSeq(), 0u);
+}
+
+TEST(ThreadContext, AvailabilityAndWaitKind)
+{
+    VectorSource src(aluOps(2));
+    ThreadContext ctx(0);
+    EXPECT_FALSE(ctx.available(0));   // not loaded
+    ctx.loadThread(&src, 1);
+    EXPECT_TRUE(ctx.available(0));
+    ctx.makeUnavailable(50, WaitKind::Memory);
+    EXPECT_FALSE(ctx.available(49));
+    EXPECT_TRUE(ctx.available(50));
+    EXPECT_EQ(ctx.waitKind(), WaitKind::Memory);
+}
+
+TEST(ThreadContext, ReloadResetsState)
+{
+    VectorSource a(aluOps(2)), b(aluOps(2));
+    ThreadContext ctx(0);
+    ctx.loadThread(&a, 1);
+    MicroOp op;
+    ctx.peek(op);
+    ctx.consume();
+    ctx.makeUnavailable(1000, WaitKind::Sync);
+    ctx.loadThread(&b, 2);
+    EXPECT_TRUE(ctx.available(0));
+    EXPECT_EQ(ctx.appId(), 2u);
+    ASSERT_TRUE(ctx.peek(op));
+    // Sequence numbers stay monotonic across reloads.
+    EXPECT_GE(op.seq, 1u);
+}
+
+// ---- issue policy helpers ------------------------------------------------
+
+TEST(IssuePolicy, RingScanSkipsUnavailable)
+{
+    std::vector<ThreadContext> ctxs;
+    std::vector<std::unique_ptr<VectorSource>> srcs;
+    for (int i = 0; i < 4; ++i) {
+        ctxs.emplace_back(static_cast<CtxId>(i));
+        srcs.push_back(std::make_unique<VectorSource>(aluOps(2)));
+        ctxs.back().loadThread(srcs.back().get(), i);
+    }
+    ctxs[1].makeUnavailable(100, WaitKind::Memory);
+    EXPECT_EQ(nextAvailableRing(ctxs, 0, 10), 2);
+    EXPECT_EQ(nextAvailableRing(ctxs, 3, 10), 0);
+    EXPECT_EQ(nextAvailableRing(ctxs, 0, 100), 1);
+
+    EXPECT_EQ(availableCount(ctxs, 10), 3);
+    EXPECT_TRUE(otherThreadExists(ctxs, 0));
+    // Minimum availability time across loaded contexts: ctx0 (0).
+    EXPECT_EQ(soonestAvailable(ctxs), 0);
+    // Once only ctx1 is pending, it is the gating context.
+    for (int i : {0, 2, 3})
+        ctxs[static_cast<std::size_t>(i)].makeUnavailable(
+            200, WaitKind::Memory);
+    EXPECT_EQ(soonestAvailable(ctxs), 1);
+}
+
+TEST(IssuePolicy, NoAvailableReturnsMinusOne)
+{
+    std::vector<ThreadContext> ctxs;
+    ctxs.emplace_back(0);
+    ctxs.emplace_back(1);
+    EXPECT_EQ(nextAvailableRing(ctxs, 0, 5), -1);
+    EXPECT_FALSE(otherThreadExists(ctxs, 0));
+    EXPECT_EQ(soonestAvailable(ctxs), -1);
+}
+
+} // namespace
+} // namespace mtsim

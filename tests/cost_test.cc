@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests of the Section 6 hardware-cost model: the structural
+ * relations the paper argues (per-context state replication, the
+ * interleaved scheme's small increment over blocked, CID tag widths).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cost/hw_cost.hh"
+
+namespace mtsim {
+namespace {
+
+HwCost
+costOf(Scheme s, std::uint8_t n)
+{
+    return estimateHwCost(Config::make(s, n));
+}
+
+TEST(HwCost, RegisterFileScalesWithContexts)
+{
+    const HwCost one = costOf(Scheme::Single, 1);
+    const HwCost four = costOf(Scheme::Blocked, 4);
+    EXPECT_EQ(four.regFileBits, 4 * one.regFileBits);
+    EXPECT_EQ(four.pswBits, 4 * one.pswBits);
+}
+
+TEST(HwCost, SingleContextHasNoCidTags)
+{
+    EXPECT_EQ(costOf(Scheme::Single, 1).cidTagBits, 0u);
+    EXPECT_EQ(costOf(Scheme::Blocked, 4).cidTagBits, 0u);
+    EXPECT_GT(costOf(Scheme::Interleaved, 4).cidTagBits, 0u);
+}
+
+TEST(HwCost, CidWidthGrowsWithLogContexts)
+{
+    const auto w2 = costOf(Scheme::Interleaved, 2).cidTagBits;
+    const auto w4 = costOf(Scheme::Interleaved, 4).cidTagBits;
+    const auto w8 = costOf(Scheme::Interleaved, 8).cidTagBits;
+    EXPECT_EQ(w4, 2 * w2);   // 1 bit -> 2 bits
+    EXPECT_EQ(w8, 3 * w2);   // -> 3 bits
+}
+
+TEST(HwCost, InterleavedCostsMoreThanBlockedButLittle)
+{
+    for (std::uint8_t n : {2, 4, 8}) {
+        const HwCost b = costOf(Scheme::Blocked, n);
+        const HwCost i = costOf(Scheme::Interleaved, n);
+        EXPECT_GT(i.totalBits(), b.totalBits()) << int(n);
+        // The paper's Section 6 punchline: the increment is small
+        // next to the state the blocked scheme already replicates.
+        EXPECT_LT(static_cast<double>(i.totalBits() - b.totalBits()),
+                  0.02 * static_cast<double>(b.totalBits()))
+            << int(n);
+    }
+}
+
+TEST(HwCost, PcBusMuxWidensWithContexts)
+{
+    EXPECT_EQ(costOf(Scheme::Single, 1).pcBusMuxInputs, 5u);
+    EXPECT_LT(costOf(Scheme::Blocked, 4).pcBusMuxInputs,
+              costOf(Scheme::Interleaved, 4).pcBusMuxInputs);
+    EXPECT_LT(costOf(Scheme::Interleaved, 2).pcBusMuxInputs,
+              costOf(Scheme::Interleaved, 8).pcBusMuxInputs);
+}
+
+TEST(HwCost, OverheadVsBaselineMonotonic)
+{
+    const HwCost base = costOf(Scheme::Single, 1);
+    double prev = 0.0;
+    for (std::uint8_t n : {2, 4, 8}) {
+        const double oh = costOf(Scheme::Interleaved, n)
+                              .overheadVs(base);
+        EXPECT_GT(oh, prev);
+        prev = oh;
+    }
+}
+
+TEST(HwCost, BtbSharedAcrossSchemes)
+{
+    EXPECT_EQ(costOf(Scheme::Single, 1).btbBits,
+              costOf(Scheme::Interleaved, 8).btbBits);
+}
+
+} // namespace
+} // namespace mtsim

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests of the workstation memory hierarchy: the unloaded Table 2
+ * latencies (1 / 9 / 34 cycles), MSHR merging, write buffering,
+ * contention effects and the blocking instruction fetch path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "mem/uni_mem_system.hh"
+
+namespace mtsim {
+namespace {
+
+class UniMemTest : public ::testing::Test
+{
+  protected:
+    UniMemTest() : mem(makeCfg()) {}
+
+    static Config
+    makeCfg()
+    {
+        Config c;
+        c.dtlb.missPenalty = 0;   // isolate the cache latencies
+        c.itlb.missPenalty = 0;
+        return c;
+    }
+
+    Config cfg = makeCfg();
+    UniMemSystem mem;
+};
+
+TEST_F(UniMemTest, ColdLoadTakesMemoryLatency)
+{
+    LoadResult r = mem.load(0, 0x10000, 100);
+    EXPECT_FALSE(r.l1Hit);
+    EXPECT_EQ(r.level, MemLevel::Memory);
+    EXPECT_EQ(r.ready, 100u + cfg.uniMem.memLat);
+}
+
+TEST_F(UniMemTest, L1HitAfterFill)
+{
+    LoadResult miss = mem.load(0, 0x10000, 100);
+    mem.tick(miss.ready);
+    LoadResult hit = mem.load(0, 0x10000, miss.ready);
+    EXPECT_TRUE(hit.l1Hit);
+    EXPECT_EQ(hit.ready, miss.ready + 1);
+}
+
+TEST_F(UniMemTest, L2HitAfterL1Eviction)
+{
+    // Fill a line, then evict it from L1 with an aliasing line
+    // (64 KB apart); the original stays in the 1 MB L2.
+    LoadResult first = mem.load(0, 0x10000, 100);
+    mem.tick(first.ready);
+    LoadResult alias = mem.load(0, 0x10000 + 64 * 1024, first.ready);
+    mem.tick(alias.ready);
+    Cycle t = alias.ready + 10;
+    mem.tick(t);
+    LoadResult l2 = mem.load(0, 0x10000, t);
+    EXPECT_FALSE(l2.l1Hit);
+    EXPECT_EQ(l2.level, MemLevel::L2);
+    EXPECT_EQ(l2.ready, t + cfg.uniMem.l2HitLat);
+}
+
+TEST_F(UniMemTest, SecondaryMissMergesOnMshr)
+{
+    LoadResult a = mem.load(0, 0x20000, 100);
+    LoadResult b = mem.load(0, 0x20008, 103);  // same line
+    EXPECT_EQ(b.ready, a.ready);
+    EXPECT_EQ(mem.mshrs().merges(), 1u);
+}
+
+TEST_F(UniMemTest, MshrExhaustionStalls)
+{
+    Cycle t = 100;
+    for (std::uint32_t i = 0; i < cfg.numMshrs; ++i)
+        mem.load(0, 0x30000 + i * 4096, t);
+    LoadResult r = mem.load(0, 0x90000, t);
+    EXPECT_TRUE(r.mshrStall);
+    EXPECT_GT(r.retryAt, t);
+}
+
+TEST_F(UniMemTest, DistinctBanksOverlapSameBankSerializes)
+{
+    // Lines 32 bytes: consecutive lines hit different banks.
+    LoadResult a = mem.load(0, 0x40000, 100);
+    LoadResult b = mem.load(0, 0x40020, 100);
+    // Different banks: only bus overhead separates the replies.
+    EXPECT_LT(b.ready, a.ready + 10);
+
+    // Same bank (4 banks * 32 B apart): the second waits.
+    LoadResult c = mem.load(0, 0x50000, 500);
+    LoadResult d = mem.load(0, 0x50000 + 4 * 32, 500);
+    EXPECT_GE(d.ready, c.ready + cfg.uniMem.bankBusy - 10);
+}
+
+TEST_F(UniMemTest, StoreHitUsesWriteBuffer)
+{
+    LoadResult warm = mem.load(0, 0x60000, 100);
+    mem.tick(warm.ready);
+    StoreResult s = mem.store(0, 0x60000, warm.ready);
+    EXPECT_FALSE(s.bufferStall);
+    EXPECT_TRUE(s.l1Hit);
+    EXPECT_EQ(mem.l1d().state(0x60000), LineState::Dirty);
+}
+
+TEST_F(UniMemTest, StoreMissWriteAllocates)
+{
+    StoreResult s = mem.store(0, 0x70000, 100);
+    EXPECT_FALSE(s.bufferStall);
+    EXPECT_FALSE(s.l1Hit);
+    mem.tick(100 + cfg.uniMem.memLat + 1);
+    EXPECT_EQ(mem.l1d().state(0x70000), LineState::Dirty);
+}
+
+TEST_F(UniMemTest, WriteBufferFillsUp)
+{
+    // Saturate the buffer with missing stores (each takes ~34
+    // cycles to complete in the background).
+    Cycle t = 100;
+    StoreResult s;
+    std::uint32_t issued = 0;
+    for (std::uint32_t i = 0; i < cfg.writeBufferDepth + 4; ++i) {
+        s = mem.store(0, 0x80000 + i * 4096, t);
+        if (s.bufferStall)
+            break;
+        ++issued;
+    }
+    EXPECT_TRUE(s.bufferStall);
+    EXPECT_GE(issued, cfg.writeBufferDepth - 1);
+}
+
+TEST_F(UniMemTest, DirtyEvictionWritesBackToL2)
+{
+    StoreResult s = mem.store(0, 0xa0000, 100);
+    ASSERT_FALSE(s.bufferStall);
+    mem.tick(200);
+    ASSERT_EQ(mem.l1d().state(0xa0000), LineState::Dirty);
+    // Evict with an alias; L2 keeps the (now dirty) data.
+    LoadResult alias = mem.load(0, 0xa0000 + 64 * 1024, 300);
+    mem.tick(alias.ready + 1);
+    EXPECT_FALSE(mem.l1d().present(0xa0000));
+    EXPECT_EQ(mem.l2().state(0xa0000), LineState::Dirty);
+}
+
+TEST_F(UniMemTest, IfetchMissStallsAndFillsTwoLines)
+{
+    FetchResult f = mem.ifetch(0, 0x100000, 50);
+    EXPECT_FALSE(f.hit);
+    EXPECT_GE(f.stall, cfg.uniMem.memLat);
+    EXPECT_TRUE(mem.l1i().tags().present(0x100000));
+    EXPECT_TRUE(mem.l1i().tags().present(0x100020));
+    FetchResult f2 = mem.ifetch(0, 0x100004, 200);
+    EXPECT_TRUE(f2.hit);
+    EXPECT_EQ(f2.stall, 0u);
+}
+
+TEST_F(UniMemTest, DtlbPenaltyReported)
+{
+    Config c;   // default penalties
+    UniMemSystem m2(c);
+    LoadResult r = m2.load(0, 0x12345000, 100);
+    EXPECT_EQ(r.tlbPenalty, c.dtlb.missPenalty);
+    LoadResult r2 = m2.load(0, 0x12345100, 200);
+    EXPECT_EQ(r2.tlbPenalty, 0u);
+}
+
+TEST_F(UniMemTest, DisplaceInvalidatesBothCaches)
+{
+    LoadResult d = mem.load(0, 0x11000, 10);
+    mem.tick(d.ready);
+    mem.ifetch(0, 0x22000, 10);
+    Rng rng(1);
+    // Displace every line with overwhelming probability.
+    mem.displace(100000, 100000, rng);
+    EXPECT_FALSE(mem.l1d().present(0x11000));
+    EXPECT_FALSE(mem.l1i().tags().present(0x22000));
+}
+
+TEST_F(UniMemTest, CountersTrackTraffic)
+{
+    mem.load(0, 0x1000, 10);
+    mem.load(0, 0x2000, 10);
+    EXPECT_EQ(mem.counters().get("l1d_misses"), 2u);
+    EXPECT_EQ(mem.counters().get("l2_misses"), 2u);
+}
+
+} // namespace
+} // namespace mtsim

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests of the reporting layer (figure category folding, text
+ * tables) and the pipeline trace recorder behind Figures 2-3.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/breakdown.hh"
+#include "metrics/report.hh"
+#include "test_util.hh"
+#include "trace/pipe_trace.hh"
+#include "workload/emitter.hh"
+
+namespace mtsim {
+namespace {
+
+using namespace test;
+
+CycleBreakdown
+sampleBd()
+{
+    CycleBreakdown bd;
+    bd.add(CycleClass::Busy, 40);
+    bd.add(CycleClass::ShortInstr, 10);
+    bd.add(CycleClass::LongInstr, 15);
+    bd.add(CycleClass::InstStall, 5);
+    bd.add(CycleClass::DataStall, 20);
+    bd.add(CycleClass::Sync, 6);
+    bd.add(CycleClass::Switch, 4);
+    return bd;
+}
+
+TEST(Breakdown, UniBarFoldsCategories)
+{
+    BreakdownBar bar = uniBar("x", sampleBd(), 1.0);
+    ASSERT_EQ(bar.categories.size(), 5u);
+    ASSERT_EQ(bar.fractions.size(), 5u);
+    EXPECT_DOUBLE_EQ(bar.fractions[0], 0.40);          // busy
+    EXPECT_DOUBLE_EQ(bar.fractions[1], 0.25);          // instr
+    EXPECT_DOUBLE_EQ(bar.fractions[2], 0.05);          // icache
+    EXPECT_DOUBLE_EQ(bar.fractions[3], 0.26);          // data+sync
+    EXPECT_DOUBLE_EQ(bar.fractions[4], 0.04);          // switch
+    double sum = 0;
+    for (double f : bar.fractions)
+        sum += f;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Breakdown, MpBarKeepsShortLongSplit)
+{
+    BreakdownBar bar = mpBar("x", sampleBd(), 0.5);
+    ASSERT_EQ(bar.categories.size(), 6u);
+    EXPECT_DOUBLE_EQ(bar.fractions[1], 0.10);          // short
+    EXPECT_DOUBLE_EQ(bar.fractions[2], 0.15);          // long
+    EXPECT_DOUBLE_EQ(bar.fractions[3], 0.25);          // memory
+    EXPECT_DOUBLE_EQ(bar.fractions[4], 0.06);          // sync
+    EXPECT_DOUBLE_EQ(bar.scale, 0.5);
+}
+
+TEST(Breakdown, BusyFraction)
+{
+    EXPECT_DOUBLE_EQ(busyFraction(sampleBd()), 0.40);
+}
+
+TEST(TextTable, AlignsColumnsAndRules)
+{
+    TextTable t({"a", "long_header", "c"});
+    t.addRow({"x", "1", "22"});
+    t.addRow({"longer", "2", "3"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("long_header"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    // Column starts line up.
+    std::istringstream is(out);
+    std::string header, rule, row1, row2;
+    std::getline(is, header);
+    std::getline(is, rule);
+    std::getline(is, row1);
+    std::getline(is, row2);
+    EXPECT_EQ(header.find("long_header"), row1.find("1"));
+    EXPECT_EQ(header.find("long_header"), row2.find("2"));
+}
+
+TEST(TextTable, NumberFormatting)
+{
+    EXPECT_EQ(TextTable::num(1.2345, 2), "1.23");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+    EXPECT_EQ(TextTable::pct(0.22), "+22%");
+    EXPECT_EQ(TextTable::pct(-0.07), "-7%");
+    EXPECT_EQ(TextTable::pct(0.5, false), "50%");
+}
+
+TEST(PrintBars, RendersEveryBar)
+{
+    std::ostringstream os;
+    printBars(os, "title",
+              {uniBar("one", sampleBd(), 1.0),
+               uniBar("two", sampleBd(), 0.7)});
+    const std::string out = os.str();
+    EXPECT_NE(out.find("title"), std::string::npos);
+    EXPECT_NE(out.find("one"), std::string::npos);
+    EXPECT_NE(out.find("two"), std::string::npos);
+    EXPECT_NE(out.find("#"), std::string::npos);   // busy glyphs
+}
+
+// ---- PipeTrace -------------------------------------------------------------
+
+TEST(PipeTrace, RecordsIssuesPerCycle)
+{
+    Rig rig(timingConfig(Scheme::Single, 1));
+    PipeTrace trace;
+    trace.attach(rig.proc);
+    VectorSource src(
+        {mkOp(Op::IntAlu, 8), mkOp(Op::IntAlu, 9),
+         mkOp(Op::IntAlu, 10)},
+        0x1000);
+    rig.proc.context(0).loadThread(&src, 0);
+    rig.runToCompletion();
+    EXPECT_EQ(trace.issues(), 3u);
+    EXPECT_EQ(trace.render(0, 4), "AAA.");
+    EXPECT_EQ(trace.lastIssueCycle(), 2u);
+    EXPECT_EQ(trace.squashes(), 0u);
+}
+
+TEST(PipeTrace, MarksSquashedSlotsLowercaseOnce)
+{
+    Rig rig(timingConfig(Scheme::Blocked, 2));
+    PipeTrace trace;
+    trace.attach(rig.proc);
+    std::vector<MicroOp> a{mkOp(Op::IntAlu, 8), mkLoad(0xa000, 9),
+                           mkOp(Op::IntAlu, 10)};
+    VectorSource srcA(a, 0x1000);
+    VectorSource srcB(
+        {mkOp(Op::IntAlu, 8), mkOp(Op::IntAlu, 9)}, 0x40000000);
+    rig.proc.context(0).loadThread(&srcA, 0);
+    rig.proc.context(1).loadThread(&srcB, 1);
+    rig.runToCompletion();
+    EXPECT_GT(trace.squashes(), 0u);
+    const std::string line = trace.render(0, 60);
+    EXPECT_NE(line.find('a'), std::string::npos);   // squashed slot
+    EXPECT_NE(line.find('B'), std::string::npos);   // other context
+    // The replayed instructions appear uppercase (fresh slots).
+    std::size_t upper_a = 0;
+    for (char c : line)
+        upper_a += (c == 'A');
+    EXPECT_GE(upper_a, 2u);
+    EXPECT_GE(trace.lastSquashedIssueCycle(), 1u);
+}
+
+TEST(PipeTrace, ClearResets)
+{
+    PipeTrace trace;
+    Rig rig(timingConfig(Scheme::Single, 1));
+    trace.attach(rig.proc);
+    VectorSource src({mkOp(Op::IntAlu, 8)}, 0x1000);
+    rig.proc.context(0).loadThread(&src, 0);
+    rig.runToCompletion();
+    trace.clear();
+    EXPECT_EQ(trace.issues(), 0u);
+    EXPECT_EQ(trace.render(0, 3), "...");
+}
+
+TEST(Figure3Threads, FourScriptedThreads)
+{
+    auto threads = figure3Threads();
+    ASSERT_EQ(threads.size(), 4u);
+    // Thread sizes (after the warm/resync prologue): A issues 2,
+    // B 3, C 4, D 6 script instructions; just verify they stream
+    // and terminate.
+    for (std::uint32_t t = 0; t < 4; ++t) {
+        ThreadSource src(((Addr)(t + 1)) << 32,
+                         (((Addr)(t + 1)) << 32) + 0x100000, t + 1,
+                         threads[t], false);
+        MicroOp op;
+        int n = 0;
+        while (src.next(op))
+            ++n;
+        EXPECT_GT(n, 4);
+        EXPECT_LT(n, 20);
+    }
+}
+
+} // namespace
+} // namespace mtsim

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Integration tests of the multiprocessor system: completion,
+ * statistics-barrier reset, aggregate accounting, thread placement,
+ * and the headline property that multiple contexts speed up the
+ * communication-bound applications with interleaved >= blocked.
+ */
+
+#include <gtest/gtest.h>
+
+#include "splash/splash_suite.hh"
+#include "system/mp_system.hh"
+
+namespace mtsim {
+namespace {
+
+TEST(MpSystem, ThreadPlacementIsStableAcrossContextCounts)
+{
+    Config cfg = Config::makeMp(Scheme::Interleaved, 2, 4);
+    MpSystem sys(cfg);
+    EXPECT_EQ(sys.numThreads(), 8u);
+    sys.loadApp(splashApp("ocean"));
+    // Thread t lives on processor t % P, context t / P.
+    for (std::uint32_t t = 0; t < 8; ++t) {
+        const ProcId p = static_cast<ProcId>(t % 4);
+        const CtxId c = static_cast<CtxId>(t / 4);
+        EXPECT_TRUE(sys.processor(p).context(c).loaded());
+        EXPECT_EQ(sys.processor(p).context(c).appId(), t);
+    }
+}
+
+TEST(MpSystem, StatsBarrierResetsMeasurement)
+{
+    Config cfg = Config::makeMp(Scheme::Interleaved, 2, 4);
+    MpSystem sys(cfg);
+    sys.setStatsBarrier(kStatsBarrier);
+    sys.loadApp(splashApp("ocean"));
+    Cycle measured = sys.run(60000000);
+    EXPECT_TRUE(sys.finished());
+    EXPECT_LT(measured, sys.now());   // init phase excluded
+    EXPECT_GT(measured, 0u);
+}
+
+TEST(MpSystem, AggregateBreakdownCoversMeasuredWindow)
+{
+    Config cfg = Config::makeMp(Scheme::Interleaved, 2, 4);
+    MpSystem sys(cfg);
+    sys.setStatsBarrier(kStatsBarrier);
+    sys.loadApp(splashApp("water"));
+    Cycle measured = sys.run(60000000);
+    ASSERT_TRUE(sys.finished());
+    const Cycle total = sys.aggregateBreakdown().total();
+    // Processors stop attributing when their threads finish, so the
+    // aggregate is at most procs x window and reasonably close.
+    EXPECT_LE(total, 4u * measured);
+    EXPECT_GE(total, 2u * measured);
+}
+
+TEST(MpSystem, MultipleContextsSpeedUpMp3d)
+{
+    auto cycles = [&](Scheme s, std::uint8_t n) {
+        Config cfg = Config::makeMp(s, n, 4);
+        MpSystem sys(cfg);
+        sys.setStatsBarrier(kStatsBarrier);
+        sys.loadApp(splashApp("mp3d"));
+        Cycle t = sys.run(120000000);
+        EXPECT_TRUE(sys.finished());
+        return t;
+    };
+    const Cycle base = cycles(Scheme::Single, 1);
+    const Cycle inter4 = cycles(Scheme::Interleaved, 4);
+    const Cycle blocked4 = cycles(Scheme::Blocked, 4);
+    // The paper's core multiprocessor result.
+    EXPECT_LT(inter4, base);
+    EXPECT_LT(blocked4, base);
+    EXPECT_LE(inter4, blocked4 + blocked4 / 10);
+    EXPECT_GT(static_cast<double>(base) /
+                  static_cast<double>(inter4),
+              1.5);
+}
+
+TEST(MpSystem, DeterministicForSameConfig)
+{
+    auto run = [&] {
+        Config cfg = Config::makeMp(Scheme::Interleaved, 2, 4);
+        MpSystem sys(cfg);
+        sys.setStatsBarrier(kStatsBarrier);
+        sys.loadApp(splashApp("barnes"));
+        sys.run(60000000);
+        return std::make_pair(sys.now(), sys.retired());
+    };
+    auto a = run();
+    auto b = run();
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+}
+
+TEST(MpSystem, SyncBoundAppShowsSyncTime)
+{
+    Config cfg = Config::makeMp(Scheme::Single, 1, 4);
+    MpSystem sys(cfg);
+    sys.setStatsBarrier(kStatsBarrier);
+    sys.loadApp(splashApp("pthor"));
+    sys.run(120000000);
+    ASSERT_TRUE(sys.finished());
+    auto bd = sys.aggregateBreakdown();
+    EXPECT_GT(bd.fraction(CycleClass::Sync), 0.10);
+}
+
+} // namespace
+} // namespace mtsim

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Unit tests for the pipeline building blocks: BTB, scoreboard and
+ * operation latency tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "isa/latency.hh"
+#include "pipeline/btb.hh"
+#include "pipeline/scoreboard.hh"
+
+namespace mtsim {
+namespace {
+
+MicroOp
+op(Op kind, RegId dst = kNoReg, RegId s1 = kNoReg, RegId s2 = kNoReg)
+{
+    MicroOp m;
+    m.op = kind;
+    m.dst = dst;
+    m.src1 = s1;
+    m.src2 = s2;
+    return m;
+}
+
+// ---- latency tables ---------------------------------------------------
+
+TEST(Latency, Table3Values)
+{
+    LatencyParams lat;
+    EXPECT_EQ(resultLatency(lat, op(Op::IntAlu)), 1u);
+    EXPECT_EQ(resultLatency(lat, op(Op::Shift)), 2u);
+    EXPECT_EQ(resultLatency(lat, op(Op::Load)), 3u);
+    EXPECT_EQ(resultLatency(lat, op(Op::FpAdd)), 5u);
+    EXPECT_EQ(resultLatency(lat, op(Op::FpMul)), 5u);
+    EXPECT_EQ(resultLatency(lat, op(Op::FpDiv)), 61u);
+    MicroOp sp = op(Op::FpDiv);
+    sp.singlePrec = true;
+    EXPECT_EQ(resultLatency(lat, sp), 31u);
+    EXPECT_EQ(issueInterval(lat, sp), 31u);
+    EXPECT_EQ(issueInterval(lat, op(Op::FpDiv)), 61u);
+    EXPECT_EQ(issueInterval(lat, op(Op::IntAlu)), 1u);
+}
+
+TEST(Latency, FunctionalUnits)
+{
+    EXPECT_EQ(fuKind(Op::IntMul), FuKind::IntMulDiv);
+    EXPECT_EQ(fuKind(Op::IntDiv), FuKind::IntMulDiv);
+    EXPECT_EQ(fuKind(Op::FpDiv), FuKind::FpDiv);
+    EXPECT_EQ(fuKind(Op::FpAdd), FuKind::None);
+    EXPECT_EQ(fuKind(Op::Load), FuKind::None);
+}
+
+TEST(Latency, PipeDepths)
+{
+    Config cfg;
+    EXPECT_EQ(pipeDepth(cfg, Op::IntAlu), 7u);
+    EXPECT_EQ(pipeDepth(cfg, Op::Load), 7u);
+    EXPECT_EQ(pipeDepth(cfg, Op::FpAdd), 9u);
+    EXPECT_EQ(pipeDepth(cfg, Op::FpDiv), 9u);
+}
+
+TEST(OpPredicates, Classification)
+{
+    EXPECT_TRUE(isLoad(Op::Load));
+    EXPECT_FALSE(isLoad(Op::Store));
+    EXPECT_TRUE(isStore(Op::Store));
+    EXPECT_TRUE(isControl(Op::Branch));
+    EXPECT_TRUE(isControl(Op::Jump));
+    EXPECT_FALSE(isControl(Op::IntAlu));
+    EXPECT_TRUE(isFp(Op::FpDiv));
+    EXPECT_FALSE(isFp(Op::IntMul));
+    EXPECT_TRUE(isSync(Op::Lock));
+    EXPECT_TRUE(isSync(Op::Barrier));
+    EXPECT_FALSE(isSync(Op::Backoff));
+}
+
+// ---- BTB ---------------------------------------------------------------
+
+TEST(Btb, ColdPredictsNotTaken)
+{
+    Btb btb(64);
+    EXPECT_FALSE(btb.predict(0x1000).taken);
+}
+
+TEST(Btb, NotTakenBranchIsCorrectWhenCold)
+{
+    Btb btb(64);
+    EXPECT_TRUE(btb.resolve(0x1000, false, 0x2000));
+}
+
+TEST(Btb, TakenBranchMispredictsOnceThenLearns)
+{
+    Btb btb(64);
+    EXPECT_FALSE(btb.resolve(0x1000, true, 0x2000));  // cold: wrong
+    EXPECT_TRUE(btb.resolve(0x1000, true, 0x2000));   // learned
+    EXPECT_TRUE(btb.predict(0x1000).taken);
+    EXPECT_EQ(btb.predict(0x1000).target, 0x2000u);
+}
+
+TEST(Btb, WrongTargetIsMispredict)
+{
+    Btb btb(64);
+    btb.resolve(0x1000, true, 0x2000);
+    EXPECT_FALSE(btb.resolve(0x1000, true, 0x3000));
+    EXPECT_TRUE(btb.resolve(0x1000, true, 0x3000));
+}
+
+TEST(Btb, FallThroughAfterTakenInvalidates)
+{
+    Btb btb(64);
+    btb.resolve(0x1000, true, 0x2000);
+    EXPECT_FALSE(btb.resolve(0x1000, false, 0));  // predicted taken
+    // Entry dropped: a later not-taken is now correct.
+    EXPECT_TRUE(btb.resolve(0x1000, false, 0));
+}
+
+TEST(Btb, AliasingEntriesEvict)
+{
+    Btb btb(64);
+    const Addr a = 0x1000;
+    const Addr b = a + 64 * 4;  // same index, different tag
+    btb.resolve(a, true, 0x2000);
+    btb.resolve(b, true, 0x3000);
+    EXPECT_FALSE(btb.predict(a).taken);  // evicted by b
+    EXPECT_TRUE(btb.predict(b).taken);
+}
+
+TEST(Btb, ClearForgets)
+{
+    Btb btb(64);
+    btb.resolve(0x1000, true, 0x2000);
+    btb.clear();
+    EXPECT_FALSE(btb.predict(0x1000).taken);
+}
+
+// ---- Scoreboard ----------------------------------------------------------
+
+TEST(Scoreboard, FreshRegistersReady)
+{
+    Scoreboard sb;
+    EXPECT_EQ(sb.readyCycle(op(Op::IntAlu, 3, 1, 2), 1), 0u);
+}
+
+TEST(Scoreboard, RawDependenceDelaysIssue)
+{
+    Scoreboard sb;
+    sb.recordWrite(5, 100, ProducerKind::ShortOp);
+    EXPECT_EQ(sb.readyCycle(op(Op::IntAlu, 6, 5, kNoReg), 1), 100u);
+    EXPECT_EQ(sb.readyCycle(op(Op::IntAlu, 6, kNoReg, 5), 1), 100u);
+    EXPECT_EQ(sb.readyCycle(op(Op::IntAlu, 6, 4, kNoReg), 1), 0u);
+}
+
+TEST(Scoreboard, MaxOverBothSources)
+{
+    Scoreboard sb;
+    sb.recordWrite(5, 100, ProducerKind::ShortOp);
+    sb.recordWrite(6, 200, ProducerKind::LongOp);
+    EXPECT_EQ(sb.readyCycle(op(Op::IntAlu, 7, 5, 6), 1), 200u);
+}
+
+TEST(Scoreboard, OutputDependenceDelaysFasterWrite)
+{
+    Scoreboard sb;
+    // Pending slow write to r5 completing at 100; a 1-cycle op that
+    // also writes r5 must not complete before it.
+    sb.recordWrite(5, 100, ProducerKind::LongOp);
+    EXPECT_EQ(sb.readyCycle(op(Op::IntAlu, 5, kNoReg, kNoReg), 1),
+              99u);
+    // A 200-cycle op would finish after anyway: no constraint.
+    EXPECT_EQ(sb.readyCycle(op(Op::IntAlu, 5, kNoReg, kNoReg), 200),
+              0u);
+}
+
+TEST(Scoreboard, ZeroRegisterAlwaysReady)
+{
+    Scoreboard sb;
+    sb.recordWrite(kZeroReg, 500, ProducerKind::LoadMiss);
+    EXPECT_EQ(sb.regReady(kZeroReg), 0u);
+    EXPECT_EQ(sb.readyCycle(op(Op::IntAlu, 1, kZeroReg, kNoReg), 1),
+              0u);
+}
+
+TEST(Scoreboard, BlockingKindReportsWorstSource)
+{
+    Scoreboard sb;
+    sb.recordWrite(5, 100, ProducerKind::ShortOp);
+    sb.recordWrite(6, 200, ProducerKind::LoadMiss);
+    EXPECT_EQ(sb.blockingKind(op(Op::IntAlu, 7, 5, 6), 50),
+              ProducerKind::LoadMiss);
+    EXPECT_EQ(sb.blockingKind(op(Op::IntAlu, 7, 5, kNoReg), 50),
+              ProducerKind::ShortOp);
+    // Past the ready cycle nothing blocks.
+    EXPECT_EQ(sb.blockingKind(op(Op::IntAlu, 7, 5, 6), 300),
+              ProducerKind::None);
+}
+
+TEST(Scoreboard, ClearWriteReleases)
+{
+    Scoreboard sb;
+    sb.recordWrite(5, 100, ProducerKind::LoadMiss);
+    sb.clearWrite(5);
+    EXPECT_EQ(sb.regReady(5), 0u);
+    EXPECT_EQ(sb.regKind(5), ProducerKind::None);
+}
+
+TEST(Scoreboard, ResetClearsAll)
+{
+    Scoreboard sb;
+    for (RegId r = 1; r < kNumRegs; ++r)
+        sb.recordWrite(r, 100 + r, ProducerKind::LongOp);
+    sb.reset();
+    for (RegId r = 1; r < kNumRegs; ++r)
+        EXPECT_EQ(sb.regReady(r), 0u);
+}
+
+} // namespace
+} // namespace mtsim

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Edge-case processor tests: structural stalls from the write
+ * buffer and MSHRs, blocking instruction fetch under interleaving,
+ * OS swaps racing outstanding misses, and zero-register handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "test_util.hh"
+
+namespace mtsim {
+namespace {
+
+using namespace test;
+
+TEST(ProcessorEdge, WriteBufferFullStallsAsDataStall)
+{
+    Config cfg = timingConfig(Scheme::Single, 1);
+    cfg.writeBufferDepth = 2;
+    Rig rig(cfg);
+    // A burst of missing stores overwhelms the 2-entry buffer.
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 8; ++i)
+        ops.push_back(mkStore(0x10000 + i * 4096, 8));
+    VectorSource src(ops, 0x1000);
+    rig.proc.context(0).loadThread(&src, 0);
+    rig.runToCompletion();
+    EXPECT_GT(rig.proc.breakdown().get(CycleClass::DataStall), 20u);
+    EXPECT_EQ(rig.proc.retired(), 8u);
+}
+
+TEST(ProcessorEdge, MshrExhaustionStallsIssue)
+{
+    Config cfg = timingConfig(Scheme::Single, 1);
+    cfg.numMshrs = 2;
+    Rig rig(cfg);
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 6; ++i)
+        ops.push_back(mkLoad(0x20000 + i * 4096,
+                             static_cast<RegId>(8 + i)));
+    VectorSource src(ops, 0x1000);
+    rig.proc.context(0).loadThread(&src, 0);
+    const Cycle cycles = rig.runToCompletion();
+    // Six independent misses through two MSHRs: at least three
+    // serialised memory round trips.
+    EXPECT_GT(cycles, 3u * 34u);
+    EXPECT_EQ(rig.proc.retired(), 6u);
+}
+
+TEST(ProcessorEdge, ICacheMissStallsAllContexts)
+{
+    // Real (non-ideal) I-cache: the blocking miss freezes every
+    // context, not just the fetching one (Section 4.1).
+    Config cfg = Config::make(Scheme::Interleaved, 2);
+    cfg.itlb.missPenalty = 0;
+    cfg.dtlb.missPenalty = 0;
+    cfg.switchHintThreshold = 0;
+    Rig rig(cfg);
+    std::vector<std::unique_ptr<VectorSource>> srcs;
+    for (CtxId c = 0; c < 2; ++c) {
+        std::vector<MicroOp> ops;
+        for (int i = 0; i < 4; ++i) {
+            MicroOp m =
+                mkOp(Op::IntAlu, static_cast<RegId>(8 + i));
+            m.pc = 0x100000000ull * (c + 1) +
+                   static_cast<Addr>(i) * 4;
+            ops.push_back(m);
+        }
+        srcs.push_back(std::make_unique<VectorSource>(ops));
+        rig.proc.context(c).loadThread(srcs.back().get(), c);
+    }
+    const Cycle cycles = rig.runToCompletion();
+    // Two cold I-lines, each a full memory fetch that blocks both
+    // contexts.
+    EXPECT_GT(rig.proc.breakdown().get(CycleClass::InstStall),
+              2u * 30u);
+    EXPECT_GT(cycles, 60u);
+    EXPECT_EQ(rig.proc.retired(), 8u);
+}
+
+TEST(ProcessorEdge, OsSwapDuringOutstandingMiss)
+{
+    // Swapping a context out while its load miss is pending must
+    // drop the pending miss event and run the new thread cleanly.
+    Config cfg = timingConfig(Scheme::Interleaved, 2);
+    Rig rig(cfg);
+    std::vector<MicroOp> a{mkLoad(0x30000, 8),
+                           mkOp(Op::IntAlu, 9, 8)};
+    VectorSource srcA(a, 0x1000);
+    VectorSource srcB(
+        {mkOp(Op::IntAlu, 8), mkOp(Op::IntAlu, 9)}, 0x40000000);
+    VectorSource srcC(
+        {mkOp(Op::IntAlu, 8), mkOp(Op::IntAlu, 9)}, 0x50000000);
+    rig.proc.context(0).loadThread(&srcA, 0);
+    rig.proc.context(1).loadThread(&srcB, 1);
+    rig.run(3);   // load issued, miss event pending (detect at +5)
+    rig.proc.osSwap(0, &srcC, 7);
+    rig.runToCompletion();
+    EXPECT_EQ(rig.proc.retiredForApp(7), 2u);
+    EXPECT_EQ(rig.proc.retiredForApp(1), 2u);
+}
+
+TEST(ProcessorEdge, ZeroRegisterWritesAreInert)
+{
+    Rig rig(timingConfig(Scheme::Single, 1));
+    // A load "into" r0 followed by a reader of r0: the reader must
+    // not wait for the (discarded) load result.
+    std::vector<MicroOp> ops{mkLoad(0x40000, kZeroReg),
+                             mkOp(Op::IntAlu, 9, kZeroReg)};
+    VectorSource src(ops, 0x1000);
+    rig.proc.context(0).loadThread(&src, 0);
+    rig.runToCompletion();
+    EXPECT_EQ(rig.proc.breakdown().get(CycleClass::DataStall), 0u);
+    EXPECT_EQ(rig.proc.breakdown().get(CycleClass::Busy), 2u);
+}
+
+TEST(ProcessorEdge, BackToBackMissesSquashOnce)
+{
+    // Two misses in flight when detection fires: the squash rolls
+    // back to the first, and the second's stale event must not
+    // corrupt state after the rollback.
+    Rig rig(timingConfig(Scheme::Interleaved, 2));
+    std::vector<MicroOp> a{mkLoad(0x50000, 8),
+                           mkLoad(0x60000, 9),
+                           mkOp(Op::IntAlu, 10, 8)};
+    VectorSource srcA(a, 0x1000);
+    std::vector<MicroOp> bvec;
+    for (int i = 0; i < 60; ++i)
+        bvec.push_back(mkOp(Op::IntAlu, static_cast<RegId>(8 + i % 8)));
+    VectorSource srcB(bvec, 0x40000000);
+    rig.proc.context(0).loadThread(&srcA, 0);
+    rig.proc.context(1).loadThread(&srcB, 1);
+    rig.runToCompletion();
+    EXPECT_EQ(rig.proc.retired(), 3u + 60u);
+}
+
+TEST(ProcessorEdge, JumpPredictedAfterFirstEncounter)
+{
+    Rig rig(timingConfig(Scheme::Single, 1));
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 3; ++i) {
+        MicroOp j = mkOp(Op::Jump);
+        j.pc = 0x2000;
+        j.target = 0x3000;
+        j.taken = true;
+        ops.push_back(j);
+        MicroOp body = mkOp(Op::IntAlu, 8);
+        body.pc = 0x3000;
+        ops.push_back(body);
+    }
+    VectorSource src(ops);
+    rig.proc.context(0).loadThread(&src, 0);
+    rig.runToCompletion();
+    // Only the first encounter pays the redirect.
+    EXPECT_EQ(rig.proc.breakdown().get(CycleClass::ShortInstr), 3u);
+}
+
+} // namespace
+} // namespace mtsim

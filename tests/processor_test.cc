@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Golden timing tests of the processor core: pipeline dependences
+ * (Table 3), branch prediction, the blocked scheme's 7-cycle flush,
+ * the interleaved scheme's selective squash, scheme equivalences and
+ * the cycle-accounting invariant.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "test_util.hh"
+#include "workload/synthetic.hh"
+#include "workload/emitter.hh"
+
+namespace mtsim {
+namespace {
+
+using namespace test;
+
+std::vector<MicroOp>
+alus(int n, RegId base = 8)
+{
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < n; ++i)
+        ops.push_back(
+            mkOp(Op::IntAlu, static_cast<RegId>(base + (i % 8))));
+    return ops;
+}
+
+TEST(ProcessorTiming, IndependentAluStreamIssuesEveryCycle)
+{
+    Rig rig(timingConfig(Scheme::Single, 1));
+    VectorSource src(alus(100), 0x1000);
+    rig.proc.context(0).loadThread(&src, 0);
+    rig.runToCompletion();
+    EXPECT_EQ(rig.proc.breakdown().get(CycleClass::Busy), 100u);
+    EXPECT_EQ(rig.proc.breakdown().get(CycleClass::ShortInstr), 0u);
+    EXPECT_EQ(rig.proc.retired(), 100u);
+}
+
+TEST(ProcessorTiming, LoadUseHasTwoDelaySlots)
+{
+    Rig rig(timingConfig(Scheme::Single, 1));
+    // Warm the line so the load hits in L1.
+    LoadResult warm = rig.mem.load(0, 0x8000, 0);
+    rig.mem.tick(warm.ready + 1);
+
+    std::vector<MicroOp> ops{mkLoad(0x8000, 8),
+                             mkOp(Op::IntAlu, 9, 8)};
+    VectorSource src(ops, 0x1000);
+    rig.proc.context(0).loadThread(&src, 0);
+    rig.runToCompletion();
+    // load at 0, dependent at 3: two bubble cycles.
+    EXPECT_EQ(rig.proc.breakdown().get(CycleClass::ShortInstr), 2u);
+    EXPECT_EQ(rig.proc.breakdown().get(CycleClass::Busy), 2u);
+}
+
+TEST(ProcessorTiming, FpAddChainStallsFourCycles)
+{
+    Rig rig(timingConfig(Scheme::Single, 1));
+    std::vector<MicroOp> ops{
+        mkOp(Op::FpAdd, kFpRegBase + 8),
+        mkOp(Op::FpAdd, kFpRegBase + 9, kFpRegBase + 8)};
+    VectorSource src(ops, 0x1000);
+    rig.proc.context(0).loadThread(&src, 0);
+    rig.runToCompletion();
+    // "four being the maximum stall due to a floating point
+    // add/subtract/multiply result hazard" (Section 5.2).
+    EXPECT_EQ(rig.proc.breakdown().get(CycleClass::ShortInstr), 4u);
+}
+
+TEST(ProcessorTiming, FpDivideOccupiesDividerAndIsLong)
+{
+    Rig rig(timingConfig(Scheme::Single, 1));
+    std::vector<MicroOp> ops{
+        mkOp(Op::FpDiv, kFpRegBase + 8),
+        mkOp(Op::FpDiv, kFpRegBase + 9)};   // independent
+    VectorSource src(ops, 0x1000);
+    rig.proc.context(0).loadThread(&src, 0);
+    rig.runToCompletion();
+    // Second divide waits for the non-pipelined divider: 60 cycles
+    // total, classified long until only 4 cycles remain.
+    EXPECT_EQ(rig.proc.breakdown().get(CycleClass::LongInstr), 56u);
+    EXPECT_EQ(rig.proc.breakdown().get(CycleClass::ShortInstr), 4u);
+}
+
+TEST(ProcessorTiming, DependentDivideUseIsLongStall)
+{
+    Rig rig(timingConfig(Scheme::Single, 1));
+    std::vector<MicroOp> ops{
+        mkOp(Op::FpDiv, kFpRegBase + 8),
+        mkOp(Op::FpAdd, kFpRegBase + 9, kFpRegBase + 8)};
+    VectorSource src(ops, 0x1000);
+    rig.proc.context(0).loadThread(&src, 0);
+    rig.runToCompletion();
+    EXPECT_EQ(rig.proc.breakdown().get(CycleClass::LongInstr), 60u);
+}
+
+TEST(ProcessorTiming, BranchMispredictsOnceThenFree)
+{
+    Rig rig(timingConfig(Scheme::Single, 1));
+    std::vector<MicroOp> ops;
+    for (int iter = 0; iter < 3; ++iter) {
+        MicroOp alu = mkOp(Op::IntAlu, 8);
+        alu.pc = 0x100;
+        ops.push_back(alu);
+        ops.push_back(mkBranch(0x104, 0x100, true));
+    }
+    VectorSource src(ops);
+    rig.proc.context(0).loadThread(&src, 0);
+    rig.runToCompletion();
+    // First taken branch mispredicts (3-cycle redirect); the BTB
+    // then predicts the loop branch perfectly.
+    EXPECT_EQ(rig.proc.breakdown().get(CycleClass::ShortInstr), 3u);
+    EXPECT_EQ(rig.proc.breakdown().get(CycleClass::Busy), 6u);
+}
+
+TEST(ProcessorTiming, LoadMissStallsAttributedToMemory)
+{
+    Rig rig(timingConfig(Scheme::Single, 1));
+    std::vector<MicroOp> ops{mkLoad(0x9000, 8),
+                             mkOp(Op::IntAlu, 9, 8)};
+    VectorSource src(ops, 0x1000);
+    rig.proc.context(0).loadThread(&src, 0);
+    rig.runToCompletion();
+    // Reply from memory: 34 cycles; dependent waits 33 after issue.
+    EXPECT_EQ(rig.proc.breakdown().get(CycleClass::DataStall), 33u);
+}
+
+TEST(BlockedScheme, MissCostsSevenCycles)
+{
+    Rig rig(timingConfig(Scheme::Blocked, 2));
+    std::vector<MicroOp> a;
+    a.push_back(mkOp(Op::IntAlu, 8));
+    a.push_back(mkLoad(0xa000, 9));   // cold: misses
+    for (int i = 0; i < 5; ++i)
+        a.push_back(mkOp(Op::IntAlu, static_cast<RegId>(10 + i)));
+    VectorSource srcA(a, 0x1000);
+    VectorSource srcB(alus(60), 0x40000000);
+    rig.proc.context(0).loadThread(&srcA, 0);
+    rig.proc.context(1).loadThread(&srcB, 1);
+    rig.runToCompletion();
+
+    // alu@0, load@1 (miss), alus@2-5; detect at 6 squashes the load
+    // + 4 younger (5 slots) and flushes 2 cycles: 7 switch cycles.
+    EXPECT_EQ(rig.proc.squashedSlots(), 5u);
+    EXPECT_EQ(rig.proc.breakdown().get(CycleClass::Switch), 7u);
+    // Context 1 starts at cycle 8 and everything retires.
+    EXPECT_EQ(rig.proc.retired(), 7u + 60u);
+}
+
+TEST(InterleavedScheme, SelectiveSquashOnlyHitsMissingContext)
+{
+    Rig rig(timingConfig(Scheme::Interleaved, 4));
+    std::vector<MicroOp> a;
+    a.push_back(mkLoad(0xb000, 8));   // cold: misses
+    for (int i = 0; i < 6; ++i)
+        a.push_back(mkOp(Op::IntAlu, static_cast<RegId>(10 + i)));
+    VectorSource srcA(a, 0x1000);
+    std::vector<std::unique_ptr<VectorSource>> fillers;
+    rig.proc.context(0).loadThread(&srcA, 0);
+    for (CtxId c = 1; c < 4; ++c) {
+        fillers.push_back(std::make_unique<VectorSource>(
+            alus(30), 0x40000000ull * (c + 1)));
+        rig.proc.context(c).loadThread(fillers.back().get(), c);
+    }
+    rig.runToCompletion();
+
+    // With four contexts interleaving, at most two of A's
+    // instructions are in flight when the miss is detected.
+    EXPECT_GE(rig.proc.squashedSlots(), 1u);
+    EXPECT_LE(rig.proc.squashedSlots(), 2u);
+    EXPECT_EQ(rig.proc.breakdown().get(CycleClass::Switch),
+              rig.proc.squashedSlots());
+    EXPECT_EQ(rig.proc.retired(), 7u + 3u * 30u);
+}
+
+TEST(SchemeEquivalence, SingleThreadInterleavedMatchesSingle)
+{
+    // Constraint 2 of the paper: the multiple-context processor must
+    // run a single thread exactly as fast as the single-context one.
+    SyntheticParams mix;
+    mix.maxOps = 3000;
+    mix.footprintBytes = 512 * 1024;
+    mix.wFpDiv = 0.02;
+
+    auto run = [&](Scheme s, std::uint8_t n) {
+        Rig rig(timingConfig(s, n));
+        ThreadSource src(0x100000000ull, 0x200000000ull, 5,
+                         makeSyntheticKernel(mix));
+        rig.proc.context(0).loadThread(&src, 0);
+        return rig.runToCompletion(500000);
+    };
+    const Cycle single = run(Scheme::Single, 1);
+    const Cycle inter = run(Scheme::Interleaved, 4);
+    const Cycle blocked = run(Scheme::Blocked, 4);
+    EXPECT_EQ(single, inter);
+    EXPECT_EQ(single, blocked);
+}
+
+TEST(SchemeEquivalence, WorkConservedAcrossSchemes)
+{
+    SyntheticParams mix;
+    mix.maxOps = 2000;
+    auto retired = [&](Scheme s, std::uint8_t n) {
+        Rig rig(timingConfig(s, n));
+        std::vector<std::unique_ptr<ThreadSource>> srcs;
+        for (CtxId c = 0; c < n; ++c) {
+            // Same seed everywhere: each context runs the exact
+            // same instruction stream, so total work must be 4x.
+            srcs.push_back(std::make_unique<ThreadSource>(
+                0x100000000ull * (c + 1),
+                0x100000000ull * (c + 1) + 0x10000000, 5,
+                makeSyntheticKernel(mix)));
+            rig.proc.context(c).loadThread(srcs.back().get(), c);
+        }
+        rig.runToCompletion(500000);
+        return rig.proc.retired();
+    };
+    const std::uint64_t single = retired(Scheme::Single, 1);
+    EXPECT_EQ(retired(Scheme::Interleaved, 4), 4 * single);
+    EXPECT_EQ(retired(Scheme::Blocked, 4), 4 * single);
+}
+
+class AccountingInvariant
+    : public ::testing::TestWithParam<std::tuple<Scheme, int, int>>
+{};
+
+TEST_P(AccountingInvariant, EveryCycleAttributedExactlyOnce)
+{
+    auto [scheme, contexts, hint] = GetParam();
+    Config cfg = Config::make(scheme, static_cast<std::uint8_t>(
+                                          contexts));
+    cfg.switchHintThreshold = static_cast<std::uint32_t>(hint);
+    Rig rig(cfg);
+    SyntheticParams mix;
+    mix.footprintBytes = 1024 * 1024;
+    mix.wFpDiv = 0.03;
+    std::vector<std::unique_ptr<ThreadSource>> srcs;
+    for (int c = 0; c < contexts; ++c) {
+        srcs.push_back(std::make_unique<ThreadSource>(
+            0x100000000ull * (c + 1),
+            0x100000000ull * (c + 1) + 0x10000000 + c * 0x13000,
+            7 + c, makeSyntheticKernel(mix)));
+        rig.proc.context(static_cast<CtxId>(c))
+            .loadThread(srcs.back().get(), static_cast<std::uint32_t>(c));
+    }
+    rig.run(30000);
+    EXPECT_EQ(rig.proc.breakdown().total(), 30000u);
+    EXPECT_GT(rig.proc.retired(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndHints, AccountingInvariant,
+    ::testing::Values(
+        std::make_tuple(Scheme::Single, 1, 8),
+        std::make_tuple(Scheme::Blocked, 2, 0),
+        std::make_tuple(Scheme::Blocked, 4, 8),
+        std::make_tuple(Scheme::Interleaved, 2, 8),
+        std::make_tuple(Scheme::Interleaved, 4, 0),
+        std::make_tuple(Scheme::Interleaved, 8, 8),
+        std::make_tuple(Scheme::FineGrained, 4, 0)));
+
+TEST(Processor, OsSwapReplacesThreadAndDropsPipeline)
+{
+    Rig rig(timingConfig(Scheme::Interleaved, 2));
+    VectorSource a(alus(1000), 0x1000);
+    VectorSource b(alus(50), 0x2000000);
+    rig.proc.context(0).loadThread(&a, 0);
+    rig.run(20);
+    rig.proc.osSwap(0, &b, 7);
+    EXPECT_EQ(rig.proc.context(0).appId(), 7u);
+    rig.runToCompletion();
+    EXPECT_EQ(rig.proc.retiredForApp(7), 50u);
+    // App 0's issued-but-unretired tail was dropped at the swap.
+    EXPECT_LE(rig.proc.retiredForApp(0), 20u);
+}
+
+TEST(Processor, HintsConvertLongStallsToSwitches)
+{
+    // With hints on, the blocked scheme explicit-switches away from
+    // a divide-dependence; with hints off it stalls.
+    auto longStall = [&](std::uint32_t threshold) {
+        Config cfg = timingConfig(Scheme::Blocked, 2);
+        cfg.switchHintThreshold = threshold;
+        Rig rig(cfg);
+        std::vector<MicroOp> a{
+            mkOp(Op::FpDiv, kFpRegBase + 8),
+            mkOp(Op::FpAdd, kFpRegBase + 9, kFpRegBase + 8)};
+        VectorSource srcA(a, 0x1000);
+        VectorSource srcB(alus(80), 0x40000000);
+        rig.proc.context(0).loadThread(&srcA, 0);
+        rig.proc.context(1).loadThread(&srcB, 1);
+        rig.runToCompletion();
+        return rig.proc.breakdown().get(CycleClass::LongInstr);
+    };
+    EXPECT_EQ(longStall(0), 60u);    // stalls the full divide
+    EXPECT_LT(longStall(8), 10u);    // switched away instead
+}
+
+TEST(FineGrained, OneInstructionPerContextInPipe)
+{
+    Rig rig(timingConfig(Scheme::FineGrained, 2));
+    VectorSource a(alus(10), 0x1000);
+    rig.proc.context(0).loadThread(&a, 0);
+    const Cycle cycles = rig.runToCompletion();
+    // One context alone issues every pipeline-depth cycles.
+    EXPECT_GE(cycles, 10u * 7u);
+}
+
+} // namespace
+} // namespace mtsim

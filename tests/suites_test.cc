@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests of the workload suites: every SPEC-like kernel streams
+ * deterministically with a bounded instruction-cache footprint and
+ * the intended instruction mix; every SPLASH-like application runs
+ * to completion on a small multiprocessor with consistent work.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "spec/spec_suite.hh"
+#include "splash/splash_suite.hh"
+#include "system/mp_system.hh"
+#include "workload/emitter.hh"
+
+namespace mtsim {
+namespace {
+
+struct MixStats
+{
+    std::size_t total = 0;
+    std::size_t loads = 0;
+    std::size_t stores = 0;
+    std::size_t branches = 0;
+    std::size_t fp = 0;
+    std::size_t fdiv = 0;
+    std::set<Addr> pcs;
+    std::set<Addr> pages;
+};
+
+MixStats
+profile(const KernelFn &kernel, std::size_t n_ops,
+        std::uint64_t seed = 1)
+{
+    ThreadSource src(0x100000000ull, 0x200000000ull, seed, kernel);
+    MixStats st;
+    MicroOp op;
+    while (st.total < n_ops && src.next(op)) {
+        ++st.total;
+        st.pcs.insert(op.pc);
+        if (isLoad(op.op) || isStore(op.op))
+            st.pages.insert(op.addr / 4096);
+        st.loads += isLoad(op.op);
+        st.stores += isStore(op.op);
+        st.branches += isControl(op.op);
+        st.fp += isFp(op.op);
+        st.fdiv += (op.op == Op::FpDiv);
+    }
+    return st;
+}
+
+class SpecKernels : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(SpecKernels, StreamsDeterministically)
+{
+    const KernelFn k1 = specKernel(GetParam());
+    const KernelFn k2 = specKernel(GetParam());
+    ThreadSource a(0x100000000ull, 0x200000000ull, 9, k1);
+    ThreadSource b(0x100000000ull, 0x200000000ull, 9, k2);
+    MicroOp oa, ob;
+    for (int i = 0; i < 5000; ++i) {
+        ASSERT_TRUE(a.next(oa));
+        ASSERT_TRUE(b.next(ob));
+        ASSERT_EQ(oa.pc, ob.pc) << GetParam() << " @ " << i;
+        ASSERT_EQ(static_cast<int>(oa.op), static_cast<int>(ob.op));
+        ASSERT_EQ(oa.addr, ob.addr);
+    }
+}
+
+TEST_P(SpecKernels, BoundedCodeFootprintUnderReexecution)
+{
+    // The PC discipline: emitting 60k ops must reuse pcs; the
+    // static footprint stays far below the dynamic count.
+    MixStats st = profile(specKernel(GetParam()), 60000);
+    EXPECT_EQ(st.total, 60000u);
+    EXPECT_LT(st.pcs.size(), 25000u) << GetParam();
+}
+
+TEST_P(SpecKernels, EndlessStream)
+{
+    ThreadSource src(0x100000000ull, 0x200000000ull, 1,
+                     specKernel(GetParam()));
+    MicroOp op;
+    for (int i = 0; i < 20000; ++i)
+        ASSERT_TRUE(src.next(op)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpecApps, SpecKernels,
+                         ::testing::ValuesIn(specApps()),
+                         [](const auto &info) { return info.param; });
+
+TEST(SpecMixes, CharacteristicsMatchLabels)
+{
+    // FP members are floating-point heavy.
+    for (const std::string app : {"mxm", "emit", "tomcatv"}) {
+        MixStats st = profile(specKernel(app), 40000);
+        EXPECT_GT(st.fp, st.total / 5) << app;
+    }
+    // The divide-heavy ones actually divide.
+    for (const std::string app : {"emit", "vpenta", "gmtry"}) {
+        MixStats st = profile(specKernel(app), 40000);
+        EXPECT_GT(st.fdiv, 0u) << app;
+    }
+    // Integer codes stay integer.
+    for (const std::string app : {"eqntott", "li"}) {
+        MixStats st = profile(specKernel(app), 40000);
+        EXPECT_LT(st.fp, st.total / 4) << app;
+    }
+    // IC-mix members carry large text footprints.
+    for (const std::string app : {"doduc", "li"}) {
+        MixStats st = profile(specKernel(app), 120000);
+        EXPECT_GT(st.pcs.size() * 4, 30000u) << app;  // > 30 KB text
+    }
+    // The DT stressor touches many pages.
+    MixStats vp = profile(specKernel("vpenta"), 60000);
+    EXPECT_GT(vp.pages.size(), 64u);   // beyond DTLB reach
+}
+
+TEST(SpecMixes, Table5WorkloadsComplete)
+{
+    for (const auto &mix : uniWorkloadNames()) {
+        auto apps = uniWorkload(mix);
+        EXPECT_EQ(apps.size(), 4u) << mix;
+        for (const auto &a : apps)
+            EXPECT_NO_THROW(specKernel(a)) << mix << "/" << a;
+    }
+    EXPECT_THROW(uniWorkload("XX"), std::invalid_argument);
+    EXPECT_THROW(specKernel("nosuch"), std::invalid_argument);
+}
+
+// ---- SPLASH ---------------------------------------------------------------
+
+class SplashApps : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(SplashApps, RunsToCompletionOnSmallMp)
+{
+    Config cfg = Config::makeMp(Scheme::Interleaved, 2, 4);
+    MpSystem sys(cfg);
+    sys.setStatsBarrier(kStatsBarrier);
+    sys.loadApp(splashApp(GetParam()));
+    sys.run(60000000);
+    EXPECT_TRUE(sys.finished()) << GetParam();
+    EXPECT_GT(sys.retired(), 1000u);
+}
+
+TEST_P(SplashApps, WorkIndependentOfContextCount)
+{
+    auto retired = [&](std::uint8_t ctxs) {
+        Config cfg = Config::makeMp(
+            ctxs == 1 ? Scheme::Single : Scheme::Interleaved, ctxs,
+            4);
+        MpSystem sys(cfg);
+        sys.loadApp(splashApp(GetParam()));
+        sys.run(60000000);
+        EXPECT_TRUE(sys.finished()) << GetParam();
+        return sys.retired();
+    };
+    const double one = static_cast<double>(retired(1));
+    const double four = static_cast<double>(retired(4));
+    // Work scales only mildly (per-thread constant overheads), never
+    // proportionally with the thread count.
+    EXPECT_LT(four, one * 1.35) << GetParam();
+    EXPECT_GT(four, one * 0.75) << GetParam();
+}
+
+TEST_P(SplashApps, UniKernelStreams)
+{
+    ThreadSource src(0x100000000ull, 0x200000000ull, 1,
+                     splashUniKernel(GetParam()));
+    MicroOp op;
+    for (int i = 0; i < 20000; ++i)
+        ASSERT_TRUE(src.next(op)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSplashApps, SplashApps,
+                         ::testing::ValuesIn(splashApps()),
+                         [](const auto &info) { return info.param; });
+
+TEST(SplashSuite, NamesResolve)
+{
+    EXPECT_EQ(splashApps().size(), 7u);
+    EXPECT_EQ(spWorkload().size(), 4u);
+    EXPECT_THROW(splashApp("nope"), std::invalid_argument);
+    EXPECT_THROW(splashUniKernel("nope"), std::invalid_argument);
+}
+
+} // namespace
+} // namespace mtsim

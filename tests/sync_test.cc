@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests of the synchronization manager: lock acquisition and FIFO
+ * handoff, barriers with staggered release, and the stats-barrier
+ * hook the multiprocessor experiments use.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sync/sync_manager.hh"
+
+namespace mtsim {
+namespace {
+
+MpMemParams
+params()
+{
+    return MpMemParams{};
+}
+
+TEST(SyncLock, UncontendedAcquireIsCheap)
+{
+    SyncManager sm(params(), 1);
+    auto r = sm.lock(5, 100, [](Cycle) {});
+    EXPECT_TRUE(r.acquired);
+    EXPECT_LE(r.ready, 110u);
+    EXPECT_TRUE(sm.held(5));
+    EXPECT_EQ(sm.uncontendedAcquires(), 1u);
+}
+
+TEST(SyncLock, ContendedWaiterWokenOnUnlock)
+{
+    SyncManager sm(params(), 1);
+    sm.lock(5, 100, [](Cycle) {});
+    Cycle woken = 0;
+    auto r = sm.lock(5, 110, [&](Cycle at) { woken = at; });
+    EXPECT_FALSE(r.acquired);
+    EXPECT_EQ(sm.lockWaiters(5), 1u);
+    sm.unlock(5, 200);
+    EXPECT_GE(woken, 200u + params().remoteCacheLo);
+    EXPECT_LE(woken, 200u + params().remoteCacheHi);
+    // The lock was handed over, not freed.
+    EXPECT_TRUE(sm.held(5));
+    EXPECT_EQ(sm.contendedAcquires(), 1u);
+}
+
+TEST(SyncLock, HandoffIsFifo)
+{
+    SyncManager sm(params(), 1);
+    sm.lock(5, 0, [](Cycle) {});
+    std::vector<int> order;
+    sm.lock(5, 1, [&](Cycle) { order.push_back(1); });
+    sm.lock(5, 2, [&](Cycle) { order.push_back(2); });
+    sm.lock(5, 3, [&](Cycle) { order.push_back(3); });
+    sm.unlock(5, 10);
+    sm.unlock(5, 20);
+    sm.unlock(5, 30);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SyncLock, UnlockWithNoWaitersFrees)
+{
+    SyncManager sm(params(), 1);
+    sm.lock(5, 0, [](Cycle) {});
+    sm.unlock(5, 10);
+    EXPECT_FALSE(sm.held(5));
+    EXPECT_TRUE(sm.lock(5, 20, [](Cycle) {}).acquired);
+}
+
+TEST(SyncLock, IndependentLockIds)
+{
+    SyncManager sm(params(), 1);
+    sm.lock(1, 0, [](Cycle) {});
+    EXPECT_TRUE(sm.lock(2, 0, [](Cycle) {}).acquired);
+}
+
+TEST(SyncBarrier, SinglePartyPassesImmediately)
+{
+    SyncManager sm(params(), 1);
+    auto r = sm.arrive(9, 1, 100, [](Cycle) {});
+    EXPECT_TRUE(r.released);
+    EXPECT_EQ(r.ready, 101u);
+}
+
+TEST(SyncBarrier, LastArriverReleasesAllStaggered)
+{
+    SyncManager sm(params(), 1);
+    std::vector<Cycle> woken;
+    auto wake = [&](Cycle at) { woken.push_back(at); };
+    EXPECT_FALSE(sm.arrive(9, 3, 100, wake).released);
+    EXPECT_FALSE(sm.arrive(9, 3, 110, wake).released);
+    auto last = sm.arrive(9, 3, 120, wake);
+    EXPECT_TRUE(last.released);
+    ASSERT_EQ(woken.size(), 2u);
+    EXPECT_GE(woken[0], 120u + params().remoteMemLo);
+    EXPECT_NE(woken[0], woken[1]);   // invalidate fan-out stagger
+    EXPECT_EQ(sm.barrierEpisodes(), 1u);
+}
+
+TEST(SyncBarrier, ReusableAcrossEpisodes)
+{
+    SyncManager sm(params(), 1);
+    int wakes = 0;
+    auto wake = [&](Cycle) { ++wakes; };
+    for (int episode = 0; episode < 3; ++episode) {
+        EXPECT_FALSE(sm.arrive(9, 2, 100, wake).released);
+        EXPECT_TRUE(sm.arrive(9, 2, 110, wake).released);
+    }
+    EXPECT_EQ(wakes, 3);
+    EXPECT_EQ(sm.barrierEpisodes(), 3u);
+}
+
+TEST(SyncBarrier, HookFiresOnRelease)
+{
+    SyncManager sm(params(), 1);
+    std::uint32_t hook_id = ~0u;
+    sm.setBarrierHook(
+        [&](std::uint32_t id, Cycle) { hook_id = id; });
+    sm.arrive(4, 2, 0, [](Cycle) {});
+    EXPECT_EQ(hook_id, ~0u);
+    sm.arrive(4, 2, 5, [](Cycle) {});
+    EXPECT_EQ(hook_id, 4u);
+}
+
+TEST(SyncManager, ResetClearsState)
+{
+    SyncManager sm(params(), 1);
+    sm.lock(5, 0, [](Cycle) {});
+    sm.arrive(9, 3, 0, [](Cycle) {});
+    sm.reset();
+    EXPECT_FALSE(sm.held(5));
+    EXPECT_EQ(sm.lockWaiters(5), 0u);
+    EXPECT_EQ(sm.uncontendedAcquires(), 0u);
+}
+
+} // namespace
+} // namespace mtsim

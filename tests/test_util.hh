@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Shared test helpers: a scripted instruction source and a tiny
+ * driver that runs one processor against the uniprocessor memory
+ * system cycle by cycle.
+ */
+
+#ifndef MTSIM_TESTS_TEST_UTIL_HH
+#define MTSIM_TESTS_TEST_UTIL_HH
+
+#include <vector>
+
+#include "common/config.hh"
+#include "core/processor.hh"
+#include "mem/uni_mem_system.hh"
+#include "workload/program.hh"
+
+namespace mtsim::test {
+
+/** Replays a fixed vector of micro-ops (assigns sequential pcs). */
+class VectorSource : public InstrSource
+{
+  public:
+    explicit VectorSource(std::vector<MicroOp> ops, Addr pc_base = 0)
+        : ops_(std::move(ops))
+    {
+        Addr pc = pc_base;
+        for (MicroOp &op : ops_) {
+            if (op.pc == 0) {
+                op.pc = pc;
+            }
+            pc += 4;
+        }
+    }
+
+    bool
+    next(MicroOp &op) override
+    {
+        if (idx_ >= ops_.size())
+            return false;
+        op = ops_[idx_++];
+        return true;
+    }
+
+    std::size_t consumed() const { return idx_; }
+
+  private:
+    std::vector<MicroOp> ops_;
+    std::size_t idx_ = 0;
+};
+
+inline MicroOp
+mkOp(Op kind, RegId dst = kNoReg, RegId s1 = kNoReg,
+     RegId s2 = kNoReg)
+{
+    MicroOp m;
+    m.op = kind;
+    m.dst = dst;
+    m.src1 = s1;
+    m.src2 = s2;
+    return m;
+}
+
+inline MicroOp
+mkLoad(Addr a, RegId dst)
+{
+    MicroOp m = mkOp(Op::Load, dst);
+    m.addr = a;
+    return m;
+}
+
+inline MicroOp
+mkStore(Addr a, RegId src)
+{
+    MicroOp m = mkOp(Op::Store, kNoReg, src);
+    m.addr = a;
+    return m;
+}
+
+inline MicroOp
+mkBranch(Addr pc, Addr target, bool taken)
+{
+    MicroOp m = mkOp(Op::Branch);
+    m.pc = pc;
+    m.target = target;
+    m.taken = taken;
+    return m;
+}
+
+/** A config with ideal I-fetch and free TLBs for timing tests. */
+inline Config
+timingConfig(Scheme s, std::uint8_t contexts)
+{
+    Config c = Config::make(s, contexts);
+    c.idealICache = true;
+    c.itlb.missPenalty = 0;
+    c.dtlb.missPenalty = 0;
+    c.switchHintThreshold = 0;
+    return c;
+}
+
+/** Single-processor rig with explicit thread loading. */
+struct Rig
+{
+    explicit Rig(const Config &cfg_in)
+        : cfg(cfg_in), mem(cfg), proc(cfg, mem)
+    {}
+
+    /** Run until all loaded threads finish (or max cycles). */
+    Cycle
+    runToCompletion(Cycle max_cycles = 100000)
+    {
+        Cycle now = 0;
+        while (now < max_cycles) {
+            mem.tick(now);
+            proc.tick(now);
+            ++now;
+            if (proc.allFinished()) {
+                // Let the pipeline drain for retire accounting.
+                for (Cycle d = 0; d < 16; ++d, ++now) {
+                    mem.tick(now);
+                    proc.tick(now);
+                }
+                break;
+            }
+        }
+        return now;
+    }
+
+    void
+    run(Cycle cycles)
+    {
+        for (Cycle i = 0; i < cycles; ++i, ++now_) {
+            mem.tick(now_);
+            proc.tick(now_);
+        }
+    }
+
+    Config cfg;
+    UniMemSystem mem;
+    Processor proc;
+    Cycle now_ = 0;
+};
+
+} // namespace mtsim::test
+
+#endif // MTSIM_TESTS_TEST_UTIL_HH

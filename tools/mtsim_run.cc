@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Command-line driver: run one simulation configuration without
+ * writing code. Covers both the workstation and the multiprocessor
+ * setups and prints throughput, the cycle breakdown and the memory
+ * counters.
+ *
+ * Examples:
+ *   mtsim_run --scheme interleaved --contexts 4 --mix DC
+ *   mtsim_run --scheme blocked --contexts 2 --mix SP --cycles 400000
+ *   mtsim_run --mp --app water --scheme interleaved --contexts 4 \
+ *             --procs 8
+ *   mtsim_run --scheme interleaved --contexts 4 --mix FP --width 2
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/config.hh"
+#include "metrics/breakdown.hh"
+#include "metrics/report.hh"
+#include "spec/spec_suite.hh"
+#include "splash/splash_suite.hh"
+#include "system/mp_system.hh"
+#include "system/uni_system.hh"
+
+using namespace mtsim;
+
+namespace {
+
+struct Options
+{
+    Scheme scheme = Scheme::Interleaved;
+    std::uint8_t contexts = 4;
+    std::string mix = "DC";
+    std::string app;
+    bool mp = false;
+    std::uint16_t procs = 8;
+    Cycle cycles = 600000;
+    Cycle warmup = 600000;
+    std::uint32_t width = 1;
+    std::uint64_t seed = 1;
+    int priority = -1;
+    bool help = false;
+};
+
+Scheme
+parseScheme(const std::string &s)
+{
+    if (s == "single")
+        return Scheme::Single;
+    if (s == "blocked")
+        return Scheme::Blocked;
+    if (s == "interleaved")
+        return Scheme::Interleaved;
+    if (s == "fine-grained" || s == "finegrained")
+        return Scheme::FineGrained;
+    throw std::invalid_argument("unknown scheme: " + s);
+}
+
+void
+usage()
+{
+    std::cout <<
+        "mtsim_run - drive one mtsim configuration\n"
+        "\n"
+        "  --scheme single|blocked|interleaved|fine-grained\n"
+        "  --contexts N        hardware contexts per processor\n"
+        "  --mix IC|DC|DT|FP|R0|R1|SP   workstation workload\n"
+        "  --app NAME          single application instead of a mix\n"
+        "                      (spec kernel or splash app)\n"
+        "  --mp                multiprocessor mode (runs --app on\n"
+        "                      --procs nodes to completion)\n"
+        "  --procs N           processors in --mp mode (default 8)\n"
+        "  --cycles N          measured cycles (workstation mode)\n"
+        "  --warmup N          warm-up cycles (workstation mode)\n"
+        "  --width 1|2         issue width\n"
+        "  --priority C        priority context (interleaved)\n"
+        "  --seed N            simulation seed\n";
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                throw std::invalid_argument(a + " needs a value");
+            return argv[++i];
+        };
+        if (a == "--scheme") {
+            o.scheme = parseScheme(next());
+        } else if (a == "--contexts") {
+            o.contexts =
+                static_cast<std::uint8_t>(std::stoul(next()));
+        } else if (a == "--mix") {
+            o.mix = next();
+        } else if (a == "--app") {
+            o.app = next();
+        } else if (a == "--mp") {
+            o.mp = true;
+        } else if (a == "--procs") {
+            o.procs =
+                static_cast<std::uint16_t>(std::stoul(next()));
+        } else if (a == "--cycles") {
+            o.cycles = std::stoull(next());
+        } else if (a == "--warmup") {
+            o.warmup = std::stoull(next());
+        } else if (a == "--width") {
+            o.width =
+                static_cast<std::uint32_t>(std::stoul(next()));
+        } else if (a == "--priority") {
+            o.priority = std::stoi(next());
+        } else if (a == "--seed") {
+            o.seed = std::stoull(next());
+        } else if (a == "--help" || a == "-h") {
+            o.help = true;
+        } else {
+            throw std::invalid_argument("unknown flag: " + a);
+        }
+    }
+    return o;
+}
+
+void
+printBreakdown(const CycleBreakdown &bd)
+{
+    TextTable t({"category", "cycles", "fraction"});
+    for (int c = 0; c < static_cast<int>(CycleClass::NumClasses);
+         ++c) {
+        const auto cc = static_cast<CycleClass>(c);
+        t.addRow({cycleClassName(cc), std::to_string(bd.get(cc)),
+                  TextTable::num(bd.fraction(cc) * 100, 1) + "%"});
+    }
+    t.print(std::cout);
+}
+
+void
+printCounters(CounterSet &cs)
+{
+    if (cs.entries().empty())
+        return;
+    TextTable t({"counter", "value"});
+    for (const auto &[name, value] : cs.entries())
+        t.addRow({name, std::to_string(value)});
+    t.print(std::cout);
+}
+
+int
+runUniMode(const Options &o)
+{
+    Config cfg = Config::make(o.scheme, o.contexts);
+    cfg.issueWidth = o.width;
+    cfg.priorityContext = o.priority;
+    cfg.seed = o.seed;
+    UniSystem sys(cfg);
+    if (!o.app.empty()) {
+        sys.addApp(o.app, specKernel(o.app));
+    } else if (o.mix == "SP") {
+        for (const auto &app : spWorkload())
+            sys.addApp(app, splashUniKernel(app));
+    } else {
+        for (const auto &app : uniWorkload(o.mix))
+            sys.addApp(app, specKernel(app));
+    }
+    sys.run(o.warmup, o.cycles);
+
+    std::cout << "workstation, scheme " << schemeName(o.scheme)
+              << ", " << int(o.contexts) << " context(s), "
+              << sys.measuredCycles() << " measured cycles\n"
+              << "IPC " << TextTable::num(sys.throughput(), 4)
+              << ", " << sys.retired() << " instructions\n\n";
+    for (std::size_t a = 0; a < sys.scheduler().numApps(); ++a) {
+        std::cout << "  app " << sys.scheduler().appName(
+                         static_cast<std::uint32_t>(a))
+                  << ": "
+                  << sys.retiredForApp(static_cast<std::uint32_t>(a))
+                  << " instructions\n";
+    }
+    std::cout << '\n';
+    printBreakdown(sys.breakdown());
+    std::cout << '\n';
+    printCounters(sys.mem().counters());
+    return 0;
+}
+
+int
+runMpMode(const Options &o)
+{
+    const std::string app = o.app.empty() ? "water" : o.app;
+    Config cfg = Config::makeMp(o.scheme, o.contexts, o.procs);
+    cfg.issueWidth = o.width;
+    cfg.seed = o.seed;
+    MpSystem sys(cfg);
+    sys.setStatsBarrier(kStatsBarrier);
+    sys.loadApp(splashApp(app));
+    const Cycle measured = sys.run();
+    if (!sys.finished()) {
+        std::cerr << "application did not finish\n";
+        return 1;
+    }
+    std::cout << "multiprocessor, " << o.procs << " nodes, scheme "
+              << schemeName(o.scheme) << ", " << int(o.contexts)
+              << " context(s)/processor\napplication " << app
+              << ": " << measured << " parallel-section cycles, "
+              << sys.retired() << " instructions\n\n";
+    printBreakdown(sys.aggregateBreakdown());
+    std::cout << '\n';
+    printCounters(sys.mem().counters());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        Options o = parse(argc, argv);
+        if (o.help) {
+            usage();
+            return 0;
+        }
+        return o.mp ? runMpMode(o) : runUniMode(o);
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n\n";
+        usage();
+        return 2;
+    }
+}
