@@ -1,5 +1,10 @@
 #include "harness.hh"
 
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+#include "metrics/json_stats.hh"
 #include "metrics/report.hh"
 #include "spec/spec_suite.hh"
 #include "splash/splash_suite.hh"
@@ -7,6 +12,78 @@
 #include "system/uni_system.hh"
 
 namespace mtsim::bench {
+
+namespace {
+
+/**
+ * Transparent result recorder behind MTSIM_BENCH_JSON: runUni/runMp
+ * append one row each; the first append registers an atexit hook
+ * that dumps every row as a JSON array when the binary finishes.
+ */
+struct BenchRow
+{
+    std::string kind;       ///< "uni" or "mp"
+    std::string workload;   ///< mix or application name
+    std::string scheme;
+    std::uint8_t contexts;
+    std::uint16_t procs;    ///< 1 for uniprocessor rows
+    double ipc;
+    Cycle cycles;
+    std::uint64_t retired;
+    CycleBreakdown bd;
+};
+
+std::vector<BenchRow> &
+benchRows()
+{
+    static std::vector<BenchRow> rows;
+    return rows;
+}
+
+void
+dumpBenchRows()
+{
+    const char *path = std::getenv("MTSIM_BENCH_JSON");
+    if (path == nullptr || *path == '\0')
+        return;
+    std::ofstream out(path);
+    if (!out)
+        return;
+    JsonWriter w(out);
+    w.beginArray();
+    for (const BenchRow &r : benchRows()) {
+        w.beginObject();
+        w.kv("kind", r.kind);
+        w.kv("workload", r.workload);
+        w.kv("scheme", r.scheme);
+        w.kv("contexts", static_cast<std::uint64_t>(r.contexts));
+        w.kv("procs", static_cast<std::uint64_t>(r.procs));
+        w.kv("ipc", r.ipc);
+        w.kv("cycles", static_cast<std::uint64_t>(r.cycles));
+        w.kv("retired", r.retired);
+        w.key("breakdown");
+        writeBreakdownJson(w, r.bd);
+        w.endObject();
+    }
+    w.endArray();
+    out << '\n';
+}
+
+void
+recordRow(BenchRow row)
+{
+    static std::once_flag once;
+    std::call_once(once, [] { std::atexit(dumpBenchRows); });
+    benchRows().push_back(std::move(row));
+}
+
+} // namespace
+
+std::size_t
+recordedRows()
+{
+    return benchRows().size();
+}
 
 std::vector<std::string>
 allMixes()
@@ -30,6 +107,9 @@ runUni(const std::string &mix, Scheme scheme, std::uint8_t contexts,
             sys.addApp(app, specKernel(app));
     }
     sys.run(warm, measure);
+    recordRow({"uni", mix, schemeName(scheme), contexts, 1,
+               sys.throughput(), sys.measuredCycles(), sys.retired(),
+               sys.breakdown()});
     return {sys.throughput(), sys.breakdown()};
 }
 
@@ -45,6 +125,12 @@ runMp(const std::string &app, Scheme scheme, std::uint8_t contexts,
     r.cycles = sys.run();
     r.bd = sys.aggregateBreakdown();
     r.retired = sys.retired();
+    const double ipc =
+        r.cycles > 0 ? static_cast<double>(r.retired) /
+                           static_cast<double>(r.cycles)
+                     : 0.0;
+    recordRow({"mp", app, schemeName(scheme), contexts, procs, ipc,
+               r.cycles, r.retired, r.bd});
     return r;
 }
 

@@ -66,6 +66,18 @@ void printUtilFigure(std::ostream &os, Scheme scheme);
  */
 void printMpFigure(std::ostream &os, Scheme scheme);
 
+/**
+ * Every runUni/runMp call records its result row; when the
+ * environment variable MTSIM_BENCH_JSON names a file, the rows are
+ * dumped there as a JSON array at process exit, so any bench binary
+ * produces machine-readable results with no code changes:
+ *
+ *   MTSIM_BENCH_JSON=rows.json ./fig6_blocked_util
+ *
+ * Returns the number of rows recorded so far (mainly for tests).
+ */
+std::size_t recordedRows();
+
 } // namespace mtsim::bench
 
 #endif // MTSIM_BENCH_HARNESS_HH

@@ -66,6 +66,41 @@ MpMemSystem::meanLatency(MemLevel level) const
            static_cast<double>(latCount_[i]);
 }
 
+void
+MpMemSystem::emitDir(DirMsg msg, ProcId p, Addr line, Cycle now,
+                     Cycle latency)
+{
+    if (!probes_ || !probes_->enabled())
+        return;
+    ProbeEvent ev;
+    ev.kind = ProbeKind::DirectoryMsg;
+    ev.cycle = now;
+    ev.proc = p;
+    ev.addr = line;
+    ev.latency = latency;
+    ev.arg = static_cast<std::uint32_t>(msg);
+    probes_->emit(ev);
+}
+
+void
+MpMemSystem::emitMiss(ProcId p, Addr line, Cycle from, Cycle reply,
+                      MemLevel level)
+{
+    if (!probes_ || !probes_->enabled())
+        return;
+    ProbeEvent ev;
+    ev.kind = ProbeKind::DMissStart;
+    ev.cycle = from;
+    ev.proc = p;
+    ev.addr = line;
+    ev.latency = reply > from ? reply - from : 0;
+    ev.arg = static_cast<std::uint32_t>(level);
+    probes_->emit(ev);
+    ev.kind = ProbeKind::DMissEnd;
+    ev.cycle = reply;
+    probes_->emit(ev);
+}
+
 std::uint32_t
 MpMemSystem::invalidateSharers(Addr line, ProcId except, Cycle when)
 {
@@ -80,6 +115,8 @@ MpMemSystem::invalidateSharers(Addr line, ProcId except, Cycle when)
         ++n;
     }
     counters_.inc("invalidations", n);
+    if (n > 0)
+        emitDir(DirMsg::Invalidate, except, line, when, n);
     return n;
 }
 
@@ -95,6 +132,7 @@ MpMemSystem::scheduleFill(ProcId p, Addr line, LineState st,
             if (ev.dirty) {
                 dir_.writeback(ev.lineAddr, p);
                 counters_.inc("eviction_writebacks");
+                emitDir(DirMsg::Writeback, p, ev.lineAddr, w);
             } else {
                 dir_.dropSharer(ev.lineAddr, p);
             }
@@ -141,6 +179,7 @@ MpMemSystem::transaction(ProcId p, Addr line, bool exclusive,
             e.sharers |= Directory::bitOf(p);
         }
         counters_.inc("remote_cache_fetches");
+        emitDir(DirMsg::Intervention, p, line, now, lat + extra);
         return now + lat + extra;
     }
 
@@ -173,6 +212,8 @@ MpMemSystem::transaction(ProcId p, Addr line, bool exclusive,
     }
     counters_.inc(level_out == MemLevel::Memory ? "local_fetches"
                                                 : "remote_fetches");
+    emitDir(exclusive ? DirMsg::ReadEx : DirMsg::Read, p, line, now,
+            reply - now);
     return reply;
 }
 
@@ -208,6 +249,8 @@ MpMemSystem::load(ProcId p, Addr a, Cycle now)
     }
 
     Cycle reply = transaction(p, line, false, now, r.level);
+    dmissLat_.record(reply > now ? reply - now : 0);
+    emitMiss(p, line, now, reply, r.level);
     node.mshrs->allocate(line, reply);
     scheduleFill(p, line, LineState::Shared, reply);
     r.ready = reply;
@@ -281,6 +324,8 @@ MpMemSystem::store(ProcId p, Addr a, Cycle now)
     } else {
         MemLevel level;
         done = transaction(p, line, true, now, level);
+        dmissLat_.record(done > now ? done - now : 0);
+        emitMiss(p, line, now, done, level);
         node.mshrs->allocate(line, done);
         scheduleFill(p, line, LineState::Dirty, done);
     }

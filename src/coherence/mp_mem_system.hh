@@ -27,6 +27,7 @@
 #include "common/stats.hh"
 #include "coherence/directory.hh"
 #include "mem/mem_request.hh"
+#include "obs/probe.hh"
 
 namespace mtsim {
 
@@ -46,6 +47,12 @@ class MpMemSystem : public MemSystem
 
     /** Observed mean reply latency per class (Table 8 check). */
     double meanLatency(MemLevel level) const;
+
+    /** Attach the probe bus miss/directory events are reported to. */
+    void setProbeBus(ProbeBus *bus) { probes_ = bus; }
+
+    /** Data-cache miss latency (reference to reply), all classes. */
+    const Histogram &dmissLatency() const { return dmissLat_; }
 
   private:
     struct Node
@@ -73,12 +80,22 @@ class MpMemSystem : public MemSystem
 
     void scheduleFill(ProcId p, Addr line, LineState st, Cycle when);
 
+    /** Emit one coherence-protocol probe event. */
+    void emitDir(DirMsg msg, ProcId p, Addr line, Cycle now,
+                 Cycle latency = 0);
+
+    /** Emit a D-miss start/end event pair for requester @p p. */
+    void emitMiss(ProcId p, Addr line, Cycle from, Cycle reply,
+                  MemLevel level);
+
     Config cfg_;
     std::vector<std::unique_ptr<Node>> nodes_;
     Directory dir_;
     Rng rng_;
     EventQueue events_;
     CounterSet counters_;
+    ProbeBus *probes_ = nullptr;
+    Histogram dmissLat_;
     /** Interconnect busy-until (only when networkOccupancy > 0). */
     Cycle networkFree_ = 0;
 

@@ -1,5 +1,7 @@
 #include "common/stats.hh"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 
 namespace mtsim {
@@ -70,23 +72,161 @@ arithmeticMean(const std::vector<double> &values)
 void
 CounterSet::inc(const std::string &name, std::uint64_t n)
 {
-    for (auto &entry : entries_) {
-        if (entry.first == name) {
-            entry.second += n;
-            return;
-        }
-    }
-    entries_.emplace_back(name, n);
+    auto [it, inserted] = index_.try_emplace(name, entries_.size());
+    if (inserted)
+        entries_.emplace_back(name, n);
+    else
+        entries_[it->second].second += n;
 }
 
 std::uint64_t
 CounterSet::get(const std::string &name) const
 {
-    for (const auto &entry : entries_) {
-        if (entry.first == name)
-            return entry.second;
+    auto it = index_.find(name);
+    if (it == index_.end())
+        return 0;
+    return entries_[it->second].second;
+}
+
+namespace {
+
+/** Bucket index of @p v: 0 for zero, else its bit width. */
+std::size_t
+bucketOf(std::uint64_t v)
+{
+    return v == 0 ? 0 : static_cast<std::size_t>(std::bit_width(v));
+}
+
+/** Lowest value bucket @p i holds. */
+std::uint64_t
+bucketLo(std::size_t i)
+{
+    return i == 0 ? 0 : 1ull << (i - 1);
+}
+
+/** Highest value bucket @p i holds. */
+std::uint64_t
+bucketHi(std::size_t i)
+{
+    return i == 0 ? 0 : (1ull << (i - 1)) + ((1ull << (i - 1)) - 1);
+}
+
+} // namespace
+
+void
+Histogram::record(std::uint64_t value, std::uint64_t n)
+{
+    if (n == 0)
+        return;
+    counts_[bucketOf(value)] += n;
+    count_ += n;
+    sum_ += value * n;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+Histogram::mean() const
+{
+    if (count_ == 0)
+        return 0.0;
+    return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    const double target =
+        std::clamp(p, 0.0, 100.0) / 100.0 *
+        static_cast<double>(count_);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue;
+        const auto in_bucket = static_cast<double>(counts_[i]);
+        if (cum + in_bucket >= target) {
+            const double frac =
+                in_bucket > 0 ? (target - cum) / in_bucket : 0.0;
+            const double lo = static_cast<double>(bucketLo(i));
+            const double hi = static_cast<double>(bucketHi(i));
+            const double v = lo + (hi - lo) * frac;
+            return std::clamp(v, static_cast<double>(min_),
+                              static_cast<double>(max_));
+        }
+        cum += in_bucket;
     }
-    return 0;
+    return static_cast<double>(max_);
+}
+
+std::vector<Histogram::Bucket>
+Histogram::buckets() const
+{
+    std::vector<Bucket> out;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] > 0)
+            out.push_back({bucketLo(i), bucketHi(i), counts_[i]});
+    }
+    return out;
+}
+
+void
+Histogram::clear()
+{
+    counts_.fill(0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = ~0ull;
+    max_ = 0;
+}
+
+IntervalSampler::IntervalSampler(Cycle interval)
+    : interval_(interval == 0 ? 1 : interval)
+{}
+
+void
+IntervalSampler::observe(Cycle now, double cumulative)
+{
+    if (!primed_) {
+        primed_ = true;
+        windowStart_ = now;
+        base_ = 0.0;
+    }
+    if (cumulative < base_) {
+        // The underlying statistics were reset (end of warm-up);
+        // restart the current window from the new baseline.
+        base_ = cumulative;
+        windowStart_ = now;
+        return;
+    }
+    if (now + 1 - windowStart_ >= interval_) {
+        samples_.push_back({windowStart_, cumulative - base_});
+        base_ = cumulative;
+        windowStart_ = now + 1;
+    }
+}
+
+void
+IntervalSampler::clear()
+{
+    primed_ = false;
+    windowStart_ = 0;
+    base_ = 0.0;
+    samples_.clear();
 }
 
 } // namespace mtsim

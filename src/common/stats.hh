@@ -10,6 +10,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
@@ -92,7 +93,9 @@ double arithmeticMean(const std::vector<double> &values);
 
 /**
  * Simple named scalar counter set used by caches, memory and the
- * directory to report hit/miss/traffic statistics.
+ * directory to report hit/miss/traffic statistics. Counters keep
+ * their insertion order for reporting; increments are O(1) through a
+ * name -> index map (they sit on cache/directory hot paths).
  */
 class CounterSet
 {
@@ -110,10 +113,97 @@ class CounterSet
         return entries_;
     }
 
-    void clear() { entries_.clear(); }
+    void
+    clear()
+    {
+        entries_.clear();
+        index_.clear();
+    }
 
   private:
     std::vector<std::pair<std::string, std::uint64_t>> entries_;
+    std::unordered_map<std::string, std::size_t> index_;
+};
+
+/**
+ * Log-bucketed histogram of non-negative integer samples (miss
+ * latencies, context run lengths, queue delays). Bucket i > 0 holds
+ * values in [2^(i-1), 2^i - 1]; bucket 0 holds zero. Percentiles
+ * interpolate linearly within a bucket and are clamped to the
+ * observed min/max, so a single-valued distribution reports that
+ * exact value at every percentile.
+ */
+class Histogram
+{
+  public:
+    struct Bucket
+    {
+        std::uint64_t lo;
+        std::uint64_t hi;
+        std::uint64_t count;
+    };
+
+    void record(std::uint64_t value, std::uint64_t n = 1);
+
+    /** Fold another histogram's samples into this one. */
+    void merge(const Histogram &other);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t minValue() const { return count_ ? min_ : 0; }
+    std::uint64_t maxValue() const { return max_; }
+    double mean() const;
+
+    /** Value at percentile @p p in [0, 100]. 0 when empty. */
+    double percentile(double p) const;
+
+    /** The non-empty buckets, in ascending value order. */
+    std::vector<Bucket> buckets() const;
+
+    void clear();
+
+  private:
+    /** 0, then one bucket per bit width of a 64-bit value. */
+    std::array<std::uint64_t, 65> counts_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~0ull;
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * Fixed-interval sampler over a monotonic cumulative counter: feed
+ * it the running total once per cycle and it records one delta per
+ * @p interval cycles (e.g. busy cycles per 10k-cycle window, the
+ * utilization time series behind Figures 6-9). A drop in the
+ * cumulative value (a stats reset) re-bases the sampler instead of
+ * producing a negative delta.
+ */
+class IntervalSampler
+{
+  public:
+    struct Sample
+    {
+        Cycle start;      ///< first cycle of the window
+        double delta;     ///< cumulative growth across the window
+    };
+
+    explicit IntervalSampler(Cycle interval);
+
+    /** Observe the cumulative value at the end of cycle @p now. */
+    void observe(Cycle now, double cumulative);
+
+    Cycle interval() const { return interval_; }
+    const std::vector<Sample> &samples() const { return samples_; }
+
+    void clear();
+
+  private:
+    Cycle interval_;
+    bool primed_ = false;
+    Cycle windowStart_ = 0;
+    double base_ = 0.0;
+    std::vector<Sample> samples_;
 };
 
 } // namespace mtsim

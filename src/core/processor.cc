@@ -47,10 +47,31 @@ Processor::clearStats()
     retiredTotal_ = 0;
     squashedSlots_ = 0;
     switchEvents_ = 0;
+    runLen_.clear();
 }
 
 void
-Processor::osSwap(CtxId c, InstrSource *src, std::uint32_t app_id)
+Processor::noteSwitch(CtxId c, Cycle now, SwitchReason reason,
+                      Cycle latency)
+{
+    if (now >= lastSwitchAt_)
+        runLen_.record(now - lastSwitchAt_);
+    lastSwitchAt_ = now;
+    if (probes_ && probes_->enabled()) {
+        ProbeEvent ev;
+        ev.kind = ProbeKind::ContextSwitch;
+        ev.cycle = now;
+        ev.proc = id_;
+        ev.ctx = c;
+        ev.latency = latency;
+        ev.arg = static_cast<std::uint32_t>(reason);
+        probes_->emit(ev);
+    }
+}
+
+void
+Processor::osSwap(CtxId c, InstrSource *src, std::uint32_t app_id,
+                  Cycle now)
 {
     // Drop this context's in-flight instructions; their issue slots
     // become (OS) switch overhead.
@@ -79,6 +100,16 @@ Processor::osSwap(CtxId c, InstrSource *src, std::uint32_t app_id)
     } else {
         ctxs_[c].unloadThread();
     }
+    if (probes_ && probes_->enabled()) {
+        ProbeEvent ev;
+        ev.kind = ProbeKind::ContextSwitch;
+        ev.cycle = now;
+        ev.proc = id_;
+        ev.ctx = c;
+        ev.latency = n;
+        ev.arg = static_cast<std::uint32_t>(SwitchReason::Os);
+        probes_->emit(ev);
+    }
 }
 
 ProducerKind
@@ -97,15 +128,23 @@ Processor::wakeFn(CtxId c)
 }
 
 std::uint32_t
-Processor::squashFrom(CtxId c, SeqNum from_seq)
+Processor::squashFrom(CtxId c, SeqNum from_seq, Cycle now)
 {
+    const bool probed = probes_ && probes_->enabled();
     std::uint32_t n = 0;
     for (std::size_t i = 0; i < inflight_.size();) {
         InFlight &f = inflight_[i];
         if (f.ctx == c && f.seq >= from_seq) {
             ctxs_[c].scoreboard().clearWrite(f.dst);
-            if (squashHook_)
-                squashHook_(c, f.seq);
+            if (probed) {
+                ProbeEvent ev;
+                ev.kind = ProbeKind::ContextSquash;
+                ev.cycle = now;
+                ev.proc = id_;
+                ev.ctx = c;
+                ev.seq = f.seq;
+                probes_->emit(ev);
+            }
             f = inflight_.back();
             inflight_.pop_back();
             ++n;
@@ -134,6 +173,9 @@ void
 Processor::blockedSwitch(Cycle now, Cycle flush_until)
 {
     ++switchEvents_;
+    noteSwitch(static_cast<CtxId>(current_), now,
+               SwitchReason::ExplicitHint,
+               flush_until > now ? flush_until - now : 0);
     if (flush_until > flushUntil_)
         flushUntil_ = flush_until;
     int next = nextAvailableRing(ctxs_, current_, now);
@@ -165,7 +207,9 @@ Processor::processMissEvents(Cycle now)
         }
         if (cfg_.scheme == Scheme::Blocked) {
             ++switchEvents_;
-            squashFrom(ev.ctx, ev.seq);
+            noteSwitch(ev.ctx, now, SwitchReason::CacheMiss,
+                       ev.dataReady > now ? ev.dataReady - now : 0);
+            squashFrom(ev.ctx, ev.seq, now);
             ctx.makeUnavailable(ev.dataReady, WaitKind::Memory);
             ctx.setMissReplaySeq(ev.seq);
             // Miss detected at WB: the whole pipeline drains before
@@ -181,9 +225,11 @@ Processor::processMissEvents(Cycle now)
             }
         } else if (cfg_.scheme == Scheme::Interleaved) {
             ++switchEvents_;
+            noteSwitch(ev.ctx, now, SwitchReason::CacheMiss,
+                       ev.dataReady > now ? ev.dataReady - now : 0);
             // Selective squash: only this context's instructions
             // leave the pipeline; everyone else keeps issuing.
-            squashFrom(ev.ctx, ev.seq);
+            squashFrom(ev.ctx, ev.seq, now);
             ctx.makeUnavailable(ev.dataReady, WaitKind::Memory);
             ctx.setMissReplaySeq(ev.seq);
         }
@@ -504,6 +550,8 @@ Processor::issueFrom(int c, Cycle now, bool attribute_stall)
             // Compiler-inserted backoff (Table 4: 1 cycle).
             bd_.add(CycleClass::Switch);
             ++switchEvents_;
+            noteSwitch(static_cast<CtxId>(c), now,
+                       SwitchReason::ExplicitHint, wait);
             ctx.makeUnavailable(startable, WaitKind::Backoff);
             return true;
         }
@@ -632,6 +680,15 @@ Processor::issueFrom(int c, Cycle now, bool attribute_stall)
       }
       case Op::Barrier: {
         if (sync_) {
+            if (probes_ && probes_->enabled()) {
+                ProbeEvent ev;
+                ev.kind = ProbeKind::BarrierArrive;
+                ev.cycle = now;
+                ev.proc = id_;
+                ev.ctx = static_cast<CtxId>(c);
+                ev.arg = op.syncId;
+                probes_->emit(ev);
+            }
             auto res = sync_->arrive(op.syncId, syncThreads_, now,
                                      wakeFn(static_cast<CtxId>(c)));
             if (res.released) {
@@ -669,8 +726,17 @@ Processor::issueFrom(int c, Cycle now, bool attribute_stall)
         inflight_.push_back({op.seq, now + pipeDepth(cfg_, op.op),
                              op.dst, static_cast<CtxId>(c),
                              ctx.appId()});
-        if (issueHook_)
-            issueHook_(now, static_cast<CtxId>(c), op);
+        if (probes_ && probes_->enabled()) {
+            ProbeEvent ev;
+            ev.kind = ProbeKind::ContextIssue;
+            ev.cycle = now;
+            ev.proc = id_;
+            ev.ctx = static_cast<CtxId>(c);
+            ev.seq = op.seq;
+            ev.addr = op.pc;
+            ev.arg = static_cast<std::uint32_t>(op.op);
+            probes_->emit(ev);
+        }
     }
     return true;
 }

@@ -27,14 +27,13 @@
 #include <cstdint>
 #include <vector>
 
-#include <functional>
-
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "core/context.hh"
 #include "isa/latency.hh"
 #include "mem/mem_request.hh"
+#include "obs/probe.hh"
 #include "pipeline/btb.hh"
 #include "sync/sync_manager.hh"
 
@@ -89,8 +88,10 @@ class Processor
      * Operating-system context swap: drop context @p c's pipeline
      * contents and bind it to @p src (nullptr unloads the slot). The
      * scheduler's cache interference is modelled separately.
+     * @p now timestamps the swap's probe events.
      */
-    void osSwap(CtxId c, InstrSource *src, std::uint32_t app_id);
+    void osSwap(CtxId c, InstrSource *src, std::uint32_t app_id,
+                Cycle now = 0);
 
     /** Make @p c the next context to issue (OS / test control). */
     void
@@ -104,13 +105,18 @@ class Processor
     /** Current scheme (handy for harness code). */
     Scheme scheme() const { return cfg_.scheme; }
 
-    // ---- trace hooks (Figures 2-3 visualiser) -----------------------
-    using IssueHook =
-        std::function<void(Cycle, CtxId, const MicroOp &)>;
-    using SquashHook = std::function<void(CtxId, SeqNum)>;
+    // ---- observability ---------------------------------------------
+    /**
+     * Attach the probe bus this processor reports issue, squash,
+     * switch and barrier-arrival events to (nullptr = off). The
+     * system owns the bus; sinks (PipeTrace, the Chrome trace
+     * writer) subscribe to it.
+     */
+    void setProbeBus(ProbeBus *bus) { probes_ = bus; }
+    ProbeBus *probeBus() const { return probes_; }
 
-    void setIssueHook(IssueHook h) { issueHook_ = std::move(h); }
-    void setSquashHook(SquashHook h) { squashHook_ = std::move(h); }
+    /** Cycles run between consecutive context-switch events. */
+    const Histogram &runLengthHistogram() const { return runLen_; }
 
   private:
     struct InFlight
@@ -152,7 +158,11 @@ class Processor
      * squashed busy slots as switch overhead.
      * @return number of squashed slots.
      */
-    std::uint32_t squashFrom(CtxId c, SeqNum from_seq);
+    std::uint32_t squashFrom(CtxId c, SeqNum from_seq, Cycle now);
+
+    /** Record one switch event: probe + run-length histogram. */
+    void noteSwitch(CtxId c, Cycle now, SwitchReason reason,
+                    Cycle latency = 0);
 
     /** Blocked scheme: flush and move to the next available context. */
     void blockedSwitch(Cycle now, Cycle flush_until);
@@ -200,8 +210,9 @@ class Processor
     std::uint64_t switchEvents_ = 0;
     Cycle lastRelease_ = 0;
 
-    IssueHook issueHook_;
-    SquashHook squashHook_;
+    ProbeBus *probes_ = nullptr;
+    Histogram runLen_;          ///< cycles between switch events
+    Cycle lastSwitchAt_ = 0;
 };
 
 } // namespace mtsim

@@ -28,10 +28,59 @@ UniMemSystem::tick(Cycle now)
     mshrs_.retire(now);
 }
 
+Cycle
+UniMemSystem::busRequest(Addr lineAddr, Cycle now)
+{
+    const Cycle start = bus_.request(now);
+    busQueue_.record(start - now);
+    if (probes_ && probes_->enabled()) {
+        ProbeEvent ev;
+        ev.kind = ProbeKind::BusRequest;
+        ev.cycle = start;
+        ev.addr = lineAddr;
+        ev.latency = start - now;
+        probes_->emit(ev);
+    }
+    return start;
+}
+
+Cycle
+UniMemSystem::busReply(Addr lineAddr, Cycle now)
+{
+    const Cycle start = bus_.reply(now);
+    busQueue_.record(start - now);
+    if (probes_ && probes_->enabled()) {
+        ProbeEvent ev;
+        ev.kind = ProbeKind::BusReply;
+        ev.cycle = start;
+        ev.addr = lineAddr;
+        ev.latency = start - now;
+        probes_->emit(ev);
+    }
+    return start;
+}
+
+void
+UniMemSystem::emitMiss(ProbeKind start_kind, ProbeKind end_kind,
+                       Addr lineAddr, Cycle from, Cycle reply)
+{
+    if (!probes_ || !probes_->enabled())
+        return;
+    ProbeEvent ev;
+    ev.kind = start_kind;
+    ev.cycle = from;
+    ev.addr = lineAddr;
+    ev.latency = reply > from ? reply - from : 0;
+    probes_->emit(ev);
+    ev.kind = end_kind;
+    ev.cycle = reply;
+    probes_->emit(ev);
+}
+
 void
 UniMemSystem::writeback(Addr lineAddr, Cycle now)
 {
-    Cycle breq = bus_.request(now);
+    Cycle breq = busRequest(lineAddr, now);
     mem_.access(lineAddr, breq + cfg_.uniMem.busRequestCycles);
     counters_.inc("writebacks");
 }
@@ -55,10 +104,10 @@ UniMemSystem::missPath(Addr lineAddr, Cycle now, MemLevel &level_out)
         counters_.inc("l2_misses");
         level_out = MemLevel::Memory;
         const Cycle tag_done = l2_start + cfg_.l2.readOccupancy;
-        const Cycle breq = bus_.request(tag_done);
+        const Cycle breq = busRequest(lineAddr, tag_done);
         const Cycle data =
             mem_.access(lineAddr, breq + cfg_.uniMem.busRequestCycles);
-        const Cycle brep = bus_.reply(data);
+        const Cycle brep = busReply(lineAddr, data);
         reply = brep + cfg_.uniMem.busReplyCycles + 1;
 
         // Install into L2 when the data returns.
@@ -111,6 +160,9 @@ UniMemSystem::load(ProcId, Addr a, Cycle now)
     }
 
     Cycle reply = missPath(line, now, r.level);
+    dmissLat_.record(reply > now ? reply - now : 0);
+    emitMiss(ProbeKind::DMissStart, ProbeKind::DMissEnd, line, now,
+             reply);
     mshrs_.allocate(line, reply);
     events_.schedule(reply, [this, line](Cycle when) {
         l1d_.reservePort(when, cfg_.l1d.fillOccupancy);
@@ -166,6 +218,9 @@ UniMemSystem::store(ProcId, Addr a, Cycle now)
     } else {
         MemLevel level;
         done = missPath(line, now, level);
+        dmissLat_.record(done > now ? done - now : 0);
+        emitMiss(ProbeKind::DMissStart, ProbeKind::DMissEnd, line,
+                 now, done);
         mshrs_.allocate(line, done);
         events_.schedule(done, [this, line](Cycle when) {
             l1d_.reservePort(when, cfg_.l1d.fillOccupancy);
@@ -209,6 +264,8 @@ UniMemSystem::ifetch(ProcId, Addr pc, Cycle now)
     Cycle reply = missPath(a.lineAddr, start, level);
     counters_.inc(level == MemLevel::L2 ? "l1i_miss_l2"
                                         : "l1i_miss_mem");
+    emitMiss(ProbeKind::IMissStart, ProbeKind::IMissEnd, a.lineAddr,
+             start, reply);
     l1i_.fill(a.lineAddr, reply);
     r.stall += static_cast<std::uint32_t>(reply - now);
     return r;

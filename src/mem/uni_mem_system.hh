@@ -25,6 +25,7 @@
 #include "mem/bus.hh"
 #include "mem/mem_request.hh"
 #include "mem/memory.hh"
+#include "obs/probe.hh"
 
 namespace mtsim {
 
@@ -52,6 +53,14 @@ class UniMemSystem : public MemSystem
     InterleavedMemory &memory() { return mem_; }
     CounterSet &counters() { return counters_; }
 
+    /** Attach the probe bus miss/bus events are reported to. */
+    void setProbeBus(ProbeBus *bus) { probes_ = bus; }
+
+    /** Primary data-cache miss latency (reference to reply). */
+    const Histogram &dmissLatency() const { return dmissLat_; }
+    /** Cycles requests waited for a free bus phase. */
+    const Histogram &busQueueDelay() const { return busQueue_; }
+
   private:
     /**
      * Compute the reply cycle for a primary-cache read miss of
@@ -64,6 +73,14 @@ class UniMemSystem : public MemSystem
     /** Dirty-line writeback traffic (bus + bank occupancy only). */
     void writeback(Addr lineAddr, Cycle now);
 
+    /** Occupy a bus phase, recording queue delay + probe event. */
+    Cycle busRequest(Addr lineAddr, Cycle now);
+    Cycle busReply(Addr lineAddr, Cycle now);
+
+    /** Emit a miss start/end event pair (data or instruction). */
+    void emitMiss(ProbeKind start_kind, ProbeKind end_kind,
+                  Addr lineAddr, Cycle from, Cycle reply);
+
     Config cfg_;
     Cache l1d_;
     ICache l1i_;
@@ -75,6 +92,9 @@ class UniMemSystem : public MemSystem
     InterleavedMemory mem_;
     EventQueue events_;
     CounterSet counters_;
+    ProbeBus *probes_ = nullptr;
+    Histogram dmissLat_;
+    Histogram busQueue_;
 
     /** Request pipe delay from L1 miss detection to L2 service. */
     static constexpr std::uint32_t kL1ToL2 = 3;

@@ -1,0 +1,212 @@
+#include "metrics/json_stats.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mtsim {
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::separate()
+{
+    if (keyPending_) {
+        keyPending_ = false;
+        return;
+    }
+    if (!depth_.empty() && depth_.back()++ > 0)
+        os_ << ',';
+}
+
+void
+JsonWriter::beginObject()
+{
+    separate();
+    os_ << '{';
+    depth_.push_back(0);
+}
+
+void
+JsonWriter::endObject()
+{
+    depth_.pop_back();
+    os_ << '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    separate();
+    os_ << '[';
+    depth_.push_back(0);
+}
+
+void
+JsonWriter::endArray()
+{
+    depth_.pop_back();
+    os_ << ']';
+}
+
+void
+JsonWriter::key(const std::string &name)
+{
+    if (!depth_.empty() && depth_.back()++ > 0)
+        os_ << ',';
+    os_ << '"' << escape(name) << "\":";
+    keyPending_ = true;
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    separate();
+    os_ << '"' << escape(v) << '"';
+}
+
+void
+JsonWriter::value(const char *v)
+{
+    value(std::string(v));
+}
+
+void
+JsonWriter::value(double v)
+{
+    separate();
+    if (!std::isfinite(v)) {
+        os_ << "null";
+        return;
+    }
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    os_ << buf;
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    separate();
+    os_ << v;
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    separate();
+    os_ << v;
+}
+
+void
+JsonWriter::value(bool v)
+{
+    separate();
+    os_ << (v ? "true" : "false");
+}
+
+void
+JsonWriter::valueNull()
+{
+    separate();
+    os_ << "null";
+}
+
+void
+writeBreakdownJson(JsonWriter &w, const CycleBreakdown &b)
+{
+    w.beginObject();
+    const auto n = static_cast<std::size_t>(CycleClass::NumClasses);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto c = static_cast<CycleClass>(i);
+        w.kv(cycleClassName(c), static_cast<std::uint64_t>(b.get(c)));
+    }
+    w.kv("total", static_cast<std::uint64_t>(b.total()));
+    w.endObject();
+}
+
+void
+writeCountersJson(JsonWriter &w, const CounterSet &c)
+{
+    w.beginObject();
+    for (const auto &[name, count] : c.entries())
+        w.kv(name, count);
+    w.endObject();
+}
+
+void
+writeHistogramJson(JsonWriter &w, const Histogram &h)
+{
+    w.beginObject();
+    w.kv("count", h.count());
+    w.kv("sum", h.sum());
+    w.kv("min", h.minValue());
+    w.kv("max", h.maxValue());
+    w.kv("mean", h.mean());
+    w.kv("p50", h.percentile(50.0));
+    w.kv("p90", h.percentile(90.0));
+    w.kv("p99", h.percentile(99.0));
+    w.key("buckets");
+    w.beginArray();
+    for (const Histogram::Bucket &b : h.buckets()) {
+        w.beginArray();
+        w.value(b.lo);
+        w.value(b.hi);
+        w.value(b.count);
+        w.endArray();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+void
+writeSamplerJson(JsonWriter &w, const IntervalSampler &s)
+{
+    w.beginObject();
+    w.kv("interval", static_cast<std::uint64_t>(s.interval()));
+    w.key("samples");
+    w.beginArray();
+    for (const IntervalSampler::Sample &sm : s.samples()) {
+        w.beginObject();
+        w.kv("start", static_cast<std::uint64_t>(sm.start));
+        w.kv("delta", sm.delta);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace mtsim

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Machine-readable statistics export: a minimal streaming JSON
+ * writer (no external dependency) plus serializers for the
+ * simulator's stats primitives - cycle breakdowns, counter sets,
+ * histograms and interval samples. mtsim_run's --stats-json and the
+ * bench harness's MTSIM_BENCH_JSON dump are built on these; the
+ * schema is documented in docs/OBSERVABILITY.md.
+ */
+
+#ifndef MTSIM_METRICS_JSON_STATS_HH
+#define MTSIM_METRICS_JSON_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace mtsim {
+
+/**
+ * Streaming JSON writer with automatic comma placement and string
+ * escaping. Usage is begin/end pairs with key() before each member
+ * inside an object:
+ *
+ *   JsonWriter w(os);
+ *   w.beginObject();
+ *   w.key("ipc"); w.value(1.75);
+ *   w.key("counters"); w.beginArray(); ... w.endArray();
+ *   w.endObject();
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Name the next member of the enclosing object. */
+    void key(const std::string &name);
+
+    void value(const std::string &v);
+    void value(const char *v);
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(bool v);
+    void valueNull();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void
+    kv(const std::string &name, T v)
+    {
+        key(name);
+        value(v);
+    }
+
+    /** Escape @p s for inclusion in a JSON string literal. */
+    static std::string escape(const std::string &s);
+
+  private:
+    void separate();
+
+    std::ostream &os_;
+    /** One entry per open container: members written so far. */
+    std::vector<std::uint64_t> depth_;
+    bool keyPending_ = false;
+};
+
+/**
+ * Serialize a cycle breakdown as {"busy": n, ..., "total": n} with
+ * one member per CycleClass in declaration order; "total" equals the
+ * sum of the classes, which for a measured run equals the elapsed
+ * cycles (the simulator's core invariant).
+ */
+void writeBreakdownJson(JsonWriter &w, const CycleBreakdown &b);
+
+/** Serialize counters as an insertion-ordered {"name": count} map. */
+void writeCountersJson(JsonWriter &w, const CounterSet &c);
+
+/**
+ * Serialize a histogram: count/sum/min/max/mean, the 50th/90th/99th
+ * percentiles, and the non-empty log2 buckets as [lo, hi, count]
+ * triples.
+ */
+void writeHistogramJson(JsonWriter &w, const Histogram &h);
+
+/** Serialize sampler windows as {"interval": n, "samples": [...]}. */
+void writeSamplerJson(JsonWriter &w, const IntervalSampler &s);
+
+} // namespace mtsim
+
+#endif // MTSIM_METRICS_JSON_STATS_HH

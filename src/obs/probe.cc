@@ -1,0 +1,45 @@
+#include "obs/probe.hh"
+
+#include <algorithm>
+
+namespace mtsim {
+
+const char *
+probeKindName(ProbeKind k)
+{
+    switch (k) {
+      case ProbeKind::ContextIssue:   return "issue";
+      case ProbeKind::ContextSquash:  return "squash";
+      case ProbeKind::ContextSwitch:  return "switch";
+      case ProbeKind::IMissStart:     return "imiss_start";
+      case ProbeKind::IMissEnd:       return "imiss_end";
+      case ProbeKind::DMissStart:     return "dmiss_start";
+      case ProbeKind::DMissEnd:       return "dmiss_end";
+      case ProbeKind::BusRequest:     return "bus_request";
+      case ProbeKind::BusReply:       return "bus_reply";
+      case ProbeKind::DirectoryMsg:   return "directory";
+      case ProbeKind::BarrierArrive:  return "barrier_arrive";
+      case ProbeKind::BarrierRelease: return "barrier_release";
+      case ProbeKind::LockAcquire:    return "lock_acquire";
+      case ProbeKind::LockRelease:    return "lock_release";
+      case ProbeKind::OsReschedule:   return "os_reschedule";
+      default:                        return "?";
+    }
+}
+
+void
+ProbeBus::addSink(ProbeSink *sink)
+{
+    if (std::find(sinks_.begin(), sinks_.end(), sink) ==
+        sinks_.end())
+        sinks_.push_back(sink);
+}
+
+void
+ProbeBus::removeSink(ProbeSink *sink)
+{
+    sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink),
+                 sinks_.end());
+}
+
+} // namespace mtsim

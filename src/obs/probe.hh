@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The simulator-wide probe bus: a typed event stream every subsystem
+ * (core, caches, memory, coherence, synchronization, OS) can emit
+ * into and any number of sinks can subscribe to. This generalizes
+ * the old ad-hoc issue/squash std::function hooks on Processor into
+ * one observability substrate: the Figure 2-3 PipeTrace, the Chrome
+ * trace writer, and ad-hoc test recorders are all just sinks.
+ *
+ * Probes are strictly passive: with no sinks attached, emission
+ * sites reduce to one pointer test plus one empty-vector test, and
+ * simulation results are bit-identical to a probe-free build.
+ */
+
+#ifndef MTSIM_OBS_PROBE_HH
+#define MTSIM_OBS_PROBE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mtsim {
+
+/** Every event kind the simulator emits. */
+enum class ProbeKind : std::uint8_t {
+    ContextIssue,   ///< instruction issued; seq, arg = opcode, addr = pc
+    ContextSquash,  ///< in-flight instruction squashed; seq
+    ContextSwitch,  ///< context left the issue stage; arg = reason
+    IMissStart,     ///< I-cache miss begins; addr, latency = total
+    IMissEnd,       ///< I-cache miss data back; cycle = reply time
+    DMissStart,     ///< D-cache miss begins; addr, latency = total
+    DMissEnd,       ///< D-cache miss data back; cycle = reply time
+    BusRequest,     ///< bus address phase; latency = queue delay
+    BusReply,       ///< bus data phase; latency = queue delay
+    DirectoryMsg,   ///< coherence message; arg = DirMsg, addr = line
+    BarrierArrive,  ///< context arrived at barrier arg
+    BarrierRelease, ///< barrier arg released all waiters
+    LockAcquire,    ///< lock arg acquired (latency = wait estimate)
+    LockRelease,    ///< lock arg released
+    OsReschedule,   ///< OS swapped the resident set; arg = #switched
+    NumKinds
+};
+
+/** Stable lowercase name of a probe kind (trace/JSON output). */
+const char *probeKindName(ProbeKind k);
+
+/** Reasons carried in ProbeEvent::arg for ContextSwitch. */
+enum class SwitchReason : std::uint32_t {
+    CacheMiss,      ///< data-cache miss detected in the pipeline
+    ExplicitHint,   ///< compiler-inserted switch / backoff hint
+    Os,             ///< operating-system context swap
+};
+
+/** Message classes carried in ProbeEvent::arg for DirectoryMsg. */
+enum class DirMsg : std::uint32_t {
+    Read,           ///< read-shared request to home
+    ReadEx,         ///< read-exclusive request to home
+    Intervention,   ///< fetch/downgrade at a dirty remote cache
+    Invalidate,     ///< invalidation burst; latency = sharer count
+    Writeback,      ///< dirty eviction writeback to home
+};
+
+/**
+ * One probe event. A plain value record: which fields are meaningful
+ * depends on `kind` (see the per-kind comments above); unused fields
+ * are zero.
+ */
+struct ProbeEvent
+{
+    ProbeKind kind{};
+    Cycle cycle = 0;          ///< simulated cycle of the event
+    ProcId proc = 0;          ///< emitting processor (0 on uni)
+    CtxId ctx = 0;            ///< hardware context, when known
+    SeqNum seq = 0;           ///< instruction sequence number
+    Addr addr = 0;            ///< pc / line address
+    Cycle latency = 0;        ///< duration or queue delay, by kind
+    std::uint32_t arg = 0;    ///< opcode / reason / id, by kind
+};
+
+/** Receives every event emitted on a bus it subscribes to. */
+class ProbeSink
+{
+  public:
+    virtual ~ProbeSink() = default;
+    virtual void onEvent(const ProbeEvent &ev) = 0;
+};
+
+/**
+ * Multicast dispatcher. Components hold a `ProbeBus *` (nullptr =
+ * observability off); systems own one bus and wire it into every
+ * component. Sinks must outlive the bus subscription (remove
+ * themselves before destruction).
+ */
+class ProbeBus
+{
+  public:
+    void addSink(ProbeSink *sink);
+    void removeSink(ProbeSink *sink);
+
+    /** True when at least one sink is listening. Emission sites
+     *  guard event construction with this. */
+    bool enabled() const { return !sinks_.empty(); }
+
+    void
+    emit(const ProbeEvent &ev) const
+    {
+        for (ProbeSink *s : sinks_)
+            s->onEvent(ev);
+    }
+
+  private:
+    std::vector<ProbeSink *> sinks_;
+};
+
+} // namespace mtsim
+
+#endif // MTSIM_OBS_PROBE_HH

@@ -1,0 +1,251 @@
+#include "obs/trace_writer.hh"
+
+#include "isa/op.hh"
+
+namespace mtsim {
+
+namespace {
+
+const char *
+switchReasonName(std::uint32_t reason)
+{
+    switch (static_cast<SwitchReason>(reason)) {
+      case SwitchReason::CacheMiss:
+        return "cache_miss";
+      case SwitchReason::ExplicitHint:
+        return "explicit_hint";
+      case SwitchReason::Os:
+        return "os";
+      default:
+        return "unknown";
+    }
+}
+
+const char *
+dirMsgName(std::uint32_t msg)
+{
+    switch (static_cast<DirMsg>(msg)) {
+      case DirMsg::Read:
+        return "read";
+      case DirMsg::ReadEx:
+        return "read_ex";
+      case DirMsg::Intervention:
+        return "intervention";
+      case DirMsg::Invalidate:
+        return "invalidate";
+      case DirMsg::Writeback:
+        return "writeback";
+      default:
+        return "unknown";
+    }
+}
+
+} // namespace
+
+ChromeTraceWriter::ChromeTraceWriter(std::ostream &out) : out_(&out)
+{
+    writeHeader();
+}
+
+ChromeTraceWriter::ChromeTraceWriter(const std::string &path)
+    : file_(path)
+{
+    if (file_.is_open()) {
+        out_ = &file_;
+        writeHeader();
+    }
+}
+
+ChromeTraceWriter::~ChromeTraceWriter()
+{
+    finish();
+}
+
+void
+ChromeTraceWriter::writeHeader()
+{
+    *out_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    headerDone_ = true;
+}
+
+void
+ChromeTraceWriter::beginRecord()
+{
+    if (first_)
+        first_ = false;
+    else
+        *out_ << ',';
+    *out_ << '\n';
+}
+
+void
+ChromeTraceWriter::writeMeta(const char *what, std::uint32_t pid,
+                             std::uint32_t tid,
+                             const std::string &name)
+{
+    beginRecord();
+    *out_ << "{\"name\":\"" << what << "\",\"ph\":\"M\",\"pid\":"
+          << pid << ",\"tid\":" << tid << ",\"args\":{\"name\":\""
+          << name << "\"}}";
+}
+
+void
+ChromeTraceWriter::noteTrack(std::uint32_t pid, std::uint32_t tid)
+{
+    if (!tracks_.insert({pid, tid}).second)
+        return;
+    std::string pname;
+    switch (pid) {
+      case kBusPid:
+        pname = "bus";
+        break;
+      case kDirectoryPid:
+        pname = "directory";
+        break;
+      case kSyncPid:
+        pname = "sync";
+        break;
+      case kOsPid:
+        pname = "os";
+        break;
+      default:
+        pname = "proc " + std::to_string(pid);
+        break;
+    }
+    if (tracks_.insert({pid, ~0u}).second)
+        writeMeta("process_name", pid, 0, pname);
+    if (pid < kBusPid)
+        writeMeta("thread_name", pid, tid,
+                  "ctx " + std::to_string(tid));
+}
+
+void
+ChromeTraceWriter::writeInstant(const ProbeEvent &ev,
+                                std::uint32_t pid, std::uint32_t tid,
+                                const char *name)
+{
+    noteTrack(pid, tid);
+    beginRecord();
+    *out_ << "{\"name\":\"" << name
+          << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << ev.cycle
+          << ",\"pid\":" << pid << ",\"tid\":" << tid
+          << ",\"args\":{\"latency\":" << ev.latency << ",\"arg\":"
+          << ev.arg << "}}";
+}
+
+void
+ChromeTraceWriter::writeAsync(const ProbeEvent &ev, const char *name,
+                              char ph, std::uint64_t id)
+{
+    noteTrack(ev.proc, ev.ctx);
+    beginRecord();
+    *out_ << "{\"name\":\"" << name << "\",\"cat\":\"" << name
+          << "\",\"ph\":\"" << ph << "\",\"ts\":" << ev.cycle
+          << ",\"pid\":" << static_cast<unsigned>(ev.proc)
+          << ",\"tid\":" << static_cast<unsigned>(ev.ctx)
+          << ",\"id\":" << id;
+    if (ph == 'b')
+        *out_ << ",\"args\":{\"addr\":" << ev.addr
+              << ",\"latency\":" << ev.latency << '}';
+    *out_ << '}';
+}
+
+void
+ChromeTraceWriter::onEvent(const ProbeEvent &ev)
+{
+    if (finished_ || out_ == nullptr)
+        return;
+    ++events_;
+    switch (ev.kind) {
+      case ProbeKind::ContextIssue:
+        noteTrack(ev.proc, ev.ctx);
+        beginRecord();
+        *out_ << "{\"name\":\""
+              << opName(static_cast<Op>(ev.arg))
+              << "\",\"cat\":\"issue\",\"ph\":\"X\",\"ts\":"
+              << ev.cycle << ",\"dur\":1,\"pid\":"
+              << static_cast<unsigned>(ev.proc) << ",\"tid\":"
+              << static_cast<unsigned>(ev.ctx)
+              << ",\"args\":{\"seq\":" << ev.seq << ",\"pc\":"
+              << ev.addr << "}}";
+        break;
+      case ProbeKind::ContextSquash:
+        noteTrack(ev.proc, ev.ctx);
+        beginRecord();
+        *out_ << "{\"name\":\"squash\",\"ph\":\"i\",\"s\":\"t\","
+              << "\"ts\":" << ev.cycle << ",\"pid\":"
+              << static_cast<unsigned>(ev.proc) << ",\"tid\":"
+              << static_cast<unsigned>(ev.ctx)
+              << ",\"args\":{\"seq\":" << ev.seq << "}}";
+        break;
+      case ProbeKind::ContextSwitch:
+        noteTrack(ev.proc, ev.ctx);
+        beginRecord();
+        *out_ << "{\"name\":\"switch:"
+              << switchReasonName(ev.arg)
+              << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << ev.cycle
+              << ",\"pid\":" << static_cast<unsigned>(ev.proc)
+              << ",\"tid\":" << static_cast<unsigned>(ev.ctx)
+              << ",\"args\":{\"latency\":" << ev.latency << "}}";
+        break;
+      case ProbeKind::IMissStart:
+        openImiss_ = nextSpan_++;
+        writeAsync(ev, "imiss", 'b', openImiss_);
+        break;
+      case ProbeKind::IMissEnd:
+        writeAsync(ev, "imiss", 'e', openImiss_);
+        break;
+      case ProbeKind::DMissStart:
+        openDmiss_ = nextSpan_++;
+        writeAsync(ev, "dmiss", 'b', openDmiss_);
+        break;
+      case ProbeKind::DMissEnd:
+        writeAsync(ev, "dmiss", 'e', openDmiss_);
+        break;
+      case ProbeKind::BusRequest:
+        writeInstant(ev, kBusPid, 0, "bus_request");
+        break;
+      case ProbeKind::BusReply:
+        writeInstant(ev, kBusPid, 1, "bus_reply");
+        break;
+      case ProbeKind::DirectoryMsg:
+        writeInstant(ev, kDirectoryPid, 0, dirMsgName(ev.arg));
+        break;
+      case ProbeKind::BarrierArrive:
+        noteTrack(ev.proc, ev.ctx);
+        beginRecord();
+        *out_ << "{\"name\":\"barrier_arrive\",\"ph\":\"i\","
+              << "\"s\":\"t\",\"ts\":" << ev.cycle << ",\"pid\":"
+              << static_cast<unsigned>(ev.proc) << ",\"tid\":"
+              << static_cast<unsigned>(ev.ctx)
+              << ",\"args\":{\"barrier\":" << ev.arg << "}}";
+        break;
+      case ProbeKind::BarrierRelease:
+        writeInstant(ev, kSyncPid, 0, "barrier_release");
+        break;
+      case ProbeKind::LockAcquire:
+        writeInstant(ev, kSyncPid, 1, "lock_acquire");
+        break;
+      case ProbeKind::LockRelease:
+        writeInstant(ev, kSyncPid, 1, "lock_release");
+        break;
+      case ProbeKind::OsReschedule:
+        writeInstant(ev, kOsPid, 0, "os_reschedule");
+        break;
+      default:
+        --events_;
+        break;
+    }
+}
+
+void
+ChromeTraceWriter::finish()
+{
+    if (finished_ || !headerDone_ || out_ == nullptr)
+        return;
+    finished_ = true;
+    *out_ << "\n]}\n";
+    out_->flush();
+}
+
+} // namespace mtsim

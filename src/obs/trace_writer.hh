@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Chrome trace_event-format writer: a ProbeSink that streams every
+ * probe event into the JSON array format chrome://tracing and
+ * Perfetto (https://ui.perfetto.dev) load directly. One process row
+ * per processor with one thread row per hardware context carries the
+ * per-slot issue/squash/switch stream (the Figure 2-3 timelines,
+ * zoomable); memory operations appear as nestable async spans from
+ * miss detection to data return; bus, directory, synchronization and
+ * OS events land on dedicated system rows.
+ *
+ * Simulated cycles are written as microsecond timestamps, so one
+ * trace-viewer microsecond equals one processor cycle.
+ */
+
+#ifndef MTSIM_OBS_TRACE_WRITER_HH
+#define MTSIM_OBS_TRACE_WRITER_HH
+
+#include <cstdint>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "obs/probe.hh"
+
+namespace mtsim {
+
+class ChromeTraceWriter : public ProbeSink
+{
+  public:
+    /** Stream events into @p out (kept open; caller owns it). */
+    explicit ChromeTraceWriter(std::ostream &out);
+
+    /** Stream events into a file created at @p path. */
+    explicit ChromeTraceWriter(const std::string &path);
+
+    /** Finishes the JSON document if finish() was not called. */
+    ~ChromeTraceWriter() override;
+
+    ChromeTraceWriter(const ChromeTraceWriter &) = delete;
+    ChromeTraceWriter &operator=(const ChromeTraceWriter &) = delete;
+
+    void onEvent(const ProbeEvent &ev) override;
+
+    /** Close the JSON document. Idempotent; further events drop. */
+    void finish();
+
+    /** False when a file path failed to open. */
+    bool ok() const { return out_ != nullptr && out_->good(); }
+
+    std::uint64_t eventsWritten() const { return events_; }
+
+  private:
+    /** Synthetic pids for the non-processor rows. */
+    static constexpr std::uint32_t kBusPid = 1000;
+    static constexpr std::uint32_t kDirectoryPid = 1001;
+    static constexpr std::uint32_t kSyncPid = 1002;
+    static constexpr std::uint32_t kOsPid = 1003;
+
+    void writeHeader();
+    void beginRecord();
+    /** Emit process/thread_name metadata once per (pid, tid). */
+    void noteTrack(std::uint32_t pid, std::uint32_t tid);
+    void writeMeta(const char *what, std::uint32_t pid,
+                   std::uint32_t tid, const std::string &name);
+    void writeInstant(const ProbeEvent &ev, std::uint32_t pid,
+                      std::uint32_t tid, const char *name);
+    void writeAsync(const ProbeEvent &ev, const char *name, char ph,
+                    std::uint64_t id);
+
+    std::ofstream file_;
+    std::ostream *out_ = nullptr;
+    bool headerDone_ = false;
+    bool finished_ = false;
+    bool first_ = true;
+    std::uint64_t events_ = 0;
+    /** Next nestable-async span id (miss start/end pairing). */
+    std::uint64_t nextSpan_ = 1;
+    /** In-flight span ids per kind, FIFO (start precedes its end). */
+    std::uint64_t openImiss_ = 0;
+    std::uint64_t openDmiss_ = 0;
+    std::set<std::pair<std::uint32_t, std::uint32_t>> tracks_;
+};
+
+} // namespace mtsim
+
+#endif // MTSIM_OBS_TRACE_WRITER_HH

@@ -15,7 +15,7 @@ Scheduler::addApp(const std::string &name, InstrSource *src)
 }
 
 void
-Scheduler::loadSet(std::size_t first_app)
+Scheduler::loadSet(std::size_t first_app, Cycle now)
 {
     const std::size_t n_apps = apps_.size();
     const std::uint8_t n_ctx = proc_.numContexts();
@@ -24,22 +24,30 @@ Scheduler::loadSet(std::size_t first_app)
         if (c < n_apps) {
             std::size_t app = (first_app + c) % n_apps;
             proc_.osSwap(c, apps_[app].src,
-                         static_cast<std::uint32_t>(app));
+                         static_cast<std::uint32_t>(app), now);
             ++switched;
         } else {
-            proc_.osSwap(c, nullptr, 0);
+            proc_.osSwap(c, nullptr, 0, now);
         }
     }
     // Table 6: scheduler cache interference scales with the number of
     // processes switched.
     mem_.displace(os_.icacheLinesPerProc * switched,
                   os_.dcacheLinesPerProc * switched, rng_);
+    if (probes_ && probes_->enabled()) {
+        ProbeEvent ev;
+        ev.kind = ProbeKind::OsReschedule;
+        ev.cycle = now;
+        ev.proc = proc_.id();
+        ev.arg = switched;
+        probes_->emit(ev);
+    }
 }
 
 void
 Scheduler::start()
 {
-    loadSet(0);
+    loadSet(0, 0);
     setStart_ = 0;
     sliceInSet_ = 0;
     nextSlice_ = os_.timeSliceCycles;
@@ -61,7 +69,7 @@ Scheduler::tick(Cycle now)
     if (apps_.size() <= proc_.numContexts())
         return;
     setStart_ = (setStart_ + proc_.numContexts()) % apps_.size();
-    loadSet(setStart_);
+    loadSet(setStart_, now);
     ++swaps_;
 }
 

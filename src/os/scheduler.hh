@@ -21,6 +21,7 @@
 #include "common/types.hh"
 #include "core/processor.hh"
 #include "mem/uni_mem_system.hh"
+#include "obs/probe.hh"
 #include "workload/program.hh"
 
 namespace mtsim {
@@ -51,8 +52,11 @@ class Scheduler
 
     std::uint64_t swaps() const { return swaps_; }
 
+    /** Attach the probe bus reschedule events are reported to. */
+    void setProbeBus(ProbeBus *bus) { probes_ = bus; }
+
   private:
-    void loadSet(std::size_t first_app);
+    void loadSet(std::size_t first_app, Cycle now);
 
     struct App
     {
@@ -71,6 +75,7 @@ class Scheduler
     Cycle nextSlice_ = 0;
     std::uint64_t swaps_ = 0;
     bool started_ = false;
+    ProbeBus *probes_ = nullptr;
 };
 
 } // namespace mtsim

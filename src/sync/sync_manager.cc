@@ -8,6 +8,20 @@ SyncManager::SyncManager(const MpMemParams &mp, std::uint64_t seed)
     : mp_(mp), rng_(seed)
 {}
 
+void
+SyncManager::emitSync(ProbeKind kind, std::uint32_t id, Cycle now,
+                      Cycle latency) const
+{
+    if (!probes_ || !probes_->enabled())
+        return;
+    ProbeEvent ev;
+    ev.kind = kind;
+    ev.cycle = now;
+    ev.latency = latency;
+    ev.arg = id;
+    probes_->emit(ev);
+}
+
 SyncManager::LockResult
 SyncManager::lock(std::uint32_t id, Cycle now, WakeFn wake)
 {
@@ -15,6 +29,7 @@ SyncManager::lock(std::uint32_t id, Cycle now, WakeFn wake)
     if (!l.held) {
         l.held = true;
         ++uncontended_;
+        emitSync(ProbeKind::LockAcquire, id, now, kUncontendedLat);
         return {true, now + kUncontendedLat};
     }
     ++contended_;
@@ -26,6 +41,7 @@ void
 SyncManager::unlock(std::uint32_t id, Cycle now)
 {
     LockState &l = locks_[id];
+    emitSync(ProbeKind::LockRelease, id, now);
     if (l.waiters.empty()) {
         l.held = false;
         return;
@@ -36,6 +52,7 @@ SyncManager::unlock(std::uint32_t id, Cycle now)
     l.waiters.pop_front();
     Cycle handoff = now + rng_.rangeInclusive(mp_.remoteCacheLo,
                                               mp_.remoteCacheHi);
+    emitSync(ProbeKind::LockAcquire, id, now, handoff - now);
     next(handoff);
 }
 
@@ -63,6 +80,7 @@ SyncManager::arrive(std::uint32_t id, std::uint32_t total, Cycle now,
         w(release + ++stagger);
     b.waiters.clear();
     b.arrived = 0;
+    emitSync(ProbeKind::BarrierRelease, id, release, stagger);
     if (hook_)
         hook_(id, release);
     return {true, now + 1};

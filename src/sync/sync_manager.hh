@@ -19,6 +19,7 @@
 #include "common/config.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
+#include "obs/probe.hh"
 
 namespace mtsim {
 
@@ -76,6 +77,9 @@ class SyncManager
     std::uint64_t uncontendedAcquires() const { return uncontended_; }
     std::uint64_t barrierEpisodes() const { return barrierEpisodes_; }
 
+    /** Attach the probe bus lock/barrier events are reported to. */
+    void setProbeBus(ProbeBus *bus) { probes_ = bus; }
+
     void reset();
 
   private:
@@ -102,6 +106,11 @@ class SyncManager
     std::uint64_t uncontended_ = 0;
     std::uint64_t barrierEpisodes_ = 0;
     BarrierHook hook_;
+    ProbeBus *probes_ = nullptr;
+
+    /** Emit one sync-kind probe event (id in arg). */
+    void emitSync(ProbeKind kind, std::uint32_t id, Cycle now,
+                  Cycle latency = 0) const;
 };
 
 } // namespace mtsim

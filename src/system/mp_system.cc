@@ -32,7 +32,10 @@ MpSystem::MpSystem(const Config &cfg)
     for (ProcId p = 0; p < cfg_.numProcessors; ++p) {
         procs_.push_back(std::make_unique<Processor>(
             cfg_, mem_, p, &sync_, n_threads));
+        procs_.back()->setProbeBus(&probes_);
     }
+    mem_.setProbeBus(&probes_);
+    sync_.setProbeBus(&probes_);
 }
 
 std::uint32_t
@@ -98,6 +101,12 @@ MpSystem::run(Cycle max_cycles)
             p->tick(now_);
         if (statsPending_)
             clearAllStats();
+        if (sampler_) {
+            Cycle busy = 0;
+            for (const auto &p : procs_)
+                busy += p->breakdown().get(CycleClass::Busy);
+            sampler_->observe(now_, static_cast<double>(busy));
+        }
         ++now_;
         if ((now_ & 63) == 0 && finished())
             break;

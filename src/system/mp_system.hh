@@ -19,6 +19,7 @@
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "core/processor.hh"
+#include "obs/probe.hh"
 #include "sync/sync_manager.hh"
 #include "workload/emitter.hh"
 #include "workload/program.hh"
@@ -75,14 +76,25 @@ class MpSystem
     Cycle measuredCycles() const { return measured_; }
     std::uint64_t retired() const;
 
+    /** The system-wide probe bus; add sinks to observe events. */
+    ProbeBus &probes() { return probes_; }
+
+    /**
+     * Attach an interval sampler fed with the aggregate busy-cycle
+     * count once per simulated cycle. Pass nullptr to detach.
+     */
+    void setSampler(IntervalSampler *sampler) { sampler_ = sampler; }
+
   private:
     void clearAllStats();
 
     Config cfg_;
+    ProbeBus probes_;
     MpMemSystem mem_;
     SyncManager sync_;
     std::vector<std::unique_ptr<Processor>> procs_;
     std::vector<std::unique_ptr<ThreadSource>> sources_;
+    IntervalSampler *sampler_ = nullptr;
     Cycle now_ = 0;
     Cycle statsStart_ = 0;
     Cycle measured_ = 0;

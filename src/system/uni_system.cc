@@ -31,7 +31,11 @@ UniSystem::UniSystem(const Config &cfg)
       mem_(cfg_),
       proc_(cfg_, mem_),
       sched_(cfg_.os, proc_, mem_, cfg_.seed + 17)
-{}
+{
+    mem_.setProbeBus(&probes_);
+    proc_.setProbeBus(&probes_);
+    sched_.setProbeBus(&probes_);
+}
 
 std::uint32_t
 UniSystem::addApp(const std::string &name, const KernelFn &kernel)
@@ -63,6 +67,9 @@ UniSystem::run(Cycle warmup, Cycle measure)
         mem_.tick(now_);
         sched_.tick(now_);
         proc_.tick(now_);
+        if (sampler_)
+            sampler_->observe(now_, static_cast<double>(
+                proc_.breakdown().get(CycleClass::Busy)));
         ++now_;
     }
     measured_ += measure;

@@ -19,6 +19,7 @@
 #include "common/stats.hh"
 #include "core/processor.hh"
 #include "mem/uni_mem_system.hh"
+#include "obs/probe.hh"
 #include "os/scheduler.hh"
 #include "workload/emitter.hh"
 #include "workload/program.hh"
@@ -67,12 +68,23 @@ class UniSystem
     Scheduler &scheduler() { return sched_; }
     const Config &config() const { return cfg_; }
 
+    /** The system-wide probe bus; add sinks to observe events. */
+    ProbeBus &probes() { return probes_; }
+
+    /**
+     * Attach an interval sampler fed with the cumulative busy-cycle
+     * count once per simulated cycle. Pass nullptr to detach.
+     */
+    void setSampler(IntervalSampler *sampler) { sampler_ = sampler; }
+
   private:
     Config cfg_;
+    ProbeBus probes_;
     UniMemSystem mem_;
     Processor proc_;
     Scheduler sched_;
     std::vector<std::unique_ptr<ThreadSource>> sources_;
+    IntervalSampler *sampler_ = nullptr;
     Cycle now_ = 0;
     Cycle measured_ = 0;
     bool started_ = false;

@@ -6,20 +6,46 @@
 
 namespace mtsim {
 
+PipeTrace::~PipeTrace()
+{
+    if (bus_)
+        bus_->removeSink(this);
+}
+
 void
 PipeTrace::attach(Processor &proc)
 {
-    proc.setIssueHook([this](Cycle now, CtxId c, const MicroOp &op) {
-        issues_[now] = {c, op.seq};
-        lastIssueOf_[{c, op.seq}] = now;
-        if (now > lastIssue_)
-            lastIssue_ = now;
-    });
-    proc.setSquashHook([this](CtxId c, SeqNum seq) {
-        auto it = lastIssueOf_.find({c, seq});
+    if (bus_)
+        bus_->removeSink(this);
+    if (!proc.probeBus())
+        proc.setProbeBus(&ownBus_);
+    bus_ = proc.probeBus();
+    proc_ = proc.id();
+    bus_->addSink(this);
+}
+
+void
+PipeTrace::onEvent(const ProbeEvent &ev)
+{
+    if (ev.proc != proc_)
+        return;
+    switch (ev.kind) {
+      case ProbeKind::ContextIssue: {
+        issues_[ev.cycle] = {ev.ctx, ev.seq};
+        lastIssueOf_[{ev.ctx, ev.seq}] = ev.cycle;
+        if (ev.cycle > lastIssue_)
+            lastIssue_ = ev.cycle;
+        break;
+      }
+      case ProbeKind::ContextSquash: {
+        auto it = lastIssueOf_.find({ev.ctx, ev.seq});
         if (it != lastIssueOf_.end())
             squashedSlots_.insert(it->second);
-    });
+        break;
+      }
+      default:
+        break;
+    }
 }
 
 std::string

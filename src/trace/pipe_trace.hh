@@ -2,9 +2,11 @@
  * @file
  * Issue-slot timeline recorder regenerating the paper's Figures 2-3:
  * which context owned each cycle's issue slot, with squashed slots
- * shown in lowercase. Also provides the scripted four-thread workload
- * (A: 2 instructions; B: 3 with a two-cycle dependence; C: 4; D: 6;
- * each ending in a cache-missing load) that Figure 3 executes.
+ * shown in lowercase. Implemented as one ProbeSink on the simulator's
+ * probe bus - the same event stream the Chrome trace writer consumes.
+ * Also provides the scripted four-thread workload (A: 2 instructions;
+ * B: 3 with a two-cycle dependence; C: 4; D: 6; each ending in a
+ * cache-missing load) that Figure 3 executes.
  */
 
 #ifndef MTSIM_TRACE_PIPE_TRACE_HH
@@ -18,15 +20,26 @@
 
 #include "common/types.hh"
 #include "core/processor.hh"
+#include "obs/probe.hh"
 #include "workload/program.hh"
 
 namespace mtsim {
 
-class PipeTrace
+class PipeTrace : public ProbeSink
 {
   public:
-    /** Register the hooks on @p proc (one trace per processor). */
+    ~PipeTrace() override;
+
+    /**
+     * Subscribe to @p proc's probe bus (one trace per processor;
+     * events from other processors on a shared bus are ignored). A
+     * bare processor with no bus attached gets this trace's private
+     * bus installed.
+     */
     void attach(Processor &proc);
+
+    /** ProbeSink: record issue and squash events. */
+    void onEvent(const ProbeEvent &ev) override;
 
     /**
      * Render the slot timeline for [from, to): one character per
@@ -58,6 +71,10 @@ class PipeTrace
      *  gets a fresh, non-squashed slot). */
     std::set<Cycle> squashedSlots_;
     Cycle lastIssue_ = 0;
+
+    ProbeBus ownBus_;            ///< used when the proc had no bus
+    ProbeBus *bus_ = nullptr;    ///< the bus this sink subscribed to
+    ProcId proc_ = 0;            ///< processor filter on shared buses
 };
 
 /**

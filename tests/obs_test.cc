@@ -1,0 +1,482 @@
+/**
+ * @file
+ * Tests of the observability layer: histogram bucketing and
+ * percentiles, the interval sampler, the probe bus, the Chrome
+ * trace writer (including a golden comparison against the Figure 3
+ * PipeTrace timeline), the JSON stats serializers, and the
+ * no-observer-no-change guarantee.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/stats.hh"
+#include "mem/uni_mem_system.hh"
+#include "metrics/json_stats.hh"
+#include "obs/probe.hh"
+#include "obs/trace_writer.hh"
+#include "spec/spec_suite.hh"
+#include "system/uni_system.hh"
+#include "test_util.hh"
+#include "trace/pipe_trace.hh"
+#include "workload/emitter.hh"
+
+namespace mtsim {
+namespace {
+
+using namespace test;
+
+// ---- Histogram -------------------------------------------------------------
+
+TEST(Histogram, BucketsByPowerOfTwo)
+{
+    Histogram h;
+    h.record(0);
+    h.record(1);
+    h.record(2);
+    h.record(3);
+    h.record(9);
+    auto buckets = h.buckets();
+    ASSERT_EQ(buckets.size(), 4u);
+    EXPECT_EQ(buckets[0].lo, 0u);   // the zero bucket
+    EXPECT_EQ(buckets[0].hi, 0u);
+    EXPECT_EQ(buckets[0].count, 1u);
+    EXPECT_EQ(buckets[1].lo, 1u);   // [1, 1]
+    EXPECT_EQ(buckets[1].hi, 1u);
+    EXPECT_EQ(buckets[2].lo, 2u);   // [2, 3]
+    EXPECT_EQ(buckets[2].hi, 3u);
+    EXPECT_EQ(buckets[2].count, 2u);
+    EXPECT_EQ(buckets[3].lo, 8u);   // [8, 15]
+    EXPECT_EQ(buckets[3].hi, 15u);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 15u);
+    EXPECT_EQ(h.minValue(), 0u);
+    EXPECT_EQ(h.maxValue(), 9u);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(Histogram, SingleValuePercentilesAreExact)
+{
+    Histogram h;
+    h.record(34, 100);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 34.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 34.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99), 34.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 34.0);
+}
+
+TEST(Histogram, PercentilesAreMonotone)
+{
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        h.record(v);
+    double prev = h.percentile(0);
+    for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+        const double v = h.percentile(p);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+    EXPECT_GE(h.percentile(90), 256.0);   // true p90 is ~900
+    EXPECT_LE(h.percentile(10), 256.0);   // true p10 is ~100
+}
+
+TEST(Histogram, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.minValue(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+    EXPECT_TRUE(h.buckets().empty());
+}
+
+TEST(Histogram, MergeFoldsCounts)
+{
+    Histogram a, b;
+    a.record(4, 3);
+    b.record(100, 2);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 5u);
+    EXPECT_EQ(a.sum(), 212u);
+    EXPECT_EQ(a.minValue(), 4u);
+    EXPECT_EQ(a.maxValue(), 100u);
+    a.merge(Histogram());   // merging empty is a no-op
+    EXPECT_EQ(a.count(), 5u);
+}
+
+// ---- IntervalSampler -------------------------------------------------------
+
+TEST(IntervalSampler, OneDeltaPerWindow)
+{
+    IntervalSampler s(10);
+    // Cumulative count grows by 1 per cycle: each 10-cycle window
+    // should report a delta of 10.
+    double cum = 0.0;
+    for (Cycle c = 0; c < 35; ++c) {
+        cum += 1.0;
+        s.observe(c, cum);
+    }
+    ASSERT_EQ(s.samples().size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(s.samples()[i].start, i * 10);
+        EXPECT_DOUBLE_EQ(s.samples()[i].delta, 10.0);
+    }
+}
+
+TEST(IntervalSampler, RebasesAcrossStatsReset)
+{
+    IntervalSampler s(10);
+    double cum = 0.0;
+    for (Cycle c = 0; c < 15; ++c)
+        s.observe(c, cum += 2.0);
+    cum = 0.0;   // stats reset mid-window
+    for (Cycle c = 15; c < 40; ++c)
+        s.observe(c, cum += 1.0);
+    ASSERT_GE(s.samples().size(), 2u);
+    for (const auto &sample : s.samples())
+        EXPECT_GE(sample.delta, 0.0);
+    // Post-reset full windows report the new rate.
+    EXPECT_DOUBLE_EQ(s.samples().back().delta, 10.0);
+}
+
+// ---- ProbeBus --------------------------------------------------------------
+
+struct CountingSink : ProbeSink
+{
+    void
+    onEvent(const ProbeEvent &ev) override
+    {
+        ++count;
+        last = ev;
+    }
+    std::uint64_t count = 0;
+    ProbeEvent last;
+};
+
+TEST(ProbeBus, DispatchesToEverySinkOnce)
+{
+    ProbeBus bus;
+    CountingSink a, b;
+    EXPECT_FALSE(bus.enabled());
+    bus.addSink(&a);
+    bus.addSink(&a);   // duplicate registration is ignored
+    bus.addSink(&b);
+    EXPECT_TRUE(bus.enabled());
+    ProbeEvent ev;
+    ev.kind = ProbeKind::ContextIssue;
+    ev.cycle = 42;
+    bus.emit(ev);
+    EXPECT_EQ(a.count, 1u);
+    EXPECT_EQ(b.count, 1u);
+    EXPECT_EQ(a.last.cycle, 42u);
+    bus.removeSink(&a);
+    bus.emit(ev);
+    EXPECT_EQ(a.count, 1u);
+    EXPECT_EQ(b.count, 2u);
+}
+
+TEST(ProbeBus, KindNamesAreStable)
+{
+    EXPECT_STREQ(probeKindName(ProbeKind::ContextIssue), "issue");
+    EXPECT_STREQ(probeKindName(ProbeKind::DMissStart),
+                 "dmiss_start");
+    EXPECT_STREQ(probeKindName(ProbeKind::OsReschedule),
+                 "os_reschedule");
+}
+
+// ---- Probe emission from a live processor ----------------------------------
+
+TEST(ProbeEmission, IssueAndMissEventsMatchCounters)
+{
+    Rig rig(timingConfig(Scheme::Single, 1));
+    CountingSink sink;
+    ProbeBus bus;
+    bus.addSink(&sink);
+    rig.proc.setProbeBus(&bus);
+    rig.mem.setProbeBus(&bus);
+    VectorSource src(
+        {mkOp(Op::IntAlu, 8), mkLoad(0xa000, 9), mkOp(Op::IntAlu, 10)},
+        0x1000);
+    rig.proc.context(0).loadThread(&src, 0);
+    rig.runToCompletion();
+    // 3 issues + one DMissStart/DMissEnd pair at least.
+    EXPECT_GE(sink.count, 5u);
+    EXPECT_EQ(rig.mem.dmissLatency().count(), 1u);
+    EXPECT_GT(rig.mem.dmissLatency().minValue(), 0u);
+}
+
+// ---- Chrome trace golden comparison (Figure 3 workload) --------------------
+
+/** Extract the integer following @p key in @p line, or npos. */
+std::uint64_t
+extractU64(const std::string &line, const std::string &key)
+{
+    const std::size_t at = line.find(key);
+    EXPECT_NE(at, std::string::npos) << key << " in " << line;
+    return std::stoull(line.substr(at + key.size()));
+}
+
+/**
+ * Rebuild the issue-slot timeline from a Chrome trace the way
+ * PipeTrace builds it from probe events: "X" issue records claim
+ * their ts slot, squash instants mark the latest slot of their
+ * (tid, seq). Records appear in emission order, one per line.
+ */
+std::string
+renderFromChromeTrace(const std::string &json, Cycle from, Cycle to)
+{
+    std::map<Cycle, CtxId> slots;
+    std::map<std::pair<CtxId, SeqNum>, Cycle> last_issue;
+    std::set<Cycle> squashed;
+    std::istringstream is(json);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.find("\"cat\":\"issue\"") != std::string::npos) {
+            const auto ts = extractU64(line, "\"ts\":");
+            const auto tid =
+                static_cast<CtxId>(extractU64(line, "\"tid\":"));
+            const auto seq =
+                static_cast<SeqNum>(extractU64(line, "\"seq\":"));
+            slots[ts] = tid;
+            last_issue[{tid, seq}] = ts;
+        } else if (line.find("\"name\":\"squash\"") !=
+                   std::string::npos) {
+            const auto tid =
+                static_cast<CtxId>(extractU64(line, "\"tid\":"));
+            const auto seq =
+                static_cast<SeqNum>(extractU64(line, "\"seq\":"));
+            auto it = last_issue.find({tid, seq});
+            if (it != last_issue.end())
+                squashed.insert(it->second);
+        }
+    }
+    std::string out;
+    for (Cycle c = from; c < to; ++c) {
+        auto it = slots.find(c);
+        if (it == slots.end()) {
+            out += '.';
+        } else {
+            const char ch = static_cast<char>('A' + it->second);
+            out += squashed.count(c)
+                       ? static_cast<char>(ch - 'A' + 'a')
+                       : ch;
+        }
+    }
+    return out;
+}
+
+/** The Figure 3 scenario with both sinks subscribed to one bus. */
+void
+runFigure3(Scheme scheme, std::string &pipe_line,
+           std::string &chrome_line)
+{
+    constexpr Cycle kAlign = 400;
+    Config cfg = Config::make(scheme, 4);
+    cfg.switchHintThreshold = 0;
+    cfg.idealICache = true;
+    cfg.itlb.missPenalty = 0;
+    cfg.dtlb.missPenalty = 0;
+    UniMemSystem mem(cfg);
+    Processor proc(cfg, mem);
+    PipeTrace trace;
+    trace.attach(proc);
+    std::ostringstream json;
+    ChromeTraceWriter chrome(json);
+    proc.probeBus()->addSink(&chrome);
+
+    auto threads = figure3Threads();
+    std::vector<std::unique_ptr<ThreadSource>> sources;
+    for (std::uint32_t t = 0; t < 4; ++t) {
+        sources.push_back(std::make_unique<ThreadSource>(
+            ((Addr)(t + 1) << 32),
+            ((Addr)(t + 1) << 32) + 0x100000 + t * 0x9040, t + 1,
+            threads[t], /*schedule=*/false));
+        proc.context(t).loadThread(sources.back().get(), t);
+    }
+    Cycle now = 0;
+    for (; now < 350; ++now) {
+        mem.tick(now);
+        proc.tick(now);
+    }
+    for (std::uint32_t t = 0; t < 4; ++t)
+        proc.context(t).makeUnavailable(kAlign, WaitKind::Backoff);
+    proc.setCurrentContext(0);
+    trace.clear();
+    for (; now < 1200 && !proc.allFinished(); ++now) {
+        mem.tick(now);
+        proc.tick(now);
+    }
+    Cycle end = trace.lastSquashedIssueCycle() + 7;
+    if (end <= kAlign)
+        end = trace.lastIssueCycle() + 2;
+    proc.probeBus()->removeSink(&chrome);
+    chrome.finish();
+    pipe_line = trace.render(kAlign, end);
+    chrome_line = renderFromChromeTrace(json.str(), kAlign, end);
+}
+
+TEST(ChromeTrace, Figure3TimelineMatchesPipeTraceSlotForSlot)
+{
+    for (Scheme s : {Scheme::Blocked, Scheme::Interleaved}) {
+        std::string pipe_line, chrome_line;
+        runFigure3(s, pipe_line, chrome_line);
+        EXPECT_GT(pipe_line.size(), 10u);
+        EXPECT_EQ(pipe_line, chrome_line)
+            << "scheme " << schemeName(s);
+    }
+}
+
+TEST(ChromeTrace, ProducesWellFormedDocument)
+{
+    std::ostringstream os;
+    {
+        ChromeTraceWriter w(os);
+        ProbeEvent ev;
+        ev.kind = ProbeKind::ContextIssue;
+        ev.cycle = 3;
+        ev.arg = static_cast<std::uint32_t>(Op::Load);
+        w.onEvent(ev);
+        ev.kind = ProbeKind::DMissStart;
+        ev.cycle = 5;
+        ev.latency = 30;
+        w.onEvent(ev);
+        ev.kind = ProbeKind::DMissEnd;
+        ev.cycle = 35;
+        w.onEvent(ev);
+        w.finish();
+        w.finish();   // idempotent
+        EXPECT_EQ(w.eventsWritten(), 3u);
+    }
+    const std::string out = os.str();
+    EXPECT_EQ(out.rfind("{\"displayTimeUnit\"", 0), 0u);
+    EXPECT_NE(out.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(out.find("\"ph\":\"b\""), std::string::npos);
+    EXPECT_NE(out.find("\"ph\":\"e\""), std::string::npos);
+    EXPECT_EQ(out.substr(out.size() - 3), "]}\n");
+    // Balanced braces - cheap structural validity check.
+    int depth = 0;
+    for (char c : out) {
+        depth += (c == '{') - (c == '}');
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+// ---- JSON stats ------------------------------------------------------------
+
+TEST(JsonStats, WriterEscapesAndNests)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("a", std::uint64_t{1});
+    w.kv("s", "x\"y\\z\n");
+    w.key("arr");
+    w.beginArray();
+    w.value(std::uint64_t{2});
+    w.value(2.5);
+    w.value(true);
+    w.valueNull();
+    w.endArray();
+    w.endObject();
+    EXPECT_EQ(os.str(),
+              "{\"a\":1,\"s\":\"x\\\"y\\\\z\\n\","
+              "\"arr\":[2,2.5,true,null]}");
+}
+
+TEST(JsonStats, BreakdownRoundTripsTotals)
+{
+    CycleBreakdown bd;
+    bd.add(CycleClass::Busy, 40);
+    bd.add(CycleClass::DataStall, 25);
+    bd.add(CycleClass::Switch, 5);
+    std::ostringstream os;
+    JsonWriter w(os);
+    writeBreakdownJson(w, bd);
+    const std::string json = os.str();
+    EXPECT_EQ(extractU64(json, "\"busy\":"), 40u);
+    EXPECT_EQ(extractU64(json, "\"dcache_mem\":"), 25u);
+    EXPECT_EQ(extractU64(json, "\"ctx_switch\":"), 5u);
+    EXPECT_EQ(extractU64(json, "\"total\":"), 70u);
+}
+
+TEST(JsonStats, SystemBreakdownTotalEqualsMeasuredCycles)
+{
+    // The JSON cycle-class totals must agree with the simulator's
+    // core invariant: classes sum to the elapsed measured cycles.
+    Config cfg = Config::make(Scheme::Interleaved, 2);
+    UniSystem sys(cfg);
+    for (const auto &app : uniWorkload("FP"))
+        sys.addApp(app, specKernel(app));
+    sys.run(20000, 20000);
+    std::ostringstream os;
+    JsonWriter w(os);
+    writeBreakdownJson(w, sys.breakdown());
+    const std::string json = os.str();
+    EXPECT_EQ(extractU64(json, "\"total\":"),
+              sys.breakdown().total());
+    EXPECT_EQ(sys.breakdown().total(), sys.measuredCycles());
+    EXPECT_EQ(extractU64(json, "\"busy\":"),
+              sys.breakdown().get(CycleClass::Busy));
+}
+
+TEST(JsonStats, HistogramAndSamplerSerialize)
+{
+    Histogram h;
+    h.record(16, 4);
+    std::ostringstream os;
+    JsonWriter w(os);
+    writeHistogramJson(w, h);
+    const std::string hjson = os.str();
+    EXPECT_EQ(extractU64(hjson, "\"count\":"), 4u);
+    EXPECT_EQ(extractU64(hjson, "\"sum\":"), 64u);
+    EXPECT_NE(hjson.find("\"buckets\":[[16,31,4]]"),
+              std::string::npos);
+
+    IntervalSampler s(5);
+    for (Cycle c = 0; c < 10; ++c)
+        s.observe(c, static_cast<double>(c + 1));
+    std::ostringstream os2;
+    JsonWriter w2(os2);
+    writeSamplerJson(w2, s);
+    EXPECT_EQ(extractU64(os2.str(), "\"interval\":"), 5u);
+    EXPECT_NE(os2.str().find("\"samples\":["), std::string::npos);
+}
+
+// ---- Probes are passive ----------------------------------------------------
+
+TEST(ProbePassivity, AttachedSinkDoesNotChangeResults)
+{
+    auto run = [](bool observed, std::uint64_t &events) {
+        Config cfg = Config::make(Scheme::Interleaved, 2);
+        UniSystem sys(cfg);
+        for (const auto &app : uniWorkload("DC"))
+            sys.addApp(app, specKernel(app));
+        CountingSink sink;
+        if (observed)
+            sys.probes().addSink(&sink);
+        sys.run(20000, 20000);
+        if (observed)
+            sys.probes().removeSink(&sink);
+        events = sink.count;
+        return std::make_tuple(sys.retired(),
+                               sys.breakdown().get(CycleClass::Busy),
+                               sys.breakdown().total());
+    };
+    std::uint64_t observed_events = 0, ignored = 0;
+    const auto with = run(true, observed_events);
+    const auto without = run(false, ignored);
+    EXPECT_GT(observed_events, 0u);
+    EXPECT_EQ(with, without);
+}
+
+} // namespace
+} // namespace mtsim

@@ -3,24 +3,34 @@
  * Command-line driver: run one simulation configuration without
  * writing code. Covers both the workstation and the multiprocessor
  * setups and prints throughput, the cycle breakdown and the memory
- * counters.
+ * counters. With --stats-json / --trace-out the same run also
+ * produces machine-readable statistics and a Perfetto-loadable
+ * Chrome trace (see docs/OBSERVABILITY.md).
  *
  * Examples:
  *   mtsim_run --scheme interleaved --contexts 4 --mix DC
  *   mtsim_run --scheme blocked --contexts 2 --mix SP --cycles 400000
  *   mtsim_run --mp --app water --scheme interleaved --contexts 4 \
  *             --procs 8
- *   mtsim_run --scheme interleaved --contexts 4 --mix FP --width 2
+ *   mtsim_run --scheme interleaved --contexts 4 --mix DC \
+ *             --stats-json out.json --trace-out trace.json
  */
 
+#include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <limits>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "common/config.hh"
 #include "metrics/breakdown.hh"
+#include "metrics/json_stats.hh"
 #include "metrics/report.hh"
+#include "obs/trace_writer.hh"
 #include "spec/spec_suite.hh"
 #include "splash/splash_suite.hh"
 #include "system/mp_system.hh"
@@ -43,6 +53,9 @@ struct Options
     std::uint32_t width = 1;
     std::uint64_t seed = 1;
     int priority = -1;
+    std::string traceOut;
+    std::string statsJson;
+    Cycle sampleInterval = 0;
     bool help = false;
 };
 
@@ -57,7 +70,31 @@ parseScheme(const std::string &s)
         return Scheme::Interleaved;
     if (s == "fine-grained" || s == "finegrained")
         return Scheme::FineGrained;
-    throw std::invalid_argument("unknown scheme: " + s);
+    throw std::invalid_argument("unknown scheme: " + s +
+                                " (expected single, blocked, "
+                                "interleaved or fine-grained)");
+}
+
+/** Parse a full decimal value for @p flag; reject trailing junk. */
+std::uint64_t
+parseU64(const std::string &flag, const std::string &value,
+         std::uint64_t max = std::numeric_limits<std::uint64_t>::max())
+{
+    std::uint64_t v = 0;
+    std::size_t used = 0;
+    try {
+        v = std::stoull(value, &used);
+    } catch (const std::exception &) {
+        used = 0;
+    }
+    if (used != value.size() || value.empty() || value[0] == '-')
+        throw std::invalid_argument(flag + ": expected a number, got '"
+                                    + value + "'");
+    if (v > max)
+        throw std::invalid_argument(flag + ": value " + value +
+                                    " out of range (max " +
+                                    std::to_string(max) + ")");
+    return v;
 }
 
 void
@@ -78,7 +115,11 @@ usage()
         "  --warmup N          warm-up cycles (workstation mode)\n"
         "  --width 1|2         issue width\n"
         "  --priority C        priority context (interleaved)\n"
-        "  --seed N            simulation seed\n";
+        "  --seed N            simulation seed\n"
+        "  --stats-json FILE   write machine-readable statistics\n"
+        "  --trace-out FILE    write a Chrome/Perfetto event trace\n"
+        "  --sample-interval N record utilization every N cycles\n"
+        "                      (series included in --stats-json)\n";
 }
 
 Options
@@ -96,7 +137,7 @@ parse(int argc, char **argv)
             o.scheme = parseScheme(next());
         } else if (a == "--contexts") {
             o.contexts =
-                static_cast<std::uint8_t>(std::stoul(next()));
+                static_cast<std::uint8_t>(parseU64(a, next(), 255));
         } else if (a == "--mix") {
             o.mix = next();
         } else if (a == "--app") {
@@ -104,19 +145,34 @@ parse(int argc, char **argv)
         } else if (a == "--mp") {
             o.mp = true;
         } else if (a == "--procs") {
-            o.procs =
-                static_cast<std::uint16_t>(std::stoul(next()));
+            o.procs = static_cast<std::uint16_t>(
+                parseU64(a, next(), 65535));
         } else if (a == "--cycles") {
-            o.cycles = std::stoull(next());
+            o.cycles = parseU64(a, next());
         } else if (a == "--warmup") {
-            o.warmup = std::stoull(next());
+            o.warmup = parseU64(a, next());
         } else if (a == "--width") {
             o.width =
-                static_cast<std::uint32_t>(std::stoul(next()));
+                static_cast<std::uint32_t>(parseU64(a, next(), 2));
         } else if (a == "--priority") {
-            o.priority = std::stoi(next());
+            const std::string v = next();
+            if (v == "-1") {
+                o.priority = -1;
+            } else {
+                o.priority = static_cast<int>(
+                    parseU64(a, v, std::numeric_limits<int>::max()));
+            }
         } else if (a == "--seed") {
-            o.seed = std::stoull(next());
+            o.seed = parseU64(a, next());
+        } else if (a == "--trace-out") {
+            o.traceOut = next();
+        } else if (a == "--stats-json") {
+            o.statsJson = next();
+        } else if (a == "--sample-interval") {
+            o.sampleInterval = parseU64(a, next());
+            if (o.sampleInterval == 0)
+                throw std::invalid_argument(
+                    "--sample-interval: must be >= 1");
         } else if (a == "--help" || a == "-h") {
             o.help = true;
         } else {
@@ -150,6 +206,115 @@ printCounters(CounterSet &cs)
     t.print(std::cout);
 }
 
+/** Wall-clock timer for the sim-speed block of the stats JSON. */
+class WallClock
+{
+  public:
+    WallClock() : start_(std::chrono::steady_clock::now()) {}
+
+    double
+    seconds() const
+    {
+        const auto d = std::chrono::steady_clock::now() - start_;
+        return std::chrono::duration<double>(d).count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** Open a ChromeTraceWriter for --trace-out, or null when unset. */
+std::unique_ptr<ChromeTraceWriter>
+makeTraceWriter(const Options &o)
+{
+    if (o.traceOut.empty())
+        return nullptr;
+    auto w = std::make_unique<ChromeTraceWriter>(o.traceOut);
+    if (!w->ok())
+        throw std::runtime_error("--trace-out: cannot open " +
+                                 o.traceOut);
+    return w;
+}
+
+struct RunInfo
+{
+    Cycle simulatedCycles;  ///< warm-up + measured (for sim speed)
+    Cycle measuredCycles;
+    double ipc;
+    std::uint64_t retired;
+};
+
+void
+writeStatsJson(const Options &o, const RunInfo &info,
+               const CycleBreakdown &bd, const CounterSet &counters,
+               const std::vector<std::pair<std::string,
+                                           const Histogram *>> &hists,
+               const IntervalSampler *sampler, double wall_seconds)
+{
+    std::ofstream out(o.statsJson);
+    if (!out)
+        throw std::runtime_error("--stats-json: cannot open " +
+                                 o.statsJson);
+    JsonWriter w(out);
+    w.beginObject();
+
+    w.key("run");
+    w.beginObject();
+    w.kv("mode", o.mp ? "multiprocessor" : "workstation");
+    w.kv("scheme", schemeName(o.scheme));
+    w.kv("contexts", static_cast<std::uint64_t>(o.contexts));
+    if (o.mp) {
+        w.kv("procs", static_cast<std::uint64_t>(o.procs));
+        w.kv("app", o.app.empty() ? "water" : o.app);
+    } else if (!o.app.empty()) {
+        w.kv("app", o.app);
+    } else {
+        w.kv("mix", o.mix);
+    }
+    w.kv("width", static_cast<std::uint64_t>(o.width));
+    w.kv("seed", o.seed);
+    w.kv("measured_cycles",
+         static_cast<std::uint64_t>(info.measuredCycles));
+    w.endObject();
+
+    w.kv("ipc", info.ipc);
+    w.kv("retired", info.retired);
+
+    w.key("breakdown");
+    writeBreakdownJson(w, bd);
+
+    w.key("counters");
+    writeCountersJson(w, counters);
+
+    w.key("histograms");
+    w.beginObject();
+    for (const auto &[name, h] : hists) {
+        w.key(name);
+        writeHistogramJson(w, *h);
+    }
+    w.endObject();
+
+    if (sampler != nullptr) {
+        w.key("samples");
+        writeSamplerJson(w, *sampler);
+    }
+
+    w.key("sim_speed");
+    w.beginObject();
+    w.kv("wall_seconds", wall_seconds);
+    w.kv("simulated_cycles",
+         static_cast<std::uint64_t>(info.simulatedCycles));
+    w.kv("cycles_per_second",
+         wall_seconds > 0.0
+             ? static_cast<double>(info.simulatedCycles) /
+                   wall_seconds
+             : 0.0);
+    w.endObject();
+
+    w.endObject();
+    out << '\n';
+}
+
 int
 runUniMode(const Options &o)
 {
@@ -167,7 +332,23 @@ runUniMode(const Options &o)
         for (const auto &app : uniWorkload(o.mix))
             sys.addApp(app, specKernel(app));
     }
+
+    auto trace = makeTraceWriter(o);
+    if (trace)
+        sys.probes().addSink(trace.get());
+    std::optional<IntervalSampler> sampler;
+    if (o.sampleInterval > 0) {
+        sampler.emplace(o.sampleInterval);
+        sys.setSampler(&*sampler);
+    }
+
+    WallClock wall;
     sys.run(o.warmup, o.cycles);
+    const double wall_seconds = wall.seconds();
+    if (trace) {
+        sys.probes().removeSink(trace.get());
+        trace->finish();
+    }
 
     std::cout << "workstation, scheme " << schemeName(o.scheme)
               << ", " << int(o.contexts) << " context(s), "
@@ -185,6 +366,18 @@ runUniMode(const Options &o)
     printBreakdown(sys.breakdown());
     std::cout << '\n';
     printCounters(sys.mem().counters());
+
+    if (!o.statsJson.empty()) {
+        RunInfo info{o.warmup + o.cycles, sys.measuredCycles(),
+                     sys.throughput(), sys.retired()};
+        writeStatsJson(
+            o, info, sys.breakdown(), sys.mem().counters(),
+            {{"dmiss_latency", &sys.mem().dmissLatency()},
+             {"bus_queue_delay", &sys.mem().busQueueDelay()},
+             {"context_run_length",
+              &sys.processor().runLengthHistogram()}},
+            sampler ? &*sampler : nullptr, wall_seconds);
+    }
     return 0;
 }
 
@@ -198,7 +391,23 @@ runMpMode(const Options &o)
     MpSystem sys(cfg);
     sys.setStatsBarrier(kStatsBarrier);
     sys.loadApp(splashApp(app));
+
+    auto trace = makeTraceWriter(o);
+    if (trace)
+        sys.probes().addSink(trace.get());
+    std::optional<IntervalSampler> sampler;
+    if (o.sampleInterval > 0) {
+        sampler.emplace(o.sampleInterval);
+        sys.setSampler(&*sampler);
+    }
+
+    WallClock wall;
     const Cycle measured = sys.run();
+    const double wall_seconds = wall.seconds();
+    if (trace) {
+        sys.probes().removeSink(trace.get());
+        trace->finish();
+    }
     if (!sys.finished()) {
         std::cerr << "application did not finish\n";
         return 1;
@@ -208,9 +417,26 @@ runMpMode(const Options &o)
               << " context(s)/processor\napplication " << app
               << ": " << measured << " parallel-section cycles, "
               << sys.retired() << " instructions\n\n";
-    printBreakdown(sys.aggregateBreakdown());
+    const CycleBreakdown bd = sys.aggregateBreakdown();
+    printBreakdown(bd);
     std::cout << '\n';
     printCounters(sys.mem().counters());
+
+    if (!o.statsJson.empty()) {
+        Histogram runLen;
+        for (ProcId p = 0; p < cfg.numProcessors; ++p)
+            runLen.merge(sys.processor(p).runLengthHistogram());
+        const double ipc =
+            measured > 0 ? static_cast<double>(sys.retired()) /
+                               static_cast<double>(measured)
+                         : 0.0;
+        RunInfo info{sys.now(), measured, ipc, sys.retired()};
+        writeStatsJson(
+            o, info, bd, sys.mem().counters(),
+            {{"dmiss_latency", &sys.mem().dmissLatency()},
+             {"context_run_length", &runLen}},
+            sampler ? &*sampler : nullptr, wall_seconds);
+    }
     return 0;
 }
 
