@@ -109,7 +109,7 @@ run(Scheme scheme)
     for (std::uint32_t t = 0; t < 4; ++t)
         proc.context(t).makeUnavailable(400, WaitKind::Backoff);
     proc.setCurrentContext(0);
-    proc.clearStats();
+    proc.clearStats(now);
     trace.clear();
     for (; now < 1500; ++now) {
         mem.tick(now);

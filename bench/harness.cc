@@ -1,6 +1,7 @@
 #include "harness.hh"
 
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <mutex>
 
@@ -77,6 +78,17 @@ recordRow(BenchRow row)
     benchRows().push_back(std::move(row));
 }
 
+/**
+ * MTSIM_CHECK=1 turns on the invariant checker for every bench run
+ * (docs/CHECKING.md). A violation aborts the bench via CheckError.
+ */
+bool
+checkRequested()
+{
+    const char *v = std::getenv("MTSIM_CHECK");
+    return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
 } // namespace
 
 std::size_t
@@ -106,6 +118,8 @@ runUni(const std::string &mix, Scheme scheme, std::uint8_t contexts,
         for (const auto &app : uniWorkload(mix))
             sys.addApp(app, specKernel(app));
     }
+    if (checkRequested())
+        sys.enableChecking();
     sys.run(warm, measure);
     recordRow({"uni", mix, schemeName(scheme), contexts, 1,
                sys.throughput(), sys.measuredCycles(), sys.retired(),
@@ -121,6 +135,8 @@ runMp(const std::string &app, Scheme scheme, std::uint8_t contexts,
     MpSystem sys(cfg);
     sys.setStatsBarrier(kStatsBarrier);
     sys.loadApp(splashApp(app));
+    if (checkRequested())
+        sys.enableChecking();
     MpResult r;
     r.cycles = sys.run();
     r.bd = sys.aggregateBreakdown();

@@ -1,5 +1,7 @@
 #include "cache/mshr.hh"
 
+#include <cassert>
+
 namespace mtsim {
 
 MshrFile::MshrFile(std::uint32_t entries)
@@ -48,6 +50,9 @@ MshrFile::allocate(Addr lineAddr, Cycle done)
             return;
         }
     }
+    // Callers must check full() first; silently dropping the fetch
+    // here would lose a line fill without any structural stall.
+    assert(!"MshrFile::allocate on a full file");
 }
 
 void

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Configuration for the runtime invariant checker (docs/CHECKING.md).
+ * Each flag enables one auditor family; all are on by default because
+ * a CheckConfig only exists when checking was explicitly requested
+ * (`mtsim_run --check`, `MTSIM_CHECK=1`, or a test harness).
+ */
+
+#ifndef MTSIM_CHECK_CHECK_CONFIG_HH
+#define MTSIM_CHECK_CHECK_CONFIG_HH
+
+#include <cstdint>
+
+namespace mtsim {
+
+struct CheckConfig
+{
+    /** Per-cycle breakdown deltas sum to exactly issueWidth. */
+    bool slotConservation = true;
+    /** Shadow scoreboard: no ready time survives squash / OS swap. */
+    bool scoreboard = true;
+    /** MSHR / write-buffer / BTB occupancy within capacity. */
+    bool resourceBounds = true;
+    /** Context state machine: miss wait honoured, no silent
+     *  finished-thread resurrection, missReplaySeq discipline. */
+    bool contextLegality = true;
+
+    /** Throw CheckError at the first violation (default). When
+     *  false, violations are recorded up to maxViolations. */
+    bool abortOnViolation = true;
+    std::uint32_t maxViolations = 64;
+};
+
+} // namespace mtsim
+
+#endif // MTSIM_CHECK_CHECK_CONFIG_HH

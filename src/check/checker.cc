@@ -1,0 +1,306 @@
+#include "check/checker.hh"
+
+#include <sstream>
+
+namespace mtsim {
+
+std::string
+Violation::str() const
+{
+    std::ostringstream os;
+    os << "check[" << auditor << "] violation at cycle " << cycle
+       << " proc " << static_cast<unsigned>(proc);
+    if (ctx >= 0)
+        os << " ctx " << ctx;
+    os << ": " << message;
+    return os.str();
+}
+
+CheckError::CheckError(const Violation &v)
+    : std::runtime_error(v.str()), v_(v)
+{}
+
+InvariantChecker::InvariantChecker(const CheckConfig &cc,
+                                   const Config &cfg,
+                                   std::vector<Processor *> procs)
+    : cc_(cc), cfg_(cfg), procs_(std::move(procs))
+{
+    shadows_.resize(procs_.size());
+    for (std::size_t p = 0; p < procs_.size(); ++p) {
+        shadows_[p].ctxs.resize(procs_[p]->numContexts());
+        shadows_[p].lastTotal = procs_[p]->breakdown().total();
+        // Contexts loaded before checking was enabled start with the
+        // reset scoreboard loadThread gave them.
+        for (CtxId c = 0; c < procs_[p]->numContexts(); ++c) {
+            shadows_[p].ctxs[c].loadedSeen =
+                procs_[p]->context(c).loaded();
+        }
+    }
+}
+
+void
+InvariantChecker::setResources(ProcId p, const MshrFile *mshrs,
+                               const WriteBuffer *wbuf)
+{
+    shadows_[p].mshrs = mshrs;
+    shadows_[p].wbuf = wbuf;
+}
+
+void
+InvariantChecker::report(const char *auditor, Cycle cycle, ProcId p,
+                         int ctx, std::string msg)
+{
+    Violation v{auditor, cycle, p, ctx, std::move(msg)};
+    if (cc_.abortOnViolation)
+        throw CheckError(v);
+    if (violations_.size() < cc_.maxViolations)
+        violations_.push_back(std::move(v));
+}
+
+void
+InvariantChecker::onEvent(const ProbeEvent &ev)
+{
+    const auto p = static_cast<std::size_t>(ev.proc);
+    if (p >= shadows_.size())
+        return;
+    ++eventsAudited_;
+    ProcShadow &ps = shadows_[p];
+
+    switch (ev.kind) {
+      case ProbeKind::ContextIssue: {
+        CtxShadow &cs = ps.ctxs[ev.ctx];
+        if (cc_.contextLegality && cs.memBlocked) {
+            if (ev.cycle < cs.memBlockedUntil) {
+                report("context", ev.cycle, ev.proc, ev.ctx,
+                       "issue at cycle " + std::to_string(ev.cycle) +
+                           " while switched out on a cache miss "
+                           "until cycle " +
+                           std::to_string(cs.memBlockedUntil));
+            }
+            cs.memBlocked = false;
+        }
+        if (ev.reg != kNoReg && ev.reg != kZeroReg)
+            cs.ready[ev.reg] = ev.cycle + ev.latency;
+        break;
+      }
+      case ProbeKind::ContextSquash: {
+        CtxShadow &cs = ps.ctxs[ev.ctx];
+        if (ev.reg != kNoReg && ev.reg != kZeroReg)
+            cs.ready[ev.reg] = 0;
+        cs.lastSquashAt = ev.cycle;
+        break;
+      }
+      case ProbeKind::ContextSwitch: {
+        CtxShadow &cs = ps.ctxs[ev.ctx];
+        switch (static_cast<SwitchReason>(ev.arg)) {
+          case SwitchReason::CacheMiss:
+            cs.memBlocked = true;
+            cs.memBlockedUntil = ev.cycle + ev.latency;
+            break;
+          case SwitchReason::Os:
+            // The swap resets the context completely: scoreboard,
+            // wait state, replay bookkeeping, finished flag.
+            cs.ready.fill(0);
+            cs.memBlocked = false;
+            cs.finishedSeen = false;
+            cs.missReplay = ~SeqNum(0);
+            cs.loadedSeen = procs_[p]->context(ev.ctx).loaded();
+            // The freshly (un)loaded context must present an empty
+            // scoreboard right now; the pre-fix osSwap leak is
+            // visible at exactly this point.
+            if (cc_.scoreboard)
+                auditScoreboard(ev.cycle, ev.proc, ev.ctx);
+            break;
+          case SwitchReason::ExplicitHint:
+          default:
+            break;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+void
+InvariantChecker::auditSlots(Cycle now)
+{
+    const Cycle width = cfg_.issueWidth;
+    for (std::size_t p = 0; p < procs_.size(); ++p) {
+        const Cycle total = procs_[p]->breakdown().total();
+        const Cycle before = shadows_[p].lastTotal;
+        shadows_[p].lastTotal = total;
+        if (total < before) {
+            report("slots", now, static_cast<ProcId>(p), -1,
+                   "breakdown total went backwards (" +
+                       std::to_string(before) + " -> " +
+                       std::to_string(total) + ")");
+            continue;
+        }
+        const Cycle delta = total - before;
+        if (delta == width)
+            continue;
+        if (delta > width) {
+            report("slots", now, static_cast<ProcId>(p), -1,
+                   "breakdown gained " + std::to_string(delta) +
+                       " slots in one cycle (issue width " +
+                       std::to_string(width) + ")");
+        } else if (!procs_[p]->allFinished()) {
+            // Fewer than width slots is only legal once every loaded
+            // thread has finished (end-of-run idle is deliberately
+            // unattributed, see Processor::attributeIdle).
+            report("slots", now, static_cast<ProcId>(p), -1,
+                   "breakdown gained " + std::to_string(delta) +
+                       " of " + std::to_string(width) +
+                       " slots with unfinished threads loaded");
+        }
+    }
+}
+
+void
+InvariantChecker::auditResources(Cycle now)
+{
+    for (std::size_t p = 0; p < procs_.size(); ++p) {
+        const ProcShadow &ps = shadows_[p];
+        if (ps.mshrs != nullptr &&
+            ps.mshrs->inUse() > cfg_.numMshrs) {
+            report("resources", now, static_cast<ProcId>(p), -1,
+                   "MSHR occupancy " +
+                       std::to_string(ps.mshrs->inUse()) +
+                       " exceeds capacity " +
+                       std::to_string(cfg_.numMshrs));
+        }
+        if (ps.wbuf != nullptr &&
+            ps.wbuf->inUse(now) > cfg_.writeBufferDepth) {
+            report("resources", now, static_cast<ProcId>(p), -1,
+                   "write-buffer occupancy " +
+                       std::to_string(ps.wbuf->inUse(now)) +
+                       " exceeds depth " +
+                       std::to_string(cfg_.writeBufferDepth));
+        }
+        // The BTB scan is O(entries); audit it on a slow cadence.
+        if ((now & 255) == (p & 255)) {
+            const Btb &btb = procs_[p]->btb();
+            if (btb.occupancy() > btb.capacity()) {
+                report("resources", now, static_cast<ProcId>(p), -1,
+                       "BTB occupancy " +
+                           std::to_string(btb.occupancy()) +
+                           " exceeds capacity " +
+                           std::to_string(btb.capacity()));
+            }
+        }
+    }
+}
+
+void
+InvariantChecker::auditScoreboard(Cycle now, ProcId p, CtxId c)
+{
+    const CtxShadow &cs = shadows_[p].ctxs[c];
+    const ThreadContext &ctx = procs_[p]->context(c);
+    if (!ctx.loaded())
+        return;
+    const Scoreboard &sb = ctx.scoreboard();
+    for (RegId r = 1; r < kNumRegs; ++r) {
+        if (sb.regReady(r) == cs.ready[r])
+            continue;
+        report("scoreboard", now, p, c,
+               "register r" + std::to_string(r) + " ready at cycle " +
+                   std::to_string(sb.regReady(r)) +
+                   " but the issue/squash event stream says " +
+                   std::to_string(cs.ready[r]) +
+                   " (stale entry survived a squash or OS swap?)");
+        return;   // one per audit is enough to pinpoint the leak
+    }
+}
+
+void
+InvariantChecker::auditContexts(Cycle now)
+{
+    for (std::size_t p = 0; p < procs_.size(); ++p) {
+        ProcShadow &ps = shadows_[p];
+        for (CtxId c = 0; c < procs_[p]->numContexts(); ++c) {
+            CtxShadow &cs = ps.ctxs[c];
+            const ThreadContext &ctx = procs_[p]->context(c);
+            if (!ctx.loaded()) {
+                cs.finishedSeen = false;
+                cs.missReplay = ~SeqNum(0);
+                cs.loadedSeen = false;
+                continue;
+            }
+            cs.loadedSeen = true;
+
+            // A finished thread stays finished until the OS swaps
+            // the slot or a squash legitimately rolls fetch back.
+            if (ctx.finished()) {
+                cs.finishedSeen = true;
+            } else if (cs.finishedSeen) {
+                if (cs.lastSquashAt == kCycleNever ||
+                    cs.lastSquashAt + 1 < now) {
+                    report("context", now, static_cast<ProcId>(p), c,
+                           "finished thread resumed with no squash "
+                           "or OS swap");
+                }
+                cs.finishedSeen = false;
+            }
+
+            // missReplaySeq may be set, cleared, or rolled back to
+            // an older sequence number - never silently replaced by
+            // a younger one (the pending replay would be lost).
+            const SeqNum cur = ctx.missReplaySeq();
+            const SeqNum none = ~SeqNum(0);
+            if (cur != cs.missReplay && cur != none &&
+                cs.missReplay != none && cur > cs.missReplay) {
+                report("context", now, static_cast<ProcId>(p), c,
+                       "missReplaySeq " +
+                           std::to_string(cs.missReplay) +
+                           " overwritten by younger seq " +
+                           std::to_string(cur) +
+                           " before its replay issued");
+            }
+            cs.missReplay = cur;
+        }
+    }
+}
+
+void
+InvariantChecker::onCycleEnd(Cycle now)
+{
+    ++cyclesAudited_;
+    if (cc_.slotConservation)
+        auditSlots(now);
+    if (cc_.resourceBounds)
+        auditResources(now);
+    if (cc_.contextLegality)
+        auditContexts(now);
+    if (cc_.scoreboard && !procs_.empty()) {
+        // Full shadow-vs-real compare of one context per cycle, in
+        // rotation; persistent leaks cannot hide from it, and the
+        // OS-swap instant is additionally audited event-side.
+        const std::uint32_t nProcs =
+            static_cast<std::uint32_t>(procs_.size());
+        const std::uint32_t nCtx = cfg_.numContexts;
+        const std::uint32_t slot = sweepCursor_++ % (nProcs * nCtx);
+        auditScoreboard(now, static_cast<ProcId>(slot / nCtx),
+                        static_cast<CtxId>(slot % nCtx));
+    }
+}
+
+void
+InvariantChecker::onStatsClear(Cycle now)
+{
+    (void)now;
+    for (std::size_t p = 0; p < procs_.size(); ++p)
+        shadows_[p].lastTotal = procs_[p]->breakdown().total();
+}
+
+std::string
+InvariantChecker::summary() const
+{
+    std::ostringstream os;
+    os << "checker: " << cyclesAudited_ << " cycles, "
+       << eventsAudited_ << " events audited, "
+       << violations_.size() << " violation(s) recorded";
+    return os.str();
+}
+
+} // namespace mtsim

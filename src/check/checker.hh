@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Cycle-level invariant auditors (docs/CHECKING.md). The
+ * InvariantChecker is a passive ProbeSink plus an end-of-cycle hook
+ * the owning system drives; it maintains shadow state (a per-context
+ * shadow scoreboard, per-processor breakdown totals, context wait
+ * windows) from the probe stream and cross-checks the simulator's
+ * real state against it every cycle. The paper's results are cycle
+ * accounting; these auditors make the accounting falsifiable while
+ * the simulator runs instead of only at end-of-run.
+ */
+
+#ifndef MTSIM_CHECK_CHECKER_HH
+#define MTSIM_CHECK_CHECKER_HH
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cache/mshr.hh"
+#include "cache/write_buffer.hh"
+#include "check/check_config.hh"
+#include "common/config.hh"
+#include "common/types.hh"
+#include "core/processor.hh"
+#include "obs/probe.hh"
+
+namespace mtsim {
+
+/** One invariant violation, with enough context to debug it. */
+struct Violation
+{
+    std::string auditor;  ///< which auditor fired
+    Cycle cycle = 0;
+    ProcId proc = 0;
+    int ctx = -1;         ///< -1 when not context-specific
+    std::string message;
+
+    /** "check[slots] violation at cycle 12 proc 0 ctx 2: ..." */
+    std::string str() const;
+};
+
+/** Thrown on the first violation when CheckConfig::abortOnViolation. */
+class CheckError : public std::runtime_error
+{
+  public:
+    explicit CheckError(const Violation &v);
+    const Violation &violation() const { return v_; }
+
+  private:
+    Violation v_;
+};
+
+class InvariantChecker : public ProbeSink
+{
+  public:
+    /**
+     * @param cc which auditors run and how violations are reported
+     * @param cfg the simulated machine's configuration (capacities,
+     *        issue width, scheme)
+     * @param procs every processor to audit, indexed by ProcId
+     */
+    InvariantChecker(const CheckConfig &cc, const Config &cfg,
+                     std::vector<Processor *> procs);
+
+    /** Wire processor @p p's memory-side resources for bounds
+     *  auditing (optional; skipped when absent). */
+    void setResources(ProcId p, const MshrFile *mshrs,
+                      const WriteBuffer *wbuf);
+
+    /** ProbeSink: feed the shadow state from the event stream. */
+    void onEvent(const ProbeEvent &ev) override;
+
+    /** Run the per-cycle audits; the owning system calls this after
+     *  every processor ticked cycle @p now. */
+    void onCycleEnd(Cycle now);
+
+    /** Rebase after the owning system reset processor statistics. */
+    void onStatsClear(Cycle now);
+
+    const std::vector<Violation> &violations() const
+    {
+        return violations_;
+    }
+    std::uint64_t cyclesAudited() const { return cyclesAudited_; }
+    std::uint64_t eventsAudited() const { return eventsAudited_; }
+
+    /** One-line human-readable result ("4 auditors, 0 violations"). */
+    std::string summary() const;
+
+  private:
+    struct CtxShadow
+    {
+        /** Shadow scoreboard rebuilt from issue/squash/swap events. */
+        std::array<Cycle, kNumRegs> ready{};
+        /** Cache-miss switch gate: no issue before memBlockedUntil. */
+        bool memBlocked = false;
+        Cycle memBlockedUntil = 0;
+        /** Finished-thread tracking (resurrection legality). */
+        bool finishedSeen = false;
+        Cycle lastSquashAt = kCycleNever;
+        /** Last observed missReplaySeq (overwrite discipline). */
+        SeqNum missReplay = ~SeqNum(0);
+        bool loadedSeen = false;
+    };
+
+    struct ProcShadow
+    {
+        Cycle lastTotal = 0;
+        const MshrFile *mshrs = nullptr;
+        const WriteBuffer *wbuf = nullptr;
+        std::vector<CtxShadow> ctxs;
+    };
+
+    void report(const char *auditor, Cycle cycle, ProcId p, int ctx,
+                std::string msg);
+
+    void auditSlots(Cycle now);
+    void auditResources(Cycle now);
+    /** Full shadow-vs-real scoreboard compare for one context. */
+    void auditScoreboard(Cycle now, ProcId p, CtxId c);
+    void auditContexts(Cycle now);
+
+    CheckConfig cc_;
+    Config cfg_;
+    std::vector<Processor *> procs_;
+    std::vector<ProcShadow> shadows_;
+    std::vector<Violation> violations_;
+    std::uint64_t cyclesAudited_ = 0;
+    std::uint64_t eventsAudited_ = 0;
+    /** Rotating cursor: one full scoreboard sweep per cycle. */
+    std::uint32_t sweepCursor_ = 0;
+};
+
+} // namespace mtsim
+
+#endif // MTSIM_CHECK_CHECKER_HH

@@ -1,0 +1,117 @@
+#include "check/differential.hh"
+
+#include <sstream>
+
+#include "check/digest.hh"
+#include "spec/spec_suite.hh"
+#include "splash/splash_suite.hh"
+#include "system/uni_system.hh"
+
+namespace mtsim {
+
+bool
+operator==(const RunSignature &a, const RunSignature &b)
+{
+    if (a.probeDigest != b.probeDigest ||
+        a.probeEvents != b.probeEvents ||
+        a.measuredCycles != b.measuredCycles ||
+        a.retired != b.retired ||
+        a.checkViolations != b.checkViolations)
+        return false;
+    for (int c = 0; c < static_cast<int>(CycleClass::NumClasses);
+         ++c) {
+        const auto cc = static_cast<CycleClass>(c);
+        if (a.breakdown.get(cc) != b.breakdown.get(cc))
+            return false;
+    }
+    return true;
+}
+
+std::string
+describe(const RunSignature &sig)
+{
+    std::ostringstream os;
+    os << "digest 0x" << std::hex << sig.probeDigest << std::dec
+       << " events " << sig.probeEvents << " cycles "
+       << sig.measuredCycles << " retired " << sig.retired
+       << " breakdown";
+    for (int c = 0; c < static_cast<int>(CycleClass::NumClasses);
+         ++c) {
+        const auto cc = static_cast<CycleClass>(c);
+        os << ' ' << cycleClassName(cc) << '='
+           << sig.breakdown.get(cc);
+    }
+    return os.str();
+}
+
+UniApps
+mixApps(const std::string &mix)
+{
+    UniApps apps;
+    if (mix == "SP") {
+        for (const auto &name : spWorkload())
+            apps.emplace_back(name, splashUniKernel(name));
+    } else {
+        for (const auto &name : uniWorkload(mix))
+            apps.emplace_back(name, specKernel(name));
+    }
+    return apps;
+}
+
+RunSignature
+uniSignature(const Config &cfg, const UniApps &apps, Cycle warmup,
+             Cycle measure, bool check)
+{
+    UniSystem sys(cfg);
+    for (const auto &[name, kernel] : apps)
+        sys.addApp(name, kernel);
+    if (check) {
+        CheckConfig cc;
+        cc.abortOnViolation = true;
+        sys.enableChecking(cc);
+    }
+    ProbeDigest digest;
+    sys.probes().addSink(&digest);
+    sys.run(warmup, measure);
+    sys.probes().removeSink(&digest);
+
+    RunSignature sig;
+    sig.probeDigest = digest.digest();
+    sig.probeEvents = digest.events();
+    sig.measuredCycles = sys.measuredCycles();
+    sig.retired = sys.retired();
+    sig.breakdown = sys.breakdown();
+    if (sys.checker() != nullptr)
+        sig.checkViolations = sys.checker()->violations().size();
+    return sig;
+}
+
+RunSignature
+mpSignature(const Config &cfg, const ParallelAppFn &app, bool check,
+            Cycle max_cycles)
+{
+    MpSystem sys(cfg);
+    sys.setStatsBarrier(kStatsBarrier);
+    if (check) {
+        CheckConfig cc;
+        cc.abortOnViolation = true;
+        sys.enableChecking(cc);
+    }
+    sys.loadApp(app);
+    ProbeDigest digest;
+    sys.probes().addSink(&digest);
+    const Cycle measured = sys.run(max_cycles);
+    sys.probes().removeSink(&digest);
+
+    RunSignature sig;
+    sig.probeDigest = digest.digest();
+    sig.probeEvents = digest.events();
+    sig.measuredCycles = measured;
+    sig.retired = sys.retired();
+    sig.breakdown = sys.aggregateBreakdown();
+    if (sys.checker() != nullptr)
+        sig.checkViolations = sys.checker()->violations().size();
+    return sig;
+}
+
+} // namespace mtsim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Probe-stream digest: an order-sensitive FNV-1a hash over every
+ * field of every probe event. Two runs of a deterministic simulator
+ * with identical configuration must produce identical digests; the
+ * determinism auditor (differential harness, `mtsim_run --digest`)
+ * is built on comparing them.
+ */
+
+#ifndef MTSIM_CHECK_DIGEST_HH
+#define MTSIM_CHECK_DIGEST_HH
+
+#include <cstdint>
+
+#include "obs/probe.hh"
+
+namespace mtsim {
+
+class ProbeDigest : public ProbeSink
+{
+  public:
+    void
+    onEvent(const ProbeEvent &ev) override
+    {
+        mix(static_cast<std::uint64_t>(ev.kind));
+        mix(ev.cycle);
+        mix(ev.proc);
+        mix(ev.ctx);
+        mix(ev.seq);
+        mix(ev.addr);
+        mix(ev.latency);
+        mix(ev.arg);
+        mix(ev.reg);
+        ++events_;
+    }
+
+    std::uint64_t digest() const { return hash_; }
+    std::uint64_t events() const { return events_; }
+
+    void
+    reset()
+    {
+        hash_ = kOffsetBasis;
+        events_ = 0;
+    }
+
+  private:
+    static constexpr std::uint64_t kOffsetBasis =
+        1469598103934665603ull;
+    static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+    void
+    mix(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            hash_ ^= (v >> (8 * i)) & 0xff;
+            hash_ *= kPrime;
+        }
+    }
+
+    std::uint64_t hash_ = kOffsetBasis;
+    std::uint64_t events_ = 0;
+};
+
+} // namespace mtsim
+
+#endif // MTSIM_CHECK_DIGEST_HH

@@ -45,6 +45,13 @@ class MpMemSystem : public MemSystem
     Directory &directory() { return dir_; }
     CounterSet &counters() { return counters_; }
 
+    /** Node @p p's MSHR file / write buffer (resource auditing). */
+    const MshrFile &mshrs(ProcId p) const { return *nodes_[p]->mshrs; }
+    const WriteBuffer &writeBuffer(ProcId p) const
+    {
+        return *nodes_[p]->wbuf;
+    }
+
     /** Observed mean reply latency per class (Table 8 check). */
     double meanLatency(MemLevel level) const;
 

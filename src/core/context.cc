@@ -33,6 +33,13 @@ ThreadContext::unloadThread()
     buf_.clear();
     readIdx_ = 0;
     baseSeq_ = nextSeq_;
+    // An empty slot holds no register state: without this, ready
+    // times from the unloaded thread would greet the next loadThread
+    // caller that forgets the reset.
+    sb_.reset();
+    missReplaySeq_ = ~SeqNum(0);
+    unavailableUntil_ = 0;
+    waitKind_ = WaitKind::None;
 }
 
 bool

@@ -40,14 +40,21 @@ Processor::allFinished() const
 }
 
 void
-Processor::clearStats()
+Processor::clearStats(Cycle now)
 {
     bd_.clear();
     appRetired_.clear();
     retiredTotal_ = 0;
     squashedSlots_ = 0;
     switchEvents_ = 0;
+    prefetchDropped_ = 0;
     runLen_.clear();
+    // Measurement epoch boundary: run-length samples and retire
+    // release pacing must not span it, and slots issued before it
+    // must not be reclassified out of the fresh breakdown.
+    lastSwitchAt_ = now;
+    lastRelease_ = now;
+    statsEpoch_ = now;
 }
 
 void
@@ -74,10 +81,17 @@ Processor::osSwap(CtxId c, InstrSource *src, std::uint32_t app_id,
                   Cycle now)
 {
     // Drop this context's in-flight instructions; their issue slots
-    // become (OS) switch overhead.
+    // become (OS) switch overhead. Like squashFrom, every dropped
+    // instruction's destination booking must leave the scoreboard,
+    // or its ready time would leak into the incoming thread.
     std::uint32_t n = 0;
+    std::uint32_t counted = 0;
     for (std::size_t i = 0; i < inflight_.size();) {
         if (inflight_[i].ctx == c) {
+            if (!testOsSwapLeak_)
+                ctxs_[c].scoreboard().clearWrite(inflight_[i].dst);
+            if (inflight_[i].issuedAt >= statsEpoch_)
+                ++counted;
             inflight_[i] = inflight_.back();
             inflight_.pop_back();
             ++n;
@@ -85,8 +99,10 @@ Processor::osSwap(CtxId c, InstrSource *src, std::uint32_t app_id,
             ++i;
         }
     }
-    bd_.sub(CycleClass::Busy, n);
-    bd_.add(CycleClass::Switch, n);
+    // Only slots issued inside the current measurement epoch carry a
+    // Busy cycle in bd_; older ones have nothing to reclassify.
+    bd_.sub(CycleClass::Busy, counted);
+    bd_.add(CycleClass::Switch, counted);
     for (std::size_t i = 0; i < missEvents_.size();) {
         if (missEvents_[i].ctx == c) {
             missEvents_[i] = missEvents_.back();
@@ -95,7 +111,15 @@ Processor::osSwap(CtxId c, InstrSource *src, std::uint32_t app_id,
             ++i;
         }
     }
-    if (src) {
+    if (src && testOsSwapLeak_) {
+        // Checker-validation hook: reload the thread but restore the
+        // outgoing thread's scoreboard, re-introducing the pre-fix
+        // stale-ready-time leak so tests can prove the shadow
+        // scoreboard auditor catches it.
+        Scoreboard leaked = ctxs_[c].scoreboard();
+        ctxs_[c].loadThread(src, app_id);
+        ctxs_[c].scoreboard() = leaked;
+    } else if (src) {
         ctxs_[c].loadThread(src, app_id);
     } else {
         ctxs_[c].unloadThread();
@@ -132,10 +156,13 @@ Processor::squashFrom(CtxId c, SeqNum from_seq, Cycle now)
 {
     const bool probed = probes_ && probes_->enabled();
     std::uint32_t n = 0;
+    std::uint32_t counted = 0;
     for (std::size_t i = 0; i < inflight_.size();) {
         InFlight &f = inflight_[i];
         if (f.ctx == c && f.seq >= from_seq) {
             ctxs_[c].scoreboard().clearWrite(f.dst);
+            if (f.issuedAt >= statsEpoch_)
+                ++counted;
             if (probed) {
                 ProbeEvent ev;
                 ev.kind = ProbeKind::ContextSquash;
@@ -143,6 +170,7 @@ Processor::squashFrom(CtxId c, SeqNum from_seq, Cycle now)
                 ev.proc = id_;
                 ev.ctx = c;
                 ev.seq = f.seq;
+                ev.reg = f.dst;
                 probes_->emit(ev);
             }
             f = inflight_.back();
@@ -162,9 +190,13 @@ Processor::squashFrom(CtxId c, SeqNum from_seq, Cycle now)
         }
     }
     ctxs_[c].rollbackTo(from_seq);
-    // Reclassify the squashed issue slots as switch overhead.
-    bd_.sub(CycleClass::Busy, n);
-    bd_.add(CycleClass::Switch, n);
+    // Reclassify the squashed issue slots as switch overhead. Slots
+    // issued before the current measurement epoch contributed no
+    // Busy cycle to bd_, so they are dropped without reclassifying
+    // (the old saturating-sub behaviour could steal Busy cycles that
+    // belonged to other contexts).
+    bd_.sub(CycleClass::Busy, counted);
+    bd_.add(CycleClass::Switch, counted);
     squashedSlots_ += n;
     return n;
 }
@@ -354,8 +386,18 @@ Processor::attributeIdle(Cycle now)
         who = soonestAvailable(ctxs_);
     }
     if (who < 0) {
-        // Nothing loaded and unfinished: the processor is idle with
-        // no work to account a stall against (end of run).
+        // No context has a known resume time. If unfinished threads
+        // are still loaded they are all blocked indefinitely on
+        // synchronization (a lock or barrier release will wake them):
+        // that is sync time, not a hole in the accounting. Only the
+        // end-of-run tail, with nothing loaded and unfinished, stays
+        // unattributed.
+        for (const ThreadContext &c : ctxs_) {
+            if (c.loaded() && !c.finished()) {
+                bd_.add(CycleClass::Sync);
+                return;
+            }
+        }
         return;
     }
     switch (ctxs_[who].waitKind()) {
@@ -378,7 +420,8 @@ Processor::classifyHazard(const ThreadContext &ctx, const MicroOp &op,
                           Cycle fu_free, Cycle now) const
 {
     const Cycle reg_ready =
-        ctx.scoreboard().readyCycle(op, resultLatency(cfg_.lat, op));
+        ctx.scoreboard().readyCycle(op, resultLatency(cfg_.lat, op),
+                                    now);
     if (fu_free > reg_ready && fu_free > now) {
         return (fu_free - now) > 4 ? CycleClass::LongInstr
                                    : CycleClass::ShortInstr;
@@ -436,13 +479,17 @@ Processor::tickSlot(Cycle now)
     if (cfg_.scheme == Scheme::Interleaved &&
         cfg_.interleavedSkipBlocked) {
         // Ablation variant: a hazard-blocked context gives its slot
-        // to the next available one instead of bubbling.
+        // to the next available one instead of bubbling. Visit each
+        // available context at most once, starting with the owner;
+        // the ring scan reports -1 when no context is available (the
+        // owner itself may have finished or become unavailable while
+        // issuing), which ends the donation round early.
         int candidate = owner;
         for (int tries = 0; tries < cfg_.numContexts; ++tries) {
-            if (candidate >= 0 && issueFrom(candidate, now, false))
+            if (issueFrom(candidate, now, false))
                 return;
             candidate = nextAvailableRing(ctxs_, candidate, now);
-            if (candidate == owner)
+            if (candidate < 0 || candidate == owner)
                 break;
         }
         // Everyone blocked: attribute via the original slot owner.
@@ -525,7 +572,7 @@ Processor::issueFrom(int c, Cycle now, bool attribute_stall)
     const Cycle fu_free = fuBusy_[static_cast<std::size_t>(
         fuKind(op.op))];
     const std::uint32_t res_lat = resultLatency(cfg_.lat, op);
-    Cycle startable = ctx.scoreboard().readyCycle(op, res_lat);
+    Cycle startable = ctx.scoreboard().readyCycle(op, res_lat, now);
     if (fu_free > startable)
         startable = fu_free;
 
@@ -607,10 +654,14 @@ Processor::issueFrom(int c, Cycle now, bool attribute_stall)
       }
       case Op::Prefetch: {
         // Non-binding prefetch: start the line fetch but never make
-        // the context unavailable; drop it if no MSHR is free.
+        // the context unavailable or stall issue. mshrStall reports
+        // the MSHR file was full() at miss time; the fetch was not
+        // started and the prefetch is dropped (counted, not silent).
         if (fine_grained)
             break;
         LoadResult r = mem_.load(id_, op.addr, now);
+        if (r.mshrStall)
+            ++prefetchDropped_;
         if (r.tlbPenalty > 0)
             dataTlbStallUntil_ = now + 1 + r.tlbPenalty;
         break;
@@ -725,7 +776,7 @@ Processor::issueFrom(int c, Cycle now, bool attribute_stall)
         bd_.add(CycleClass::Busy);
         inflight_.push_back({op.seq, now + pipeDepth(cfg_, op.op),
                              op.dst, static_cast<CtxId>(c),
-                             ctx.appId()});
+                             ctx.appId(), now});
         if (probes_ && probes_->enabled()) {
             ProbeEvent ev;
             ev.kind = ProbeKind::ContextIssue;
@@ -735,6 +786,9 @@ Processor::issueFrom(int c, Cycle now, bool attribute_stall)
             ev.seq = op.seq;
             ev.addr = op.pc;
             ev.arg = static_cast<std::uint32_t>(op.op);
+            ev.reg = op.dst;
+            if (op.dst != kNoReg && op.dst != kZeroReg)
+                ev.latency = write_ready - now;
             probes_->emit(ev);
         }
     }

@@ -81,8 +81,16 @@ class Processor
     std::uint64_t squashedSlots() const { return squashedSlots_; }
     std::uint64_t switchEvents() const { return switchEvents_; }
 
-    /** Zero the statistics (end of warm-up). */
-    void clearStats();
+    /** Prefetches dropped because the MSHR file was full. */
+    std::uint64_t prefetchesDropped() const { return prefetchDropped_; }
+
+    /**
+     * Zero the statistics (end of warm-up). @p now marks the start
+     * of the new measurement epoch: run-length samples, retire
+     * release pacing and squash reclassification are all rebased so
+     * none of them spans the warmup boundary.
+     */
+    void clearStats(Cycle now = 0);
 
     /**
      * Operating-system context swap: drop context @p c's pipeline
@@ -118,6 +126,16 @@ class Processor
     /** Cycles run between consecutive context-switch events. */
     const Histogram &runLengthHistogram() const { return runLen_; }
 
+    // ---- checker-validation hooks ----------------------------------
+    /**
+     * Re-introduce the pre-fix osSwap scoreboard leak: dropped
+     * in-flight destinations keep their ready times and the outgoing
+     * thread's scoreboard survives into the incoming thread. Only for
+     * tests proving the invariant checker catches the bug
+     * (docs/CHECKING.md); never set in real runs.
+     */
+    void testForceOsSwapLeak(bool on) { testOsSwapLeak_ = on; }
+
   private:
     struct InFlight
     {
@@ -126,6 +144,7 @@ class Processor
         RegId dst;
         CtxId ctx;
         std::uint32_t appId;
+        Cycle issuedAt;
     };
 
     struct MissEvent
@@ -208,11 +227,17 @@ class Processor
     std::uint64_t retiredTotal_ = 0;
     std::uint64_t squashedSlots_ = 0;
     std::uint64_t switchEvents_ = 0;
+    std::uint64_t prefetchDropped_ = 0;
     Cycle lastRelease_ = 0;
+    /** Cycle of the last clearStats(); squashed slots issued before
+     *  it carry no Busy cycle in bd_ and are not reclassified. */
+    Cycle statsEpoch_ = 0;
 
     ProbeBus *probes_ = nullptr;
     Histogram runLen_;          ///< cycles between switch events
     Cycle lastSwitchAt_ = 0;
+
+    bool testOsSwapLeak_ = false;
 };
 
 } // namespace mtsim

@@ -24,8 +24,9 @@ namespace mtsim {
 
 /** Every event kind the simulator emits. */
 enum class ProbeKind : std::uint8_t {
-    ContextIssue,   ///< instruction issued; seq, arg = opcode, addr = pc
-    ContextSquash,  ///< in-flight instruction squashed; seq
+    ContextIssue,   ///< instruction issued; seq, arg = opcode,
+                    ///< addr = pc, reg = dst, latency = result delay
+    ContextSquash,  ///< in-flight instruction squashed; seq, reg = dst
     ContextSwitch,  ///< context left the issue stage; arg = reason
     IMissStart,     ///< I-cache miss begins; addr, latency = total
     IMissEnd,       ///< I-cache miss data back; cycle = reply time
@@ -76,6 +77,7 @@ struct ProbeEvent
     Addr addr = 0;            ///< pc / line address
     Cycle latency = 0;        ///< duration or queue delay, by kind
     std::uint32_t arg = 0;    ///< opcode / reason / id, by kind
+    RegId reg = kNoReg;       ///< destination register, by kind
 };
 
 /** Receives every event emitted on a bus it subscribes to. */

@@ -49,6 +49,17 @@ Btb::resolve(Addr pc, bool taken, Addr target)
     return correct;
 }
 
+std::uint32_t
+Btb::occupancy() const
+{
+    std::uint32_t n = 0;
+    for (const Entry &e : entries_) {
+        if (e.valid)
+            ++n;
+    }
+    return n;
+}
+
 void
 Btb::clear()
 {

@@ -43,6 +43,14 @@ class Btb
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
 
+    /** Valid entries (occupancy; ≤ capacity() by construction). */
+    std::uint32_t occupancy() const;
+    std::uint32_t
+    capacity() const
+    {
+        return static_cast<std::uint32_t>(entries_.size());
+    }
+
   private:
     struct Entry
     {

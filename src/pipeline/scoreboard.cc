@@ -34,14 +34,17 @@ Scoreboard::regKind(RegId r) const
 
 Cycle
 Scoreboard::readyCycle(const MicroOp &op,
-                       std::uint32_t result_latency) const
+                       std::uint32_t result_latency, Cycle now) const
 {
     Cycle when = std::max(regReady(op.src1), regReady(op.src2));
     // Output dependence: do not let this write complete before an
-    // older in-flight write to the same register.
+    // older write to the same register that is still outstanding.
+    // A prior ready time at or before `now` is history, not an
+    // in-flight write; it must not delay issue.
     if (op.dst != kNoReg && op.dst != kZeroReg) {
         Cycle prior = ready_[op.dst];
-        if (prior > result_latency && prior - result_latency > when)
+        if (prior > now && prior > result_latency &&
+            prior - result_latency > when)
             when = prior - result_latency;
     }
     return when;

@@ -37,9 +37,12 @@ class Scoreboard
      * Earliest cycle at which @p op may issue given register
      * dependences (RAW on sources, WAW on destination).
      * @param result_latency the op's own result latency (WAW check).
+     * @param now the current cycle; a prior write to the destination
+     *        only constrains issue while it is still outstanding
+     *        (ready time in the future of @p now).
      */
-    Cycle readyCycle(const MicroOp &op,
-                     std::uint32_t result_latency) const;
+    Cycle readyCycle(const MicroOp &op, std::uint32_t result_latency,
+                     Cycle now) const;
 
     /**
      * The producer kind of the binding constraint for @p op at @p now

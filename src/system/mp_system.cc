@@ -72,10 +72,27 @@ MpSystem::setStatsBarrier(std::uint32_t id)
 }
 
 void
+MpSystem::enableChecking(const CheckConfig &cc)
+{
+    if (checker_)
+        return;
+    std::vector<Processor *> procs;
+    procs.reserve(procs_.size());
+    for (auto &p : procs_)
+        procs.push_back(p.get());
+    checker_ = std::make_unique<InvariantChecker>(cc, cfg_,
+                                                  std::move(procs));
+    for (ProcId p = 0; p < cfg_.numProcessors; ++p)
+        checker_->setResources(p, &mem_.mshrs(p),
+                               &mem_.writeBuffer(p));
+    probes_.addSink(checker_.get());
+}
+
+void
 MpSystem::clearAllStats()
 {
     for (auto &p : procs_)
-        p->clearStats();
+        p->clearStats(now_);
     statsStart_ = now_;
     statsCleared_ = true;
     statsPending_ = false;
@@ -99,8 +116,13 @@ MpSystem::run(Cycle max_cycles)
         mem_.tick(now_);
         for (auto &p : procs_)
             p->tick(now_);
-        if (statsPending_)
+        if (checker_)
+            checker_->onCycleEnd(now_);
+        if (statsPending_) {
             clearAllStats();
+            if (checker_)
+                checker_->onStatsClear(now_);
+        }
         if (sampler_) {
             Cycle busy = 0;
             for (const auto &p : procs_)

@@ -15,6 +15,8 @@
 #include <memory>
 #include <vector>
 
+#include "check/check_config.hh"
+#include "check/checker.hh"
 #include "coherence/mp_mem_system.hh"
 #include "common/config.hh"
 #include "common/stats.hh"
@@ -85,6 +87,15 @@ class MpSystem
      */
     void setSampler(IntervalSampler *sampler) { sampler_ = sampler; }
 
+    /**
+     * Enable runtime invariant checking on every processor
+     * (docs/CHECKING.md). Must be called before run().
+     */
+    void enableChecking(const CheckConfig &cc = CheckConfig{});
+
+    /** The attached checker, or nullptr when checking is off. */
+    InvariantChecker *checker() { return checker_.get(); }
+
   private:
     void clearAllStats();
 
@@ -94,6 +105,7 @@ class MpSystem
     SyncManager sync_;
     std::vector<std::unique_ptr<Processor>> procs_;
     std::vector<std::unique_ptr<ThreadSource>> sources_;
+    std::unique_ptr<InvariantChecker> checker_;
     IntervalSampler *sampler_ = nullptr;
     Cycle now_ = 0;
     Cycle statsStart_ = 0;

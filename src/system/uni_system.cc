@@ -1,5 +1,7 @@
 #include "system/uni_system.hh"
 
+#include <cassert>
+
 namespace mtsim {
 
 namespace {
@@ -48,6 +50,20 @@ UniSystem::addApp(const std::string &name, const KernelFn &kernel)
 }
 
 void
+UniSystem::enableChecking(const CheckConfig &cc)
+{
+    // The shadow state is rebuilt from the probe stream; attaching
+    // after cycles already ran would make it diverge from reality.
+    assert(!started_ && "enableChecking must precede the first run");
+    if (checker_)
+        return;
+    checker_ = std::make_unique<InvariantChecker>(
+        cc, cfg_, std::vector<Processor *>{&proc_});
+    checker_->setResources(0, &mem_.mshrs(), &mem_.writeBuffer());
+    probes_.addSink(checker_.get());
+}
+
+void
 UniSystem::run(Cycle warmup, Cycle measure)
 {
     if (!started_) {
@@ -59,14 +75,20 @@ UniSystem::run(Cycle warmup, Cycle measure)
         mem_.tick(now_);
         sched_.tick(now_);
         proc_.tick(now_);
+        if (checker_)
+            checker_->onCycleEnd(now_);
         ++now_;
     }
-    proc_.clearStats();
+    proc_.clearStats(now_);
+    if (checker_)
+        checker_->onStatsClear(now_);
     const Cycle measure_end = now_ + measure;
     while (now_ < measure_end) {
         mem_.tick(now_);
         sched_.tick(now_);
         proc_.tick(now_);
+        if (checker_)
+            checker_->onCycleEnd(now_);
         if (sampler_)
             sampler_->observe(now_, static_cast<double>(
                 proc_.breakdown().get(CycleClass::Busy)));

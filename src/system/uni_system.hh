@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "check/check_config.hh"
+#include "check/checker.hh"
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "core/processor.hh"
@@ -77,6 +79,17 @@ class UniSystem
      */
     void setSampler(IntervalSampler *sampler) { sampler_ = sampler; }
 
+    /**
+     * Enable runtime invariant checking (docs/CHECKING.md). Must be
+     * called before the first run(); with abortOnViolation (the
+     * default) any violated invariant throws CheckError carrying
+     * cycle/proc/ctx context.
+     */
+    void enableChecking(const CheckConfig &cc = CheckConfig{});
+
+    /** The attached checker, or nullptr when checking is off. */
+    InvariantChecker *checker() { return checker_.get(); }
+
   private:
     Config cfg_;
     ProbeBus probes_;
@@ -84,6 +97,7 @@ class UniSystem
     Processor proc_;
     Scheduler sched_;
     std::vector<std::unique_ptr<ThreadSource>> sources_;
+    std::unique_ptr<InvariantChecker> checker_;
     IntervalSampler *sampler_ = nullptr;
     Cycle now_ = 0;
     Cycle measured_ = 0;

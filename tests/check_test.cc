@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Tests of the invariant-checker subsystem (docs/CHECKING.md): the
+ * shadow-scoreboard, slot-conservation, resource-bound and
+ * context-legality auditors, the probe-stream digest, plus the
+ * accounting fixes the checker was built to catch - the osSwap
+ * scoreboard leak, the MSHR-full prefetch drop, the clearStats epoch
+ * rebase and the skip-blocked donation loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "check/check_config.hh"
+#include "check/checker.hh"
+#include "check/digest.hh"
+#include "common/config.hh"
+#include "obs/probe.hh"
+#include "test_util.hh"
+
+namespace mtsim {
+namespace {
+
+using test::mkLoad;
+using test::mkOp;
+using test::VectorSource;
+
+/** A Rig with the full auditor battery wired to the probe bus. */
+struct CheckedRig
+{
+    explicit CheckedRig(const Config &cfg,
+                        const CheckConfig &cc = CheckConfig{})
+        : rig(cfg), checker(cc, cfg, {&rig.proc})
+    {
+        checker.setResources(0, &rig.mem.mshrs(),
+                             &rig.mem.writeBuffer());
+        probes.addSink(&checker);
+        rig.proc.setProbeBus(&probes);
+    }
+
+    void
+    run(Cycle cycles)
+    {
+        for (Cycle i = 0; i < cycles; ++i, ++now) {
+            rig.mem.tick(now);
+            rig.proc.tick(now);
+            checker.onCycleEnd(now);
+        }
+    }
+
+    /** Run with audits until all threads finish (plus a drain). */
+    void
+    runToCompletion(Cycle max_cycles = 50000)
+    {
+        while (now < max_cycles && !rig.proc.allFinished())
+            run(1);
+        run(16);
+    }
+
+    test::Rig rig;
+    ProbeBus probes;
+    InvariantChecker checker;
+    Cycle now = 0;
+};
+
+/** n register-writing 1-cycle ALU ops cycling over dsts 5..36. */
+std::vector<MicroOp>
+aluOps(std::uint32_t n)
+{
+    std::vector<MicroOp> ops;
+    ops.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        ops.push_back(
+            mkOp(Op::IntAlu, static_cast<RegId>(5 + (i % 32))));
+    return ops;
+}
+
+// ---- osSwap scoreboard hygiene (the bug the checker caught) -------
+
+TEST(OsSwap, UnloadClearsEveryScoreboardEntry)
+{
+    Config cfg = test::timingConfig(Scheme::Interleaved, 2);
+    test::Rig rig(cfg);
+    VectorSource src(aluOps(64), 0x1000);
+    rig.proc.context(0).loadThread(&src, 1);
+    rig.run(20);  // several writes recorded, some still in flight
+
+    // Unbind the slot. No dropped in-flight destination may keep its
+    // ready time: the next thread bound here must see a clean slate.
+    rig.proc.osSwap(0, nullptr, 0, rig.now_);
+    const Scoreboard &sb = rig.proc.context(0).scoreboard();
+    for (RegId r = 1; r < kNumRegs; ++r)
+        EXPECT_EQ(sb.regReady(r), 0u) << "stale ready time on r"
+                                      << static_cast<unsigned>(r);
+}
+
+TEST(OsSwap, LeakHookRestoresTheBugForCheckerValidation)
+{
+    Config cfg = test::timingConfig(Scheme::Interleaved, 2);
+    test::Rig rig(cfg);
+    VectorSource src(aluOps(64), 0x1000);
+    rig.proc.context(0).loadThread(&src, 1);
+    rig.run(20);
+
+    rig.proc.testForceOsSwapLeak(true);
+    VectorSource incoming(aluOps(8), 0x9000);
+    rig.proc.osSwap(0, &incoming, 2, rig.now_);
+    const Scoreboard &sb = rig.proc.context(0).scoreboard();
+    bool any_stale = false;
+    for (RegId r = 1; r < kNumRegs; ++r)
+        any_stale = any_stale || sb.regReady(r) != 0;
+    EXPECT_TRUE(any_stale)
+        << "the test hook should leak the outgoing scoreboard";
+}
+
+// ---- the auditors on clean runs -----------------------------------
+
+TEST(Checker, CleanRunWithMissesAndSquashesHasNoViolations)
+{
+    Config cfg = test::timingConfig(Scheme::Interleaved, 2);
+    CheckConfig cc;
+    cc.abortOnViolation = false;
+    CheckedRig cr(cfg, cc);
+
+    // Context 0 interleaves cold loads (miss -> selective squash)
+    // with ALU work; context 1 runs independent ALU work.
+    std::vector<MicroOp> ops0;
+    for (int i = 0; i < 24; ++i) {
+        ops0.push_back(mkLoad(0x400000 + static_cast<Addr>(i) * 4096,
+                              static_cast<RegId>(5 + (i % 8))));
+        for (int k = 0; k < 4; ++k)
+            ops0.push_back(
+                mkOp(Op::IntAlu, static_cast<RegId>(20 + (k % 8))));
+    }
+    VectorSource src0(ops0, 0x1000);
+    VectorSource src1(aluOps(600), 0x100000);
+    cr.rig.proc.context(0).loadThread(&src0, 1);
+    cr.rig.proc.context(1).loadThread(&src1, 2);
+
+    cr.runToCompletion();
+    EXPECT_TRUE(cr.rig.proc.allFinished());
+    EXPECT_TRUE(cr.checker.violations().empty())
+        << cr.checker.violations().front().str();
+    EXPECT_GT(cr.checker.cyclesAudited(), 0u);
+    EXPECT_GT(cr.checker.eventsAudited(), 0u);
+}
+
+TEST(Checker, CatchesSeededOsSwapScoreboardLeak)
+{
+    Config cfg = test::timingConfig(Scheme::Interleaved, 2);
+    CheckedRig cr(cfg);  // abortOnViolation = true
+    VectorSource src(aluOps(64), 0x1000);
+    cr.rig.proc.context(0).loadThread(&src, 1);
+    cr.run(20);
+
+    // Re-introduce the pre-fix bug: the OS swap keeps the outgoing
+    // thread's scoreboard. The shadow scoreboard expects an empty one
+    // at the swap instant, so the audit must fire right there.
+    cr.rig.proc.testForceOsSwapLeak(true);
+    VectorSource incoming(aluOps(8), 0x9000);
+    EXPECT_THROW(cr.rig.proc.osSwap(0, &incoming, 2, cr.now),
+                 CheckError);
+}
+
+TEST(Checker, RecordsSeededLeakWhenNotAborting)
+{
+    Config cfg = test::timingConfig(Scheme::Interleaved, 2);
+    CheckConfig cc;
+    cc.abortOnViolation = false;
+    CheckedRig cr(cfg, cc);
+    VectorSource src(aluOps(64), 0x1000);
+    cr.rig.proc.context(0).loadThread(&src, 1);
+    cr.run(20);
+
+    cr.rig.proc.testForceOsSwapLeak(true);
+    VectorSource incoming(aluOps(8), 0x9000);
+    cr.rig.proc.osSwap(0, &incoming, 2, cr.now);
+    ASSERT_FALSE(cr.checker.violations().empty());
+    EXPECT_EQ(cr.checker.violations().front().auditor, "scoreboard");
+    EXPECT_EQ(cr.checker.violations().front().ctx, 0);
+}
+
+TEST(Checker, FlagsIssueDuringCacheMissWindow)
+{
+    Config cfg = test::timingConfig(Scheme::Interleaved, 2);
+    test::Rig rig(cfg);
+    CheckConfig cc;
+    cc.abortOnViolation = false;
+    InvariantChecker chk(cc, cfg, {&rig.proc});
+
+    ProbeEvent sw;
+    sw.kind = ProbeKind::ContextSwitch;
+    sw.cycle = 100;
+    sw.ctx = 1;
+    sw.latency = 40;  // data back at cycle 140
+    sw.arg = static_cast<std::uint32_t>(SwitchReason::CacheMiss);
+    chk.onEvent(sw);
+
+    ProbeEvent issue;
+    issue.kind = ProbeKind::ContextIssue;
+    issue.cycle = 120;  // inside the unavailability window
+    issue.ctx = 1;
+    chk.onEvent(issue);
+    ASSERT_EQ(chk.violations().size(), 1u);
+    EXPECT_EQ(chk.violations().front().auditor, "context");
+
+    // A fresh checker seeing the issue at the window end is clean.
+    InvariantChecker ok(cc, cfg, {&rig.proc});
+    ok.onEvent(sw);
+    issue.cycle = 140;
+    ok.onEvent(issue);
+    EXPECT_TRUE(ok.violations().empty());
+}
+
+TEST(Checker, FlagsSlotInflationAcrossAnUnauditedGap)
+{
+    Config cfg = test::timingConfig(Scheme::Interleaved, 2);
+    test::Rig rig(cfg);
+    VectorSource src(aluOps(400), 0x1000);
+    rig.proc.context(0).loadThread(&src, 1);
+
+    CheckConfig cc;
+    cc.abortOnViolation = false;
+    cc.scoreboard = false;  // isolate the slot auditor
+    InvariantChecker chk(cc, cfg, {&rig.proc});
+    // Ten cycles pass without onCycleEnd: the next audit sees ten
+    // cycles of breakdown growth in "one" cycle and must object.
+    rig.run(10);
+    chk.onCycleEnd(rig.now_);
+    ASSERT_FALSE(chk.violations().empty());
+    EXPECT_EQ(chk.violations().front().auditor, "slots");
+}
+
+// ---- MSHR-full prefetch handling ----------------------------------
+
+TEST(Prefetch, DroppedAndCountedWhenMshrFileIsFull)
+{
+    Config cfg = test::timingConfig(Scheme::Interleaved, 1);
+    cfg.numMshrs = 1;
+    test::Rig rig(cfg);
+    // Back-to-back cold prefetches to distinct lines in one page:
+    // the first occupies the only MSHR; the rest find it full while
+    // the miss is outstanding and must be dropped, not allocated.
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 16; ++i) {
+        MicroOp m = mkOp(Op::Prefetch);
+        m.addr = 0x200000 + static_cast<Addr>(i) * 256;
+        ops.push_back(m);
+    }
+    VectorSource src(ops, 0x1000);
+    rig.proc.context(0).loadThread(&src, 1);
+    rig.run(40);
+    EXPECT_GT(rig.proc.prefetchesDropped(), 0u);
+    EXPECT_LT(rig.proc.prefetchesDropped(), 16u);
+}
+
+// ---- clearStats epoch rebasing ------------------------------------
+
+TEST(ClearStats, StartsAFreshMeasurementEpoch)
+{
+    Config cfg = test::timingConfig(Scheme::Interleaved, 1);
+    test::Rig rig(cfg);
+    VectorSource src(aluOps(400), 0x1000);
+    rig.proc.context(0).loadThread(&src, 1);
+    rig.run(50);
+    ASSERT_GT(rig.proc.breakdown().total(), 0u);
+
+    rig.proc.clearStats(rig.now_);
+    EXPECT_EQ(rig.proc.breakdown().total(), 0u);
+    EXPECT_EQ(rig.proc.runLengthHistogram().count(), 0u);
+
+    // The pipeline still holds instructions issued before the clear.
+    // Dropping them (OS swap) must not reclassify slots the new
+    // epoch never counted as busy: Switch stays zero instead of
+    // charging the measured window for pre-measurement work.
+    rig.proc.osSwap(0, nullptr, 0, rig.now_);
+    EXPECT_EQ(rig.proc.breakdown().get(CycleClass::Switch), 0u);
+    EXPECT_EQ(rig.proc.breakdown().total(), 0u);
+}
+
+// ---- interleaved skip-blocked donation loop -----------------------
+
+TEST(SkipBlocked, DonatesBlockedSlotsToReadyContexts)
+{
+    // Context 0 runs a serial IntMul chain (hazard-blocked most
+    // cycles); context 1 has unlimited independent ALU work.
+    auto busy_after = [](bool skip) {
+        Config cfg = test::timingConfig(Scheme::Interleaved, 2);
+        cfg.interleavedSkipBlocked = skip;
+        test::Rig rig(cfg);
+        std::vector<MicroOp> chain(40, mkOp(Op::IntMul, 5, 5, 5));
+        VectorSource src0(chain, 0x1000);
+        VectorSource src1(aluOps(1000), 0x100000);
+        rig.proc.context(0).loadThread(&src0, 1);
+        rig.proc.context(1).loadThread(&src1, 2);
+        rig.run(200);
+        return rig.proc.breakdown().get(CycleClass::Busy);
+    };
+    const Cycle with_skip = busy_after(true);
+    const Cycle without = busy_after(false);
+    EXPECT_GT(with_skip, without + 20)
+        << "donation should convert ctx0's hazard bubbles into ctx1 "
+           "issues (with=" << with_skip << " without=" << without
+        << ")";
+}
+
+TEST(SkipBlocked, ConservesSlotsWhenEveryContextIsBlocked)
+{
+    Config cfg = test::timingConfig(Scheme::Interleaved, 2);
+    cfg.interleavedSkipBlocked = true;
+    test::Rig rig(cfg);
+    // Both contexts run serial long-op chains: most cycles nobody
+    // can issue and the donation round ends with the owner
+    // attributing the bubble. Every slot must still be accounted.
+    std::vector<MicroOp> chain0(30, mkOp(Op::IntMul, 5, 5, 5));
+    std::vector<MicroOp> chain1(30, mkOp(Op::IntMul, 9, 9, 9));
+    VectorSource src0(chain0, 0x1000);
+    VectorSource src1(chain1, 0x100000);
+    rig.proc.context(0).loadThread(&src0, 1);
+    rig.proc.context(1).loadThread(&src1, 2);
+    const Cycle cycles = 120;
+    rig.run(cycles);
+    ASSERT_FALSE(rig.proc.allFinished());
+    EXPECT_EQ(rig.proc.breakdown().total(),
+              cycles * cfg.issueWidth);
+}
+
+TEST(SkipBlocked, AuditedRunToCompletionIsClean)
+{
+    // The donation loop's edge cases (candidate ring returning -1
+    // when the owner's thread finishes at peek, donation after a
+    // miss squash) all happen in this run; the full auditor battery
+    // watches every cycle of it.
+    Config cfg = test::timingConfig(Scheme::Interleaved, 2);
+    cfg.interleavedSkipBlocked = true;
+    CheckConfig cc;
+    cc.abortOnViolation = false;
+    CheckedRig cr(cfg, cc);
+    std::vector<MicroOp> ops0;
+    for (int i = 0; i < 12; ++i) {
+        ops0.push_back(mkLoad(0x300000 + static_cast<Addr>(i) * 4096,
+                              static_cast<RegId>(5 + (i % 8))));
+        ops0.push_back(mkOp(Op::IntMul, 20, 20, 20));
+    }
+    VectorSource src0(ops0, 0x1000);
+    VectorSource src1(aluOps(200), 0x100000);
+    cr.rig.proc.context(0).loadThread(&src0, 1);
+    cr.rig.proc.context(1).loadThread(&src1, 2);
+    cr.runToCompletion();
+    EXPECT_TRUE(cr.rig.proc.allFinished());
+    EXPECT_TRUE(cr.checker.violations().empty())
+        << cr.checker.violations().front().str();
+}
+
+// ---- probe-stream digest ------------------------------------------
+
+TEST(ProbeDigest, IdenticalStreamsMatchDifferentStreamsDoNot)
+{
+    ProbeEvent ev;
+    ev.kind = ProbeKind::ContextIssue;
+    ev.cycle = 17;
+    ev.seq = 42;
+    ev.reg = 5;
+
+    ProbeDigest a, b;
+    a.onEvent(ev);
+    b.onEvent(ev);
+    EXPECT_EQ(a.digest(), b.digest());
+    EXPECT_EQ(a.events(), 1u);
+
+    // Any field difference must change the digest.
+    ProbeEvent other = ev;
+    other.reg = 6;
+    b.reset();
+    b.onEvent(other);
+    EXPECT_NE(a.digest(), b.digest());
+}
+
+} // namespace
+} // namespace mtsim

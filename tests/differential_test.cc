@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Differential tests (docs/CHECKING.md): metamorphic properties that
+ * relate whole runs to each other. The interesting bugs in a
+ * cycle-accurate simulator rarely crash - they shift cycles between
+ * categories. These tests pin the relations the paper's tables rely
+ * on: scheme equivalences, IPC bounds, slot conservation across the
+ * full workload matrix, and bit-level determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/differential.hh"
+#include "common/config.hh"
+#include "spec/spec_suite.hh"
+#include "splash/splash_suite.hh"
+#include "workload/emitter.hh"
+#include "workload/program.hh"
+
+namespace mtsim {
+namespace {
+
+constexpr Cycle kWarm = 10000;
+constexpr Cycle kMeasure = 20000;
+
+/** Endless dependent-but-cheap integer work: no memory ops, no
+ *  branches beyond the loop, no switch hints. */
+KernelCoro
+aluLoop(Emitter &e)
+{
+    e.iop();
+    co_await e.pause();
+    EmitLoop loop(e);
+    for (;;) {
+        RegId a = e.iop();
+        RegId b = e.iop(a);
+        e.iop(b);
+        e.iop();
+        loop.next(true);
+        co_await e.pause();
+    }
+}
+
+UniApps
+aluApps()
+{
+    return {{"alu", KernelFn([](Emitter &e) { return aluLoop(e); })}};
+}
+
+// ---- scheme equivalences ------------------------------------------
+
+TEST(Differential, InterleavedWithOneContextMatchesSingle)
+{
+    // With one hardware context there is nobody to interleave with:
+    // the interleaved scheme must degenerate to the single-context
+    // processor cycle for cycle, probe event for probe event.
+    const UniApps apps = mixApps("DC");
+    const RunSignature single = uniSignature(
+        Config::make(Scheme::Single, 1), apps, kWarm, kMeasure);
+    const RunSignature inter = uniSignature(
+        Config::make(Scheme::Interleaved, 1), apps, kWarm, kMeasure);
+    EXPECT_EQ(single, inter)
+        << "single: " << describe(single)
+        << "\ninterleaved/1: " << describe(inter);
+    EXPECT_EQ(single.checkViolations, 0u);
+}
+
+TEST(Differential, BlockedMatchesSingleWithoutMissesOrHints)
+{
+    // The blocked scheme only diverges from the single-context
+    // processor when a primary-cache miss or an explicit hint
+    // triggers a switch. A pure register workload has neither.
+    const UniApps apps = aluApps();
+    const RunSignature single = uniSignature(
+        Config::make(Scheme::Single, 1), apps, kWarm, kMeasure);
+    const RunSignature blocked = uniSignature(
+        Config::make(Scheme::Blocked, 1), apps, kWarm, kMeasure);
+    EXPECT_EQ(single, blocked)
+        << "single: " << describe(single)
+        << "\nblocked/1: " << describe(blocked);
+    EXPECT_GT(single.retired, 0u);
+}
+
+// ---- bounds and conservation across the workload matrix -----------
+
+TEST(Differential, IpcBoundedAndSlotsConservedAcrossTableConfigs)
+{
+    struct SchemeCtx
+    {
+        Scheme scheme;
+        std::uint8_t contexts;
+    };
+    const std::vector<SchemeCtx> rows = {
+        {Scheme::Single, 1},
+        {Scheme::Blocked, 2},
+        {Scheme::Blocked, 4},
+        {Scheme::Interleaved, 2},
+        {Scheme::Interleaved, 4},
+    };
+    std::vector<std::string> mixes = uniWorkloadNames();
+    mixes.push_back("SP");
+    for (const auto &mix : mixes) {
+        const UniApps apps = mixApps(mix);
+        for (const auto &row : rows) {
+            Config cfg = Config::make(row.scheme, row.contexts);
+            SCOPED_TRACE(mix + "/" + schemeName(row.scheme) + "/" +
+                         std::to_string(row.contexts));
+            // check=true: the auditors observe every cycle and abort
+            // on the first violated invariant.
+            const RunSignature s =
+                uniSignature(cfg, apps, kWarm, kMeasure);
+            EXPECT_EQ(s.checkViolations, 0u);
+            EXPECT_LE(s.retired,
+                      s.measuredCycles * cfg.issueWidth);
+            EXPECT_EQ(s.breakdown.total(),
+                      s.measuredCycles * cfg.issueWidth);
+        }
+    }
+}
+
+TEST(Differential, DualIssueConservesBothSlotsPerCycle)
+{
+    Config cfg = Config::make(Scheme::Interleaved, 4);
+    cfg.issueWidth = 2;
+    const RunSignature s =
+        uniSignature(cfg, mixApps("DC"), kWarm, kMeasure);
+    EXPECT_EQ(s.checkViolations, 0u);
+    EXPECT_LE(s.retired, s.measuredCycles * 2);
+    EXPECT_EQ(s.breakdown.total(), s.measuredCycles * 2);
+}
+
+// ---- multiprocessor -----------------------------------------------
+
+TEST(Differential, MultiprocessorRunUnderFullAuditing)
+{
+    Config cfg = Config::makeMp(Scheme::Interleaved, 2, 2);
+    const RunSignature s = mpSignature(cfg, splashApp("water"));
+    EXPECT_EQ(s.checkViolations, 0u);
+    EXPECT_GT(s.retired, 0u);
+    // Per-processor IPC cannot exceed the issue width.
+    EXPECT_LE(s.retired, s.measuredCycles * cfg.numProcessors *
+                             cfg.issueWidth);
+}
+
+// ---- determinism --------------------------------------------------
+
+TEST(Differential, IdenticalConfigsProduceIdenticalSignatures)
+{
+    Config cfg = Config::make(Scheme::Interleaved, 4);
+    const UniApps apps = mixApps("FP");
+    const RunSignature a = uniSignature(cfg, apps, kWarm, kMeasure);
+    const RunSignature b = uniSignature(cfg, apps, kWarm, kMeasure);
+    EXPECT_EQ(a, b) << "first:  " << describe(a)
+                    << "\nsecond: " << describe(b);
+    EXPECT_GT(a.probeEvents, 0u);
+}
+
+} // namespace
+} // namespace mtsim

@@ -141,16 +141,18 @@ TEST(Btb, ClearForgets)
 TEST(Scoreboard, FreshRegistersReady)
 {
     Scoreboard sb;
-    EXPECT_EQ(sb.readyCycle(op(Op::IntAlu, 3, 1, 2), 1), 0u);
+    EXPECT_EQ(sb.readyCycle(op(Op::IntAlu, 3, 1, 2), 1, 0), 0u);
 }
 
 TEST(Scoreboard, RawDependenceDelaysIssue)
 {
     Scoreboard sb;
     sb.recordWrite(5, 100, ProducerKind::ShortOp);
-    EXPECT_EQ(sb.readyCycle(op(Op::IntAlu, 6, 5, kNoReg), 1), 100u);
-    EXPECT_EQ(sb.readyCycle(op(Op::IntAlu, 6, kNoReg, 5), 1), 100u);
-    EXPECT_EQ(sb.readyCycle(op(Op::IntAlu, 6, 4, kNoReg), 1), 0u);
+    EXPECT_EQ(sb.readyCycle(op(Op::IntAlu, 6, 5, kNoReg), 1, 0),
+              100u);
+    EXPECT_EQ(sb.readyCycle(op(Op::IntAlu, 6, kNoReg, 5), 1, 0),
+              100u);
+    EXPECT_EQ(sb.readyCycle(op(Op::IntAlu, 6, 4, kNoReg), 1, 0), 0u);
 }
 
 TEST(Scoreboard, MaxOverBothSources)
@@ -158,7 +160,7 @@ TEST(Scoreboard, MaxOverBothSources)
     Scoreboard sb;
     sb.recordWrite(5, 100, ProducerKind::ShortOp);
     sb.recordWrite(6, 200, ProducerKind::LongOp);
-    EXPECT_EQ(sb.readyCycle(op(Op::IntAlu, 7, 5, 6), 1), 200u);
+    EXPECT_EQ(sb.readyCycle(op(Op::IntAlu, 7, 5, 6), 1, 0), 200u);
 }
 
 TEST(Scoreboard, OutputDependenceDelaysFasterWrite)
@@ -167,10 +169,29 @@ TEST(Scoreboard, OutputDependenceDelaysFasterWrite)
     // Pending slow write to r5 completing at 100; a 1-cycle op that
     // also writes r5 must not complete before it.
     sb.recordWrite(5, 100, ProducerKind::LongOp);
-    EXPECT_EQ(sb.readyCycle(op(Op::IntAlu, 5, kNoReg, kNoReg), 1),
+    EXPECT_EQ(sb.readyCycle(op(Op::IntAlu, 5, kNoReg, kNoReg), 1, 0),
               99u);
     // A 200-cycle op would finish after anyway: no constraint.
-    EXPECT_EQ(sb.readyCycle(op(Op::IntAlu, 5, kNoReg, kNoReg), 200),
+    EXPECT_EQ(
+        sb.readyCycle(op(Op::IntAlu, 5, kNoReg, kNoReg), 200, 0),
+        0u);
+}
+
+TEST(Scoreboard, WawConstraintOnlyWhileWriteOutstanding)
+{
+    Scoreboard sb;
+    sb.recordWrite(5, 50, ProducerKind::LongOp);
+    // At cycle 40 the write to r5 is still in flight: a 3-cycle op
+    // writing r5 must wait until 47 so it completes at 50.
+    EXPECT_EQ(sb.readyCycle(op(Op::IntAlu, 5, kNoReg, kNoReg), 3, 40),
+              47u);
+    // At cycle 100 the write completed long ago. The stale absolute
+    // ready time (50) must impose no constraint.
+    EXPECT_EQ(
+        sb.readyCycle(op(Op::IntAlu, 5, kNoReg, kNoReg), 3, 100),
+        0u);
+    // Boundary: the write completes exactly now; no constraint.
+    EXPECT_EQ(sb.readyCycle(op(Op::IntAlu, 5, kNoReg, kNoReg), 3, 50),
               0u);
 }
 
@@ -179,7 +200,7 @@ TEST(Scoreboard, ZeroRegisterAlwaysReady)
     Scoreboard sb;
     sb.recordWrite(kZeroReg, 500, ProducerKind::LoadMiss);
     EXPECT_EQ(sb.regReady(kZeroReg), 0u);
-    EXPECT_EQ(sb.readyCycle(op(Op::IntAlu, 1, kZeroReg, kNoReg), 1),
+    EXPECT_EQ(sb.readyCycle(op(Op::IntAlu, 1, kZeroReg, kNoReg), 1, 0),
               0u);
 }
 

@@ -20,12 +20,14 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <limits>
 #include <memory>
 #include <optional>
 #include <string>
 
+#include "check/digest.hh"
 #include "common/config.hh"
 #include "metrics/breakdown.hh"
 #include "metrics/json_stats.hh"
@@ -56,6 +58,8 @@ struct Options
     std::string traceOut;
     std::string statsJson;
     Cycle sampleInterval = 0;
+    bool check = false;
+    bool digest = false;
     bool help = false;
 };
 
@@ -119,7 +123,12 @@ usage()
         "  --stats-json FILE   write machine-readable statistics\n"
         "  --trace-out FILE    write a Chrome/Perfetto event trace\n"
         "  --sample-interval N record utilization every N cycles\n"
-        "                      (series included in --stats-json)\n";
+        "                      (series included in --stats-json)\n"
+        "  --check             run the invariant checker alongside\n"
+        "                      the simulation; exits 3 on the first\n"
+        "                      violation (docs/CHECKING.md)\n"
+        "  --digest            print the probe-stream digest (two\n"
+        "                      identical runs must match)\n";
 }
 
 Options
@@ -173,6 +182,10 @@ parse(int argc, char **argv)
             if (o.sampleInterval == 0)
                 throw std::invalid_argument(
                     "--sample-interval: must be >= 1");
+        } else if (a == "--check") {
+            o.check = true;
+        } else if (a == "--digest") {
+            o.digest = true;
         } else if (a == "--help" || a == "-h") {
             o.help = true;
         } else {
@@ -243,6 +256,15 @@ struct RunInfo
     double ipc;
     std::uint64_t retired;
 };
+
+void
+printDigest(const ProbeDigest &d)
+{
+    std::cout << "probe digest: " << std::hex << std::setw(16)
+              << std::setfill('0') << d.digest() << std::dec
+              << std::setfill(' ') << " (" << d.events()
+              << " events)\n";
+}
 
 void
 writeStatsJson(const Options &o, const RunInfo &info,
@@ -333,9 +355,16 @@ runUniMode(const Options &o)
             sys.addApp(app, specKernel(app));
     }
 
+    if (o.check)
+        sys.enableChecking();
     auto trace = makeTraceWriter(o);
     if (trace)
         sys.probes().addSink(trace.get());
+    std::optional<ProbeDigest> digest;
+    if (o.digest) {
+        digest.emplace();
+        sys.probes().addSink(&*digest);
+    }
     std::optional<IntervalSampler> sampler;
     if (o.sampleInterval > 0) {
         sampler.emplace(o.sampleInterval);
@@ -365,13 +394,20 @@ runUniMode(const Options &o)
     std::cout << '\n';
     printBreakdown(sys.breakdown());
     std::cout << '\n';
-    printCounters(sys.mem().counters());
+    CounterSet counters = sys.mem().counters();
+    counters.inc("prefetch_dropped",
+                 sys.processor().prefetchesDropped());
+    printCounters(counters);
+    if (o.check)
+        std::cout << "check: " << sys.checker()->summary() << '\n';
+    if (digest)
+        printDigest(*digest);
 
     if (!o.statsJson.empty()) {
         RunInfo info{o.warmup + o.cycles, sys.measuredCycles(),
                      sys.throughput(), sys.retired()};
         writeStatsJson(
-            o, info, sys.breakdown(), sys.mem().counters(),
+            o, info, sys.breakdown(), counters,
             {{"dmiss_latency", &sys.mem().dmissLatency()},
              {"bus_queue_delay", &sys.mem().busQueueDelay()},
              {"context_run_length",
@@ -392,9 +428,16 @@ runMpMode(const Options &o)
     sys.setStatsBarrier(kStatsBarrier);
     sys.loadApp(splashApp(app));
 
+    if (o.check)
+        sys.enableChecking();
     auto trace = makeTraceWriter(o);
     if (trace)
         sys.probes().addSink(trace.get());
+    std::optional<ProbeDigest> digest;
+    if (o.digest) {
+        digest.emplace();
+        sys.probes().addSink(&*digest);
+    }
     std::optional<IntervalSampler> sampler;
     if (o.sampleInterval > 0) {
         sampler.emplace(o.sampleInterval);
@@ -420,7 +463,16 @@ runMpMode(const Options &o)
     const CycleBreakdown bd = sys.aggregateBreakdown();
     printBreakdown(bd);
     std::cout << '\n';
-    printCounters(sys.mem().counters());
+    CounterSet counters = sys.mem().counters();
+    std::uint64_t dropped = 0;
+    for (ProcId p = 0; p < cfg.numProcessors; ++p)
+        dropped += sys.processor(p).prefetchesDropped();
+    counters.inc("prefetch_dropped", dropped);
+    printCounters(counters);
+    if (o.check)
+        std::cout << "check: " << sys.checker()->summary() << '\n';
+    if (digest)
+        printDigest(*digest);
 
     if (!o.statsJson.empty()) {
         Histogram runLen;
@@ -432,7 +484,7 @@ runMpMode(const Options &o)
                          : 0.0;
         RunInfo info{sys.now(), measured, ipc, sys.retired()};
         writeStatsJson(
-            o, info, bd, sys.mem().counters(),
+            o, info, bd, counters,
             {{"dmiss_latency", &sys.mem().dmissLatency()},
              {"context_run_length", &runLen}},
             sampler ? &*sampler : nullptr, wall_seconds);
@@ -452,6 +504,9 @@ main(int argc, char **argv)
             return 0;
         }
         return o.mp ? runMpMode(o) : runUniMode(o);
+    } catch (const CheckError &e) {
+        std::cerr << "invariant violation: " << e.what() << '\n';
+        return 3;
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << "\n\n";
         usage();
