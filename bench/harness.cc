@@ -2,11 +2,14 @@
 
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <mutex>
 
+#include <iostream>
+
+#include "common/atomic_file.hh"
 #include "metrics/json_stats.hh"
 #include "metrics/report.hh"
+#include "prof/profiler.hh"
 #include "spec/spec_suite.hh"
 #include "splash/splash_suite.hh"
 #include "system/mp_system.hh"
@@ -47,9 +50,10 @@ dumpBenchRows()
     const char *path = std::getenv("MTSIM_BENCH_JSON");
     if (path == nullptr || *path == '\0')
         return;
-    std::ofstream out(path);
-    if (!out)
+    AtomicFile file(path);
+    if (!file.ok())
         return;
+    std::ostream &out = file.stream();
     JsonWriter w(out);
     w.beginArray();
     for (const BenchRow &r : benchRows()) {
@@ -68,6 +72,7 @@ dumpBenchRows()
     }
     w.endArray();
     out << '\n';
+    file.commit();
 }
 
 void
@@ -87,6 +92,25 @@ checkRequested()
 {
     const char *v = std::getenv("MTSIM_CHECK");
     return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+/**
+ * MTSIM_PROF=1 turns on host-side self-profiling for every bench
+ * run; the cost tree is printed to stderr at exit
+ * (docs/OBSERVABILITY.md).
+ */
+void
+maybeEnableProfiling()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        const char *v = std::getenv("MTSIM_PROF");
+        if (v == nullptr || *v == '\0' || std::strcmp(v, "0") == 0)
+            return;
+        prof::Profiler::instance().enable(true);
+        std::atexit(
+            [] { prof::Profiler::instance().report(std::cerr); });
+    });
 }
 
 } // namespace
@@ -109,6 +133,7 @@ UniResult
 runUni(const std::string &mix, Scheme scheme, std::uint8_t contexts,
        Cycle warm, Cycle measure)
 {
+    maybeEnableProfiling();
     Config cfg = Config::make(scheme, contexts);
     UniSystem sys(cfg);
     if (mix == "SP") {
@@ -131,6 +156,7 @@ MpResult
 runMp(const std::string &app, Scheme scheme, std::uint8_t contexts,
       std::uint16_t procs)
 {
+    maybeEnableProfiling();
     Config cfg = Config::makeMp(scheme, contexts, procs);
     MpSystem sys(cfg);
     sys.setStatsBarrier(kStatsBarrier);

@@ -1,84 +1,62 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the simulator itself:
- * simulated cycles per second for the workstation and the
- * 8-processor multiprocessor configurations.
+ * Simulator-speed microbenchmark: runs the canonical speed matrix
+ * (src/prof/speed.hh - the single KIPS definition shared with
+ * tools/mtsim_bench and the stats-JSON host block) and prints one
+ * row per configuration. With MTSIM_BENCH_SPEED_JSON=FILE the same
+ * rows are written as a BENCH_speed.json document, directly
+ * comparable with tools/bench_compare.
+ *
+ *   ./build/bench/sim_speed
+ *   MTSIM_BENCH_SPEED_JSON=speed.json ./build/bench/sim_speed
  */
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
 
-#include "common/config.hh"
-#include "spec/spec_suite.hh"
-#include "splash/splash_suite.hh"
-#include "system/mp_system.hh"
-#include "system/uni_system.hh"
+#include "common/atomic_file.hh"
+#include "prof/host_info.hh"
+#include "prof/speed.hh"
 
 using namespace mtsim;
 
-namespace {
-
-void
-BM_UniSystemTick(benchmark::State &state)
+int
+main()
 {
-    Config cfg = Config::make(Scheme::Interleaved,
-                              static_cast<std::uint8_t>(
-                                  state.range(0)));
-    UniSystem sys(cfg);
-    for (const auto &app : uniWorkload("R0"))
-        sys.addApp(app, specKernel(app));
-    sys.run(20000, 0);   // warm
-    for (auto _ : state)
-        sys.run(0, 10000);
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) * 10000);
-}
+    const prof::BuildInfo &build = prof::buildInfo();
+    std::cout << "sim_speed: simulated cycles per host second ("
+              << build.buildType << " build " << build.gitSha
+              << ")\n\n";
+    std::printf("  %-28s %10s %10s %10s %10s\n", "config", "cycles",
+                "wall ms", "KIPS", "Mcyc/s");
 
-void
-BM_MpSystemTick(benchmark::State &state)
-{
-    auto make = [&]() {
-        Config cfg = Config::makeMp(Scheme::Interleaved,
-                                    static_cast<std::uint8_t>(
-                                        state.range(0)),
-                                    8);
-        auto sys = std::make_unique<MpSystem>(cfg);
-        sys->loadApp(splashApp("water"));
-        sys->run(5000);   // warm
-        return sys;
-    };
-    auto sys = make();
-    for (auto _ : state) {
-        if (sys->finished()) {
-            state.PauseTiming();
-            sys = make();
-            state.ResumeTiming();
+    std::vector<prof::SpeedRow> rows;
+    for (const prof::SpeedConfig &cfg :
+         prof::canonicalSpeedMatrix()) {
+        prof::SpeedRow r = prof::runSpeedConfig(cfg);
+        std::printf("  %-28s %10llu %10.1f %10.1f %10.2f\n",
+                    r.config.c_str(),
+                    static_cast<unsigned long long>(r.cycles),
+                    r.wallMs, r.kips, r.mcps);
+        rows.push_back(std::move(r));
+    }
+    std::printf("  peak RSS %llu KiB\n",
+                static_cast<unsigned long long>(prof::peakRssKb()));
+
+    if (const char *path = std::getenv("MTSIM_BENCH_SPEED_JSON");
+        path != nullptr && *path != '\0') {
+        AtomicFile out(path);
+        if (!out.ok()) {
+            std::cerr << "cannot open " << out.tmpPath() << '\n';
+            return 2;
         }
-        sys->run(5000);
+        prof::writeBenchSpeedJson(out.stream(), rows);
+        if (!out.commit()) {
+            std::cerr << "cannot write " << path << '\n';
+            return 2;
+        }
+        std::cout << "wrote " << path << '\n';
     }
-    // Items = processor-cycles simulated (8 procs x cycles).
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) * 5000 * 8);
+    return 0;
 }
-
-void
-BM_EmitterStream(benchmark::State &state)
-{
-    // Raw workload-generation speed: micro-ops produced per second.
-    ThreadSource src(0x100000000ull, 0x200000000ull, 1,
-                     specKernel("mxm"));
-    MicroOp op;
-    for (auto _ : state) {
-        for (int i = 0; i < 1000; ++i)
-            benchmark::DoNotOptimize(src.next(op));
-    }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) * 1000);
-}
-
-BENCHMARK(BM_UniSystemTick)->Arg(1)->Arg(4);
-BENCHMARK(BM_MpSystemTick)->Arg(1)->Arg(4);
-BENCHMARK(BM_EmitterStream);
-
-} // namespace
-
-BENCHMARK_MAIN();

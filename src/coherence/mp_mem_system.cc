@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "prof/profiler.hh"
+
 namespace mtsim {
 
 MpMemSystem::MpMemSystem(const Config &cfg)
@@ -24,9 +26,15 @@ MpMemSystem::MpMemSystem(const Config &cfg)
 void
 MpMemSystem::tick(Cycle now)
 {
-    events_.runUntil(now);
-    for (auto &node : nodes_)
-        node->mshrs->retire(now);
+    {
+        MTSIM_PROF_SCOPE("events");
+        events_.runUntil(now);
+    }
+    {
+        MTSIM_PROF_SCOPE("mshr");
+        for (auto &node : nodes_)
+            node->mshrs->retire(now);
+    }
 }
 
 Cycle
@@ -144,6 +152,7 @@ Cycle
 MpMemSystem::transaction(ProcId p, Addr line, bool exclusive,
                          Cycle now, MemLevel &level_out)
 {
+    MTSIM_PROF_SCOPE("directory");
     Directory::Entry &e = dir_.entry(line);
     const ProcId home = dir_.homeOf(line);
 
@@ -220,6 +229,7 @@ MpMemSystem::transaction(ProcId p, Addr line, bool exclusive,
 LoadResult
 MpMemSystem::load(ProcId p, Addr a, Cycle now)
 {
+    MTSIM_PROF_SCOPE("dcache");
     Node &node = *nodes_[p];
     LoadResult r;
     r.tlbPenalty = node.dtlb->access(a);
@@ -260,6 +270,7 @@ MpMemSystem::load(ProcId p, Addr a, Cycle now)
 StoreResult
 MpMemSystem::store(ProcId p, Addr a, Cycle now)
 {
+    MTSIM_PROF_SCOPE("dcache");
     Node &node = *nodes_[p];
     StoreResult r;
     r.tlbPenalty = node.dtlb->access(a);

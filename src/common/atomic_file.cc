@@ -1,0 +1,52 @@
+#include "common/atomic_file.hh"
+
+#include <cstdio>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace mtsim {
+
+AtomicFile::AtomicFile(const std::string &path)
+    : path_(path), tmp_(path + ".tmp"), out_(tmp_)
+{}
+
+AtomicFile::~AtomicFile()
+{
+    if (!committed_) {
+        out_.close();
+        std::remove(tmp_.c_str());
+    }
+}
+
+bool
+AtomicFile::commit()
+{
+    if (committed_)
+        return true;
+    out_.flush();
+    if (!out_.good()) {
+        out_.close();
+        std::remove(tmp_.c_str());
+        return false;
+    }
+    out_.close();
+
+    // Durability before visibility: the data must be on disk before
+    // the rename publishes it under the final name.
+    const int fd = ::open(tmp_.c_str(), O_WRONLY);
+    if (fd < 0) {
+        std::remove(tmp_.c_str());
+        return false;
+    }
+    const bool synced = ::fsync(fd) == 0;
+    ::close(fd);
+    if (!synced || std::rename(tmp_.c_str(), path_.c_str()) != 0) {
+        std::remove(tmp_.c_str());
+        return false;
+    }
+    committed_ = true;
+    return true;
+}
+
+} // namespace mtsim

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "prof/profiler.hh"
+
 namespace mtsim {
 
 UniMemSystem::UniMemSystem(const Config &cfg)
@@ -24,13 +26,20 @@ UniMemSystem::UniMemSystem(const Config &cfg)
 void
 UniMemSystem::tick(Cycle now)
 {
-    events_.runUntil(now);
-    mshrs_.retire(now);
+    {
+        MTSIM_PROF_SCOPE("events");
+        events_.runUntil(now);
+    }
+    {
+        MTSIM_PROF_SCOPE("mshr");
+        mshrs_.retire(now);
+    }
 }
 
 Cycle
 UniMemSystem::busRequest(Addr lineAddr, Cycle now)
 {
+    MTSIM_PROF_SCOPE("bus");
     const Cycle start = bus_.request(now);
     busQueue_.record(start - now);
     if (probes_ && probes_->enabled()) {
@@ -47,6 +56,7 @@ UniMemSystem::busRequest(Addr lineAddr, Cycle now)
 Cycle
 UniMemSystem::busReply(Addr lineAddr, Cycle now)
 {
+    MTSIM_PROF_SCOPE("bus");
     const Cycle start = bus_.reply(now);
     busQueue_.record(start - now);
     if (probes_ && probes_->enabled()) {
@@ -127,6 +137,7 @@ UniMemSystem::missPath(Addr lineAddr, Cycle now, MemLevel &level_out)
 LoadResult
 UniMemSystem::load(ProcId, Addr a, Cycle now)
 {
+    MTSIM_PROF_SCOPE("dcache");
     LoadResult r;
     r.tlbPenalty = dtlb_.access(a);
     now += r.tlbPenalty;
@@ -181,6 +192,7 @@ UniMemSystem::load(ProcId, Addr a, Cycle now)
 StoreResult
 UniMemSystem::store(ProcId, Addr a, Cycle now)
 {
+    MTSIM_PROF_SCOPE("write_buffer");
     StoreResult r;
     r.tlbPenalty = dtlb_.access(a);
     now += r.tlbPenalty;
@@ -245,6 +257,7 @@ UniMemSystem::ifetch(ProcId, Addr pc, Cycle now)
     FetchResult r;
     if (cfg_.idealICache)
         return r;
+    MTSIM_PROF_SCOPE("icache");
 
     ICache::Access a = l1i_.access(pc);
     r.stall = a.tlbPenalty;

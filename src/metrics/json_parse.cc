@@ -1,0 +1,320 @@
+#include "metrics/json_parse.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace mtsim {
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : object) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    if (v == nullptr)
+        throw std::out_of_range("missing JSON member: " + key);
+    return *v;
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (kind != Kind::Number)
+        throw std::runtime_error("JSON value is not a number");
+    return number;
+}
+
+std::uint64_t
+JsonValue::asU64() const
+{
+    const double d = asDouble();
+    if (d < 0 || std::floor(d) != d)
+        throw std::runtime_error(
+            "JSON number is not a non-negative integer");
+    return static_cast<std::uint64_t>(d);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind != Kind::String)
+        throw std::runtime_error("JSON value is not a string");
+    return str;
+}
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw JsonParseError(what, pos_);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    literal(const char *word)
+    {
+        for (const char *p = word; *p != '\0'; ++p) {
+            if (pos_ >= text_.size() || text_[pos_] != *p)
+                fail(std::string("bad literal (expected ") + word +
+                     ")");
+            ++pos_;
+        }
+    }
+
+    JsonValue
+    value()
+    {
+        skipWs();
+        switch (peek()) {
+          case '{':
+            return objectValue();
+          case '[':
+            return arrayValue();
+          case '"':
+            return stringValue();
+          case 't': {
+            literal("true");
+            JsonValue v;
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = true;
+            return v;
+          }
+          case 'f': {
+            literal("false");
+            JsonValue v;
+            v.kind = JsonValue::Kind::Bool;
+            return v;
+          }
+          case 'n':
+            literal("null");
+            return JsonValue{};
+          default:
+            return numberValue();
+        }
+    }
+
+    JsonValue
+    objectValue()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        skipWs();
+        if (consume('}'))
+            return v;
+        while (true) {
+            skipWs();
+            JsonValue key = stringValue();
+            skipWs();
+            expect(':');
+            v.object.emplace_back(std::move(key.str), value());
+            skipWs();
+            if (consume(','))
+                continue;
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    arrayValue()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        skipWs();
+        if (consume(']'))
+            return v;
+        while (true) {
+            v.array.push_back(value());
+            skipWs();
+            if (consume(','))
+                continue;
+            expect(']');
+            return v;
+        }
+    }
+
+    JsonValue
+    stringValue()
+    {
+        expect('"');
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return v;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("control character in string");
+            if (c != '\\') {
+                v.str += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"': v.str += '"'; break;
+              case '\\': v.str += '\\'; break;
+              case '/': v.str += '/'; break;
+              case 'b': v.str += '\b'; break;
+              case 'f': v.str += '\f'; break;
+              case 'n': v.str += '\n'; break;
+              case 'r': v.str += '\r'; break;
+              case 't': v.str += '\t'; break;
+              case 'u': v.str += unicodeEscape(); break;
+              default: fail("bad escape");
+            }
+        }
+    }
+
+    std::string
+    unicodeEscape()
+    {
+        if (pos_ + 4 > text_.size())
+            fail("truncated \\u escape");
+        std::uint32_t cp = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9')
+                cp |= static_cast<std::uint32_t>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+                cp |= static_cast<std::uint32_t>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+                cp |= static_cast<std::uint32_t>(h - 'A' + 10);
+            else
+                fail("bad \\u escape");
+        }
+        // UTF-8 encode the basic-plane code point.
+        std::string out;
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+        return out;
+    }
+
+    JsonValue
+    numberValue()
+    {
+        const std::size_t start = pos_;
+        if (consume('-')) {
+        }
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(
+                    text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a value");
+        const std::string tok = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        const double d = std::strtod(tok.c_str(), &end);
+        if (end == nullptr || *end != '\0')
+            fail("bad number '" + tok + "'");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.number = d;
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+JsonValue
+parseJsonFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parseJson(ss.str());
+}
+
+} // namespace mtsim

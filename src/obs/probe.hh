@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "prof/profiler.hh"
 
 namespace mtsim {
 
@@ -107,6 +108,10 @@ class ProbeBus
     void
     emit(const ProbeEvent &ev) const
     {
+        // Sink time (trace writers, checker shadow updates) is
+        // simulator overhead, not simulation - attribute it to its
+        // own scope so --prof can separate the two.
+        MTSIM_PROF_SCOPE("probe");
         for (ProbeSink *s : sinks_)
             s->onEvent(ev);
     }

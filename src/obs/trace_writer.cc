@@ -48,10 +48,10 @@ ChromeTraceWriter::ChromeTraceWriter(std::ostream &out) : out_(&out)
 }
 
 ChromeTraceWriter::ChromeTraceWriter(const std::string &path)
-    : file_(path)
+    : file_(std::make_unique<AtomicFile>(path))
 {
-    if (file_.is_open()) {
-        out_ = &file_;
+    if (file_->ok()) {
+        out_ = &file_->stream();
         writeHeader();
     }
 }
@@ -246,6 +246,8 @@ ChromeTraceWriter::finish()
     finished_ = true;
     *out_ << "\n]}\n";
     out_->flush();
+    if (file_)
+        file_->commit();
 }
 
 } // namespace mtsim

@@ -17,12 +17,13 @@
 #define MTSIM_OBS_TRACE_WRITER_HH
 
 #include <cstdint>
-#include <fstream>
+#include <memory>
 #include <ostream>
 #include <set>
 #include <string>
 #include <utility>
 
+#include "common/atomic_file.hh"
 #include "obs/probe.hh"
 
 namespace mtsim {
@@ -33,7 +34,11 @@ class ChromeTraceWriter : public ProbeSink
     /** Stream events into @p out (kept open; caller owns it). */
     explicit ChromeTraceWriter(std::ostream &out);
 
-    /** Stream events into a file created at @p path. */
+    /**
+     * Stream events into a file created at @p path. The document is
+     * staged at `path.tmp` and atomically renamed into place by
+     * finish(), so an aborted run never leaves a truncated trace.
+     */
     explicit ChromeTraceWriter(const std::string &path);
 
     /** Finishes the JSON document if finish() was not called. */
@@ -70,7 +75,7 @@ class ChromeTraceWriter : public ProbeSink
     void writeAsync(const ProbeEvent &ev, const char *name, char ph,
                     std::uint64_t id);
 
-    std::ofstream file_;
+    std::unique_ptr<AtomicFile> file_;
     std::ostream *out_ = nullptr;
     bool headerDone_ = false;
     bool finished_ = false;

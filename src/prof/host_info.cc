@@ -1,0 +1,84 @@
+#include "prof/host_info.hh"
+
+#include <sys/resource.h>
+
+#include "metrics/json_stats.hh"
+#include "prof/profiler.hh"
+
+#ifndef MTSIM_GIT_SHA
+#define MTSIM_GIT_SHA "unknown"
+#endif
+#ifndef MTSIM_BUILD_TYPE
+#define MTSIM_BUILD_TYPE "unknown"
+#endif
+
+namespace mtsim::prof {
+
+namespace {
+
+std::string
+detectSanitizers()
+{
+    std::string s;
+#if defined(__SANITIZE_ADDRESS__)
+    s += "asan,";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+    s += "asan,";
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+    s += "tsan,";
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+    s += "tsan,";
+#endif
+#endif
+    // UBSan defines no portable feature macro; builds that enable it
+    // alongside ASan (our CI job) are covered by the asan tag.
+    if (s.empty())
+        return "none";
+    s.pop_back();
+    return s;
+}
+
+} // namespace
+
+const BuildInfo &
+buildInfo()
+{
+    static const BuildInfo info{MTSIM_GIT_SHA, MTSIM_BUILD_TYPE,
+                                __VERSION__, detectSanitizers()};
+    return info;
+}
+
+std::uint64_t
+peakRssKb()
+{
+    struct rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    // ru_maxrss is KiB on Linux.
+    return static_cast<std::uint64_t>(ru.ru_maxrss);
+}
+
+void
+writeHostJson(JsonWriter &w, const Throughput &t)
+{
+    const BuildInfo &b = buildInfo();
+    w.beginObject();
+    w.kv("git_sha", b.gitSha);
+    w.kv("build_type", b.buildType);
+    w.kv("compiler", b.compiler);
+    w.kv("sanitizers", b.sanitizers);
+    w.kv("wall_seconds", t.wallSeconds);
+    w.kv("simulated_cycles", t.cycles);
+    w.kv("retired", t.instructions);
+    w.kv("kips", t.kips());
+    w.kv("cycles_per_second", t.cyclesPerSecond());
+    w.kv("peak_rss_kb", peakRssKb());
+    w.kv("allocs", Profiler::allocCount());
+    w.endObject();
+}
+
+} // namespace mtsim::prof

@@ -1,0 +1,44 @@
+#include "prof/progress.hh"
+
+#include <cstdio>
+
+#include "prof/host_info.hh"
+
+namespace mtsim::prof {
+
+ProgressMeter::ProgressMeter(double intervalSeconds, std::ostream &os)
+    : os_(os),
+      intervalNs_(static_cast<std::uint64_t>(
+          intervalSeconds > 0.0 ? intervalSeconds * 1e9 : 0.0)),
+      startNs_(nowNs()),
+      lastNs_(startNs_)
+{}
+
+void
+ProgressMeter::poll(Cycle now, std::uint64_t retired)
+{
+    const std::uint64_t t = nowNs();
+    if (t - lastNs_ < intervalNs_)
+        return;
+    const double window =
+        static_cast<double>(t - lastNs_) / 1e9;
+    const double elapsed =
+        static_cast<double>(t - startNs_) / 1e9;
+    const Throughput rate{window, now - lastCycle_,
+                          retired - lastRetired_};
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "[mtsim] t=%.1fs cycle=%llu retired=%llu "
+                  "rate=%.0f KIPS %.2f Mcycles/s\n",
+                  elapsed, static_cast<unsigned long long>(now),
+                  static_cast<unsigned long long>(retired),
+                  rate.kips(), rate.cyclesPerSecond() / 1e6);
+    os_ << buf;
+    os_.flush();
+    lastNs_ = t;
+    lastCycle_ = now;
+    lastRetired_ = retired;
+    ++reports_;
+}
+
+} // namespace mtsim::prof

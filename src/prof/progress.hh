@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Heartbeat for long runs: `mtsim_run --progress N` prints the
+ * simulated-cycle count and the KIPS/cycles-per-second rate to
+ * stderr every N host seconds, so a multi-minute multiprocessor run
+ * is no longer silent. Strictly passive - the systems poll it from
+ * their tick loops at a coarse cycle granularity and it only reads
+ * the host clock, so an instrumented run stays bit-identical.
+ */
+
+#ifndef MTSIM_PROF_PROGRESS_HH
+#define MTSIM_PROF_PROGRESS_HH
+
+#include <cstdint>
+#include <ostream>
+
+#include "common/types.hh"
+#include "prof/profiler.hh"
+
+namespace mtsim::prof {
+
+class ProgressMeter
+{
+  public:
+    /** Report to @p os at most every @p intervalSeconds. */
+    explicit ProgressMeter(double intervalSeconds, std::ostream &os);
+
+    /**
+     * Called by the system run loops every few thousand simulated
+     * cycles with the cumulative cycle and retired-instruction
+     * counts; prints one line when the interval elapsed.
+     */
+    void poll(Cycle now, std::uint64_t retired);
+
+    std::uint64_t reportsEmitted() const { return reports_; }
+
+  private:
+    std::ostream &os_;
+    std::uint64_t intervalNs_;
+    std::uint64_t startNs_;
+    std::uint64_t lastNs_;
+    Cycle lastCycle_ = 0;
+    std::uint64_t lastRetired_ = 0;
+    std::uint64_t reports_ = 0;
+};
+
+} // namespace mtsim::prof
+
+#endif // MTSIM_PROF_PROGRESS_HH

@@ -1,0 +1,275 @@
+#include "prof/speed.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "check/digest.hh"
+#include "metrics/json_parse.hh"
+#include "metrics/json_stats.hh"
+#include "prof/host_info.hh"
+#include "prof/profiler.hh"
+#include "spec/spec_suite.hh"
+#include "splash/splash_suite.hh"
+#include "system/mp_system.hh"
+#include "system/uni_system.hh"
+#include "workload/emitter.hh"
+
+namespace mtsim::prof {
+
+namespace {
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+SpeedRow
+finishRow(const SpeedConfig &c, const Throughput &t,
+          std::uint64_t digest)
+{
+    SpeedRow row;
+    row.config = c.name;
+    row.cycles = t.cycles;
+    row.retired = t.instructions;
+    row.wallMs = t.wallSeconds * 1e3;
+    row.kips = t.kips();
+    row.mcps = t.cyclesPerSecond() / 1e6;
+    row.peakRssKb = peakRssKb();
+    row.digest = hex64(digest);
+    return row;
+}
+
+SpeedRow
+runUniSpeed(const SpeedConfig &c)
+{
+    Config cfg = Config::make(c.scheme, c.contexts);
+    UniSystem sys(cfg);
+    if (c.workload == "SP") {
+        for (const auto &app : spWorkload())
+            sys.addApp(app, splashUniKernel(app));
+    } else {
+        for (const auto &app : uniWorkload(c.workload))
+            sys.addApp(app, specKernel(app));
+    }
+    ProbeDigest digest;
+    sys.probes().addSink(&digest);
+    sys.run(c.warmup, 0);   // untimed warm-up
+    const std::uint64_t t0 = nowNs();
+    sys.run(0, c.cycles);
+    const std::uint64_t t1 = nowNs();
+    const Throughput t{static_cast<double>(t1 - t0) / 1e9, c.cycles,
+                       sys.retired()};
+    return finishRow(c, t, digest.digest());
+}
+
+SpeedRow
+runMpSpeed(const SpeedConfig &c)
+{
+    Config cfg = Config::makeMp(c.scheme, c.contexts, c.procs);
+    MpSystem sys(cfg);
+    // No stats barrier: retired counts from cycle 0, matching the
+    // timed window.
+    sys.loadApp(splashApp(c.workload));
+    ProbeDigest digest;
+    sys.probes().addSink(&digest);
+    const std::uint64_t t0 = nowNs();
+    sys.run(c.cycles);
+    const std::uint64_t t1 = nowNs();
+    const Throughput t{static_cast<double>(t1 - t0) / 1e9, sys.now(),
+                       sys.retired()};
+    return finishRow(c, t, digest.digest());
+}
+
+SpeedRow
+runEmitterSpeed(const SpeedConfig &c)
+{
+    ThreadSource src(0x100000000ull, 0x200000000ull, 1,
+                     specKernel(c.workload));
+    MicroOp op;
+    // Folding every op into a checksum keeps the generation loop
+    // observable (nothing for the optimizer to delete) and doubles
+    // as the row's work fingerprint.
+    std::uint64_t checksum = 0;
+    std::uint64_t ops = 0;
+    const std::uint64_t t0 = nowNs();
+    while (ops < c.cycles && src.next(op)) {
+        checksum = checksum * 1099511628211ull ^
+                   (op.pc + static_cast<std::uint64_t>(op.op));
+        ++ops;
+    }
+    const std::uint64_t t1 = nowNs();
+    const Throughput t{static_cast<double>(t1 - t0) / 1e9, 0, ops};
+    return finishRow(c, t, checksum);
+}
+
+} // namespace
+
+std::vector<SpeedConfig>
+canonicalSpeedMatrix(double scale)
+{
+    auto scaled = [&](Cycle n) {
+        const auto s = static_cast<Cycle>(
+            static_cast<double>(n) * scale);
+        return s > 0 ? s : 1;
+    };
+    std::vector<SpeedConfig> m;
+    for (std::uint8_t ctx : {1, 4}) {
+        SpeedConfig c;
+        c.name = "uni/interleaved/" + std::to_string(ctx) + "ctx/R0";
+        c.kind = SpeedConfig::Kind::Uni;
+        c.contexts = ctx;
+        c.workload = "R0";
+        c.warmup = scaled(100000);
+        c.cycles = scaled(300000);
+        m.push_back(std::move(c));
+    }
+    for (std::uint8_t ctx : {1, 4}) {
+        SpeedConfig c;
+        c.name = "mp/interleaved/" + std::to_string(ctx) +
+                 "ctx/water/8p";
+        c.kind = SpeedConfig::Kind::Mp;
+        c.contexts = ctx;
+        c.workload = "water";
+        c.procs = 8;
+        c.cycles = scaled(120000);
+        m.push_back(std::move(c));
+    }
+    SpeedConfig e;
+    e.name = "emitter/mxm";
+    e.kind = SpeedConfig::Kind::Emitter;
+    e.workload = "mxm";
+    e.cycles = scaled(2000000);
+    m.push_back(std::move(e));
+    return m;
+}
+
+SpeedRow
+runSpeedConfig(const SpeedConfig &c)
+{
+    switch (c.kind) {
+      case SpeedConfig::Kind::Uni:
+        return runUniSpeed(c);
+      case SpeedConfig::Kind::Mp:
+        return runMpSpeed(c);
+      case SpeedConfig::Kind::Emitter:
+        return runEmitterSpeed(c);
+    }
+    throw std::logic_error("bad SpeedConfig kind");
+}
+
+void
+writeBenchSpeedJson(std::ostream &os,
+                    const std::vector<SpeedRow> &rows,
+                    unsigned best_of)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("schema", "mtsim_bench_speed/v1");
+    w.kv("best_of", static_cast<std::uint64_t>(best_of));
+    w.key("host");
+    writeHostJson(w, Throughput{});
+    w.key("rows");
+    w.beginArray();
+    for (const SpeedRow &r : rows) {
+        w.beginObject();
+        w.kv("config", r.config);
+        w.kv("cycles", r.cycles);
+        w.kv("retired", r.retired);
+        w.kv("wall_ms", r.wallMs);
+        w.kv("kips", r.kips);
+        w.kv("mcps", r.mcps);
+        w.kv("peak_rss_kb", r.peakRssKb);
+        w.kv("digest", r.digest);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+std::vector<SpeedRow>
+speedRowsFromJson(const JsonValue &doc)
+{
+    const JsonValue *schema = doc.find("schema");
+    if (schema == nullptr ||
+        schema->asString() != "mtsim_bench_speed/v1")
+        throw std::runtime_error(
+            "not a mtsim_bench_speed/v1 document");
+    std::vector<SpeedRow> rows;
+    for (const JsonValue &r : doc.at("rows").array) {
+        SpeedRow row;
+        row.config = r.at("config").asString();
+        row.cycles = r.at("cycles").asU64();
+        row.retired = r.at("retired").asU64();
+        row.wallMs = r.at("wall_ms").asDouble();
+        row.kips = r.at("kips").asDouble();
+        row.mcps = r.at("mcps").asDouble();
+        row.peakRssKb = r.at("peak_rss_kb").asU64();
+        row.digest = r.at("digest").asString();
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+std::vector<SpeedRow>
+readBenchSpeedFile(const std::string &path)
+{
+    return speedRowsFromJson(parseJsonFile(path));
+}
+
+CompareOutcome
+compareSpeed(const std::vector<SpeedRow> &baseline,
+             const std::vector<SpeedRow> &current, double threshold)
+{
+    CompareOutcome out;
+    auto findRow = [&](const std::string &config) -> const SpeedRow * {
+        for (const SpeedRow &r : current) {
+            if (r.config == config)
+                return &r;
+        }
+        return nullptr;
+    };
+    char buf[256];
+    for (const SpeedRow &base : baseline) {
+        const SpeedRow *cur = findRow(base.config);
+        if (cur == nullptr) {
+            out.ok = false;
+            out.lines.push_back("FAIL " + base.config +
+                                ": missing from current results");
+            continue;
+        }
+        const double delta =
+            base.kips > 0.0 ? (cur->kips - base.kips) / base.kips
+                            : 0.0;
+        const bool regressed = delta < -threshold;
+        std::snprintf(buf, sizeof(buf),
+                      "%s %s: %.1f -> %.1f KIPS (%+.1f%%, "
+                      "threshold -%.0f%%)",
+                      regressed ? "FAIL" : "ok  ",
+                      base.config.c_str(), base.kips, cur->kips,
+                      delta * 100.0, threshold * 100.0);
+        out.lines.emplace_back(buf);
+        if (regressed)
+            out.ok = false;
+        if (base.digest != cur->digest)
+            out.lines.push_back(
+                "warn " + base.config + ": digest changed (" +
+                base.digest + " -> " + cur->digest +
+                "), the simulated work differs");
+    }
+    for (const SpeedRow &cur : current) {
+        bool known = false;
+        for (const SpeedRow &base : baseline)
+            known = known || base.config == cur.config;
+        if (!known)
+            out.lines.push_back("note " + cur.config +
+                                ": new config (no baseline)");
+    }
+    return out;
+}
+
+} // namespace mtsim::prof

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The perf-regression harness: one canonical simulator-speed
+ * workload matrix (the historical bench/sim_speed configurations
+ * plus the 8-processor multiprocessor runs), one KIPS definition
+ * (prof::Throughput), and one machine-readable result format -
+ * BENCH_speed.json - that `tools/mtsim_bench` produces and
+ * `tools/bench_compare` diffs against a committed baseline
+ * (bench/baseline/BENCH_speed.json). Rows carry the probe digest of
+ * the run, so a comparison can tell "the simulator got slower" apart
+ * from "the simulated work changed".
+ */
+
+#ifndef MTSIM_PROF_SPEED_HH
+#define MTSIM_PROF_SPEED_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace mtsim {
+
+struct JsonValue;
+
+namespace prof {
+
+/** One entry of the speed matrix. */
+struct SpeedConfig
+{
+    enum class Kind { Uni, Mp, Emitter };
+
+    std::string name;      ///< stable row key, e.g. "uni/interleaved/4ctx/R0"
+    Kind kind = Kind::Uni;
+    Scheme scheme = Scheme::Interleaved;
+    std::uint8_t contexts = 1;
+    std::string workload;  ///< uni mix / splash app / spec kernel
+    std::uint16_t procs = 1;
+    Cycle warmup = 0;      ///< uni only: untimed cache-warming cycles
+    Cycle cycles = 0;      ///< timed cycles (emitter: micro-ops)
+};
+
+/** One measured row of BENCH_speed.json. */
+struct SpeedRow
+{
+    std::string config;
+    std::uint64_t cycles = 0;   ///< simulated cycles (emitter: 0)
+    std::uint64_t retired = 0;  ///< instructions (emitter: micro-ops)
+    double wallMs = 0.0;
+    double kips = 0.0;          ///< the prof::Throughput definition
+    double mcps = 0.0;          ///< million simulated cycles / second
+    std::uint64_t peakRssKb = 0;
+    std::string digest;         ///< probe digest as "0x…" ("0x0" none)
+};
+
+/**
+ * The canonical matrix: interleaved uniprocessor R0 at 1 and 4
+ * contexts, interleaved water/8p at 1 and 4 contexts, and the raw
+ * workload-emitter stream. @p scale shrinks the cycle counts for
+ * smoke runs (tools/mtsim_bench --quick).
+ */
+std::vector<SpeedConfig> canonicalSpeedMatrix(double scale = 1.0);
+
+/** Run one configuration and measure it. Deterministic digest. */
+SpeedRow runSpeedConfig(const SpeedConfig &c);
+
+/**
+ * Serialize {schema, host, rows} - the BENCH_speed.json document.
+ * @p best_of records how many repetitions each row is the best of.
+ */
+void writeBenchSpeedJson(std::ostream &os,
+                         const std::vector<SpeedRow> &rows,
+                         unsigned best_of = 1);
+
+/** Parse the rows back out of a BENCH_speed.json document. */
+std::vector<SpeedRow> speedRowsFromJson(const JsonValue &doc);
+
+/** parseJsonFile + speedRowsFromJson. Throws on I/O or schema. */
+std::vector<SpeedRow> readBenchSpeedFile(const std::string &path);
+
+/** Outcome of one baseline/current comparison. */
+struct CompareOutcome
+{
+    bool ok = true;                   ///< no regression, no missing row
+    std::vector<std::string> lines;   ///< human-readable per-row verdicts
+};
+
+/**
+ * Compare @p current against @p baseline: a row regresses when its
+ * KIPS falls below baseline * (1 - threshold); a baseline row missing
+ * from current also fails. Differing digests add a warning (the
+ * simulated work changed, so the speed delta may be expected).
+ */
+CompareOutcome compareSpeed(const std::vector<SpeedRow> &baseline,
+                            const std::vector<SpeedRow> &current,
+                            double threshold);
+
+} // namespace prof
+} // namespace mtsim
+
+#endif // MTSIM_PROF_SPEED_HH

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "prof/profiler.hh"
+
 namespace mtsim {
 
 SyncManager::SyncManager(const MpMemParams &mp, std::uint64_t seed)
@@ -25,6 +27,7 @@ SyncManager::emitSync(ProbeKind kind, std::uint32_t id, Cycle now,
 SyncManager::LockResult
 SyncManager::lock(std::uint32_t id, Cycle now, WakeFn wake)
 {
+    MTSIM_PROF_SCOPE("sync");
     LockState &l = locks_[id];
     if (!l.held) {
         l.held = true;
@@ -40,6 +43,7 @@ SyncManager::lock(std::uint32_t id, Cycle now, WakeFn wake)
 void
 SyncManager::unlock(std::uint32_t id, Cycle now)
 {
+    MTSIM_PROF_SCOPE("sync");
     LockState &l = locks_[id];
     emitSync(ProbeKind::LockRelease, id, now);
     if (l.waiters.empty()) {
@@ -60,6 +64,7 @@ SyncManager::BarrierResult
 SyncManager::arrive(std::uint32_t id, std::uint32_t total, Cycle now,
                     WakeFn wake)
 {
+    MTSIM_PROF_SCOPE("sync");
     if (total <= 1)
         return {true, now + 1};
 

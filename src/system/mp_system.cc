@@ -113,11 +113,19 @@ MpSystem::run(Cycle max_cycles)
 {
     const Cycle end = now_ + max_cycles;
     while (now_ < end) {
-        mem_.tick(now_);
-        for (auto &p : procs_)
-            p->tick(now_);
-        if (checker_)
+        {
+            MTSIM_PROF_SCOPE("mem.tick");
+            mem_.tick(now_);
+        }
+        {
+            MTSIM_PROF_SCOPE("pipeline");
+            for (auto &p : procs_)
+                p->tick(now_);
+        }
+        if (checker_) {
+            MTSIM_PROF_SCOPE("checker");
             checker_->onCycleEnd(now_);
+        }
         if (statsPending_) {
             clearAllStats();
             if (checker_)
@@ -129,6 +137,8 @@ MpSystem::run(Cycle max_cycles)
                 busy += p->breakdown().get(CycleClass::Busy);
             sampler_->observe(now_, static_cast<double>(busy));
         }
+        if (progress_ && (now_ & 0xFFF) == 0)
+            progress_->poll(now_, retired());
         ++now_;
         if ((now_ & 63) == 0 && finished())
             break;

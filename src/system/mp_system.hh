@@ -22,6 +22,7 @@
 #include "common/stats.hh"
 #include "core/processor.hh"
 #include "obs/probe.hh"
+#include "prof/progress.hh"
 #include "sync/sync_manager.hh"
 #include "workload/emitter.hh"
 #include "workload/program.hh"
@@ -88,6 +89,17 @@ class MpSystem
     void setSampler(IntervalSampler *sampler) { sampler_ = sampler; }
 
     /**
+     * Attach a host-side progress heartbeat, polled every few
+     * thousand simulated cycles. Pass nullptr to detach. Passive:
+     * simulation results are unaffected.
+     */
+    void
+    setProgress(prof::ProgressMeter *progress)
+    {
+        progress_ = progress;
+    }
+
+    /**
      * Enable runtime invariant checking on every processor
      * (docs/CHECKING.md). Must be called before run().
      */
@@ -107,6 +119,7 @@ class MpSystem
     std::vector<std::unique_ptr<ThreadSource>> sources_;
     std::unique_ptr<InvariantChecker> checker_;
     IntervalSampler *sampler_ = nullptr;
+    prof::ProgressMeter *progress_ = nullptr;
     Cycle now_ = 0;
     Cycle statsStart_ = 0;
     Cycle measured_ = 0;

@@ -72,11 +72,24 @@ UniSystem::run(Cycle warmup, Cycle measure)
     }
     const Cycle warm_end = now_ + warmup;
     while (now_ < warm_end) {
-        mem_.tick(now_);
-        sched_.tick(now_);
-        proc_.tick(now_);
-        if (checker_)
+        {
+            MTSIM_PROF_SCOPE("mem.tick");
+            mem_.tick(now_);
+        }
+        {
+            MTSIM_PROF_SCOPE("os");
+            sched_.tick(now_);
+        }
+        {
+            MTSIM_PROF_SCOPE("pipeline");
+            proc_.tick(now_);
+        }
+        if (checker_) {
+            MTSIM_PROF_SCOPE("checker");
             checker_->onCycleEnd(now_);
+        }
+        if (progress_ && (now_ & 0xFFF) == 0)
+            progress_->poll(now_, proc_.retired());
         ++now_;
     }
     proc_.clearStats(now_);
@@ -84,14 +97,27 @@ UniSystem::run(Cycle warmup, Cycle measure)
         checker_->onStatsClear(now_);
     const Cycle measure_end = now_ + measure;
     while (now_ < measure_end) {
-        mem_.tick(now_);
-        sched_.tick(now_);
-        proc_.tick(now_);
-        if (checker_)
+        {
+            MTSIM_PROF_SCOPE("mem.tick");
+            mem_.tick(now_);
+        }
+        {
+            MTSIM_PROF_SCOPE("os");
+            sched_.tick(now_);
+        }
+        {
+            MTSIM_PROF_SCOPE("pipeline");
+            proc_.tick(now_);
+        }
+        if (checker_) {
+            MTSIM_PROF_SCOPE("checker");
             checker_->onCycleEnd(now_);
+        }
         if (sampler_)
             sampler_->observe(now_, static_cast<double>(
                 proc_.breakdown().get(CycleClass::Busy)));
+        if (progress_ && (now_ & 0xFFF) == 0)
+            progress_->poll(now_, proc_.retired());
         ++now_;
     }
     measured_ += measure;

@@ -23,6 +23,7 @@
 #include "mem/uni_mem_system.hh"
 #include "obs/probe.hh"
 #include "os/scheduler.hh"
+#include "prof/progress.hh"
 #include "workload/emitter.hh"
 #include "workload/program.hh"
 
@@ -80,6 +81,17 @@ class UniSystem
     void setSampler(IntervalSampler *sampler) { sampler_ = sampler; }
 
     /**
+     * Attach a host-side progress heartbeat, polled every few
+     * thousand simulated cycles. Pass nullptr to detach. Passive:
+     * simulation results are unaffected.
+     */
+    void
+    setProgress(prof::ProgressMeter *progress)
+    {
+        progress_ = progress;
+    }
+
+    /**
      * Enable runtime invariant checking (docs/CHECKING.md). Must be
      * called before the first run(); with abortOnViolation (the
      * default) any violated invariant throws CheckError carrying
@@ -99,6 +111,7 @@ class UniSystem
     std::vector<std::unique_ptr<ThreadSource>> sources_;
     std::unique_ptr<InvariantChecker> checker_;
     IntervalSampler *sampler_ = nullptr;
+    prof::ProgressMeter *progress_ = nullptr;
     Cycle now_ = 0;
     Cycle measured_ = 0;
     bool started_ = false;

@@ -1,0 +1,486 @@
+/**
+ * @file
+ * Tests for the host-side self-profiling layer (src/prof) and the
+ * perf-regression harness: cost-tree aggregation, prof-off
+ * zero-overhead, bit-identical profiled runs, the JSON reader,
+ * atomic file output, and the bench_compare pass/fail logic.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "check/digest.hh"
+#include "common/atomic_file.hh"
+#include "common/config.hh"
+#include "metrics/json_parse.hh"
+#include "metrics/json_stats.hh"
+#include "prof/host_info.hh"
+#include "prof/profiler.hh"
+#include "prof/progress.hh"
+#include "prof/speed.hh"
+#include "spec/spec_suite.hh"
+#include "system/uni_system.hh"
+
+namespace mtsim {
+namespace {
+
+/** Every test leaves the global profiler off and empty. */
+class ProfilerTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        prof::Profiler::instance().enable(false);
+        prof::Profiler::instance().reset();
+    }
+
+    void
+    TearDown() override
+    {
+        prof::Profiler::instance().enable(false);
+        prof::Profiler::instance().reset();
+    }
+};
+
+TEST_F(ProfilerTest, PushPopAggregatesIntoTree)
+{
+    auto &p = prof::Profiler::instance();
+    p.enable(true);
+
+    prof::ProfNode *a = p.push("a");
+    prof::ProfNode *b = p.push("b");
+    p.pop(b, 10);
+    b = p.push("b");
+    p.pop(b, 5);
+    p.pop(a, 100);
+
+    ASSERT_EQ(p.root().children.size(), 1u);
+    const prof::ProfNode &na = *p.root().children[0];
+    EXPECT_STREQ(na.name, "a");
+    EXPECT_EQ(na.ns, 100u);
+    EXPECT_EQ(na.calls, 1u);
+    ASSERT_EQ(na.children.size(), 1u);
+    const prof::ProfNode &nb = *na.children[0];
+    EXPECT_EQ(nb.ns, 15u);
+    EXPECT_EQ(nb.calls, 2u);
+    EXPECT_EQ(na.selfNs(), 85u);
+    EXPECT_EQ(p.current(), &p.root());
+}
+
+TEST_F(ProfilerTest, SameNameFromDifferentSitesSharesNode)
+{
+    auto &p = prof::Profiler::instance();
+    p.enable(true);
+
+    // Two distinct string objects with equal contents must land in
+    // the same node (the strcmp fallback behind the pointer check).
+    static const char n1[] = "site";
+    static const char n2[] = "site";
+    p.pop(p.push(n1), 1);
+    p.pop(p.push(n2), 2);
+
+    ASSERT_EQ(p.root().children.size(), 1u);
+    EXPECT_EQ(p.root().children[0]->calls, 2u);
+    EXPECT_EQ(p.root().children[0]->ns, 3u);
+}
+
+TEST_F(ProfilerTest, DisabledScopeTouchesNothing)
+{
+    auto &p = prof::Profiler::instance();
+    ASSERT_FALSE(prof::Profiler::enabled());
+    const std::uint64_t allocs = prof::Profiler::allocCount();
+    {
+        MTSIM_PROF_SCOPE("never-recorded");
+        MTSIM_PROF_SCOPE("nor-this");
+    }
+    EXPECT_TRUE(p.root().children.empty());
+    EXPECT_EQ(p.current(), &p.root());
+    EXPECT_EQ(prof::Profiler::allocCount(), allocs);
+}
+
+TEST_F(ProfilerTest, ScopedTimerRecordsNesting)
+{
+    auto &p = prof::Profiler::instance();
+    p.enable(true);
+    {
+        MTSIM_PROF_SCOPE("outer");
+        {
+            MTSIM_PROF_SCOPE("inner");
+        }
+    }
+    ASSERT_EQ(p.root().children.size(), 1u);
+    const prof::ProfNode &outer = *p.root().children[0];
+    EXPECT_STREQ(outer.name, "outer");
+    EXPECT_EQ(outer.calls, 1u);
+    ASSERT_EQ(outer.children.size(), 1u);
+    EXPECT_STREQ(outer.children[0]->name, "inner");
+    EXPECT_GE(outer.ns, outer.children[0]->ns);
+}
+
+TEST_F(ProfilerTest, ReportSharesSumToWhole)
+{
+    auto &p = prof::Profiler::instance();
+    p.enable(true);
+    prof::ProfNode *a = p.push("sim");
+    prof::ProfNode *b = p.push("caches");
+    p.pop(b, 60);
+    p.pop(a, 100);
+
+    std::ostringstream os;
+    p.report(os);
+    const std::string text = os.str();
+    // Root child covers everything; its children split 60/40.
+    EXPECT_NE(text.find("sim"), std::string::npos);
+    EXPECT_NE(text.find(" 100.0%"), std::string::npos);
+    EXPECT_NE(text.find("  60.0%"), std::string::npos);
+    EXPECT_NE(text.find("(self)"), std::string::npos);
+    EXPECT_NE(text.find("  40.0%"), std::string::npos);
+}
+
+TEST_F(ProfilerTest, ResetDropsTreeAndAllocs)
+{
+    auto &p = prof::Profiler::instance();
+    p.enable(true);
+    p.pop(p.push("x"), 5);
+    p.reset();
+    EXPECT_TRUE(p.root().children.empty());
+    EXPECT_EQ(prof::Profiler::allocCount(), 0u);
+}
+
+TEST_F(ProfilerTest, JsonTreeMatchesStructure)
+{
+    auto &p = prof::Profiler::instance();
+    p.enable(true);
+    prof::ProfNode *a = p.push("mem");
+    prof::ProfNode *b = p.push("dcache");
+    p.pop(b, 30);
+    p.pop(a, 50);
+    p.enable(false);
+
+    std::ostringstream os;
+    JsonWriter w(os);
+    p.writeJson(w);
+    const JsonValue doc = parseJson(os.str());
+    EXPECT_EQ(doc.at("total_ns").asU64(), 50u);
+    const JsonValue &tree = doc.at("tree");
+    ASSERT_EQ(tree.array.size(), 1u);
+    EXPECT_EQ(tree.array[0].at("name").asString(), "mem");
+    EXPECT_EQ(tree.array[0].at("ns").asU64(), 50u);
+    EXPECT_EQ(tree.array[0].at("self_ns").asU64(), 20u);
+    ASSERT_EQ(tree.array[0].at("children").array.size(), 1u);
+    EXPECT_EQ(tree.array[0]
+                  .at("children")
+                  .array[0]
+                  .at("name")
+                  .asString(),
+              "dcache");
+}
+
+/** Run the acceptance config and fingerprint the probe stream. */
+std::pair<std::uint64_t, std::uint64_t>
+digestOfUniRun()
+{
+    Config cfg = Config::make(Scheme::Interleaved, 4);
+    UniSystem sys(cfg);
+    for (const auto &app : uniWorkload("R0"))
+        sys.addApp(app, specKernel(app));
+    ProbeDigest digest;
+    sys.probes().addSink(&digest);
+    sys.run(5000, 10000);
+    return {digest.digest(), sys.retired()};
+}
+
+TEST_F(ProfilerTest, ProfiledRunIsBitIdentical)
+{
+    const auto off = digestOfUniRun();
+    prof::Profiler::instance().enable(true);
+    const auto on = digestOfUniRun();
+    prof::Profiler::instance().enable(false);
+    EXPECT_EQ(off.first, on.first);
+    EXPECT_EQ(off.second, on.second);
+    // And the profiled run actually recorded the subsystem scopes.
+    EXPECT_FALSE(prof::Profiler::instance().root().children.empty());
+}
+
+TEST(HostInfoTest, ThroughputDefinitions)
+{
+    const prof::Throughput t{2.0, 4000000, 1000000};
+    EXPECT_DOUBLE_EQ(t.kips(), 500.0);
+    EXPECT_DOUBLE_EQ(t.cyclesPerSecond(), 2e6);
+    const prof::Throughput zero{};
+    EXPECT_DOUBLE_EQ(zero.kips(), 0.0);
+    EXPECT_DOUBLE_EQ(zero.cyclesPerSecond(), 0.0);
+}
+
+TEST(HostInfoTest, BuildAndRssPopulated)
+{
+    const prof::BuildInfo &b = prof::buildInfo();
+    EXPECT_FALSE(b.gitSha.empty());
+    EXPECT_FALSE(b.compiler.empty());
+    EXPECT_FALSE(b.sanitizers.empty());
+    EXPECT_GT(prof::peakRssKb(), 0u);
+}
+
+TEST(HostInfoTest, HostJsonHasSchemaFields)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    prof::writeHostJson(w, prof::Throughput{1.0, 1000, 2000});
+    const JsonValue doc = parseJson(os.str());
+    EXPECT_TRUE(doc.find("git_sha") != nullptr);
+    EXPECT_TRUE(doc.find("build_type") != nullptr);
+    EXPECT_TRUE(doc.find("compiler") != nullptr);
+    EXPECT_TRUE(doc.find("sanitizers") != nullptr);
+    EXPECT_DOUBLE_EQ(doc.at("wall_seconds").asDouble(), 1.0);
+    EXPECT_DOUBLE_EQ(doc.at("kips").asDouble(), 2.0);
+    EXPECT_GT(doc.at("peak_rss_kb").asU64(), 0u);
+}
+
+TEST(ProgressTest, ZeroIntervalEmitsEveryPoll)
+{
+    std::ostringstream os;
+    prof::ProgressMeter m(0.0, os);
+    m.poll(1000, 500);
+    m.poll(2000, 900);
+    EXPECT_EQ(m.reportsEmitted(), 2u);
+    EXPECT_NE(os.str().find("[mtsim]"), std::string::npos);
+    EXPECT_NE(os.str().find("cycle=2000"), std::string::npos);
+}
+
+TEST(ProgressTest, LongIntervalStaysSilent)
+{
+    std::ostringstream os;
+    prof::ProgressMeter m(3600.0, os);
+    m.poll(1000, 500);
+    EXPECT_EQ(m.reportsEmitted(), 0u);
+    EXPECT_TRUE(os.str().empty());
+}
+
+TEST(AtomicFileTest, CommitPublishesAtomically)
+{
+    const std::string path =
+        ::testing::TempDir() + "atomic_commit.json";
+    std::remove(path.c_str());
+    {
+        AtomicFile f(path);
+        ASSERT_TRUE(f.ok());
+        f.stream() << "{\"x\":1}\n";
+        // Nothing visible at the final path until commit.
+        EXPECT_FALSE(std::ifstream(path).good());
+        EXPECT_TRUE(std::ifstream(f.tmpPath()).good());
+        EXPECT_TRUE(f.commit());
+        EXPECT_FALSE(std::ifstream(f.tmpPath()).good());
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "{\"x\":1}");
+    std::remove(path.c_str());
+}
+
+TEST(AtomicFileTest, AbandonedWriteLeavesNoFile)
+{
+    const std::string path =
+        ::testing::TempDir() + "atomic_abandon.json";
+    std::remove(path.c_str());
+    std::string tmp;
+    {
+        AtomicFile f(path);
+        ASSERT_TRUE(f.ok());
+        tmp = f.tmpPath();
+        f.stream() << "partial";
+        // Destroyed without commit: simulated crash path.
+    }
+    EXPECT_FALSE(std::ifstream(path).good());
+    EXPECT_FALSE(std::ifstream(tmp).good());
+}
+
+TEST(JsonParseTest, RoundTripsTypicalDocument)
+{
+    const JsonValue doc = parseJson(
+        "{\"a\": 1.5, \"b\": [1, 2, 3], \"c\": {\"s\": \"x\\ny\"},"
+        " \"t\": true, \"n\": null, \"big\": 18446744073709551615}");
+    EXPECT_DOUBLE_EQ(doc.at("a").asDouble(), 1.5);
+    ASSERT_EQ(doc.at("b").array.size(), 3u);
+    EXPECT_EQ(doc.at("b").array[2].asU64(), 3u);
+    EXPECT_EQ(doc.at("c").at("s").asString(), "x\ny");
+    EXPECT_TRUE(doc.at("t").boolean);
+    EXPECT_TRUE(doc.at("n").isNull());
+    EXPECT_TRUE(doc.at("big").isNumber());
+    EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, UnicodeEscapes)
+{
+    const JsonValue doc = parseJson("{\"u\": \"\\u0041\\u00e9\"}");
+    EXPECT_EQ(doc.at("u").asString(), "A\xc3\xa9");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput)
+{
+    EXPECT_THROW(parseJson("{"), JsonParseError);
+    EXPECT_THROW(parseJson("{\"a\":}"), JsonParseError);
+    EXPECT_THROW(parseJson("[1,]"), JsonParseError);
+    EXPECT_THROW(parseJson("1 2"), JsonParseError);
+    EXPECT_THROW(parseJson("\"\\q\""), JsonParseError);
+    EXPECT_THROW(parseJson(""), JsonParseError);
+}
+
+prof::SpeedRow
+makeRow(const std::string &config, double kips,
+        const std::string &digest = "0xabc")
+{
+    prof::SpeedRow r;
+    r.config = config;
+    r.cycles = 1000;
+    r.retired = 2000;
+    r.wallMs = 3.5;
+    r.kips = kips;
+    r.mcps = kips / 2.0;
+    r.peakRssKb = 4096;
+    r.digest = digest;
+    return r;
+}
+
+TEST(SpeedJsonTest, WriteReadRoundTrip)
+{
+    const std::vector<prof::SpeedRow> rows = {
+        makeRow("uni/interleaved/4ctx/R0", 1234.5),
+        makeRow("emitter/mxm", 9.25, "0xdeadbeef"),
+    };
+    std::ostringstream os;
+    prof::writeBenchSpeedJson(os, rows, 3);
+
+    const JsonValue doc = parseJson(os.str());
+    EXPECT_EQ(doc.at("schema").asString(), "mtsim_bench_speed/v1");
+    EXPECT_EQ(doc.at("best_of").asU64(), 3u);
+    EXPECT_TRUE(doc.find("host") != nullptr);
+
+    const auto parsed = prof::speedRowsFromJson(doc);
+    ASSERT_EQ(parsed.size(), 2u);
+    EXPECT_EQ(parsed[0].config, rows[0].config);
+    EXPECT_EQ(parsed[0].cycles, rows[0].cycles);
+    EXPECT_EQ(parsed[0].retired, rows[0].retired);
+    EXPECT_DOUBLE_EQ(parsed[0].kips, rows[0].kips);
+    EXPECT_EQ(parsed[1].digest, "0xdeadbeef");
+}
+
+TEST(SpeedJsonTest, RejectsWrongSchema)
+{
+    EXPECT_THROW(
+        prof::speedRowsFromJson(parseJson("{\"schema\": \"other\"}")),
+        std::runtime_error);
+    EXPECT_THROW(prof::speedRowsFromJson(parseJson("{}")),
+                 std::runtime_error);
+}
+
+TEST(BenchCompareTest, IdenticalInputsPass)
+{
+    const auto rows = {makeRow("a", 100.0), makeRow("b", 50.0)};
+    const auto out = prof::compareSpeed(rows, rows, 0.10);
+    EXPECT_TRUE(out.ok);
+    ASSERT_EQ(out.lines.size(), 2u);
+    EXPECT_EQ(out.lines[0].substr(0, 2), "ok");
+}
+
+TEST(BenchCompareTest, RegressionBeyondThresholdFails)
+{
+    const std::vector<prof::SpeedRow> base = {makeRow("a", 100.0)};
+    const std::vector<prof::SpeedRow> slow = {makeRow("a", 50.0)};
+    const auto out = prof::compareSpeed(base, slow, 0.10);
+    EXPECT_FALSE(out.ok);
+    ASSERT_FALSE(out.lines.empty());
+    EXPECT_EQ(out.lines[0].substr(0, 4), "FAIL");
+}
+
+TEST(BenchCompareTest, SmallSlowdownWithinThresholdPasses)
+{
+    const std::vector<prof::SpeedRow> base = {makeRow("a", 100.0)};
+    const std::vector<prof::SpeedRow> cur = {makeRow("a", 95.0)};
+    EXPECT_TRUE(prof::compareSpeed(base, cur, 0.10).ok);
+    // The same delta fails a tighter threshold.
+    EXPECT_FALSE(prof::compareSpeed(base, cur, 0.01).ok);
+}
+
+TEST(BenchCompareTest, SpeedupAlwaysPasses)
+{
+    const std::vector<prof::SpeedRow> base = {makeRow("a", 100.0)};
+    const std::vector<prof::SpeedRow> fast = {makeRow("a", 300.0)};
+    EXPECT_TRUE(prof::compareSpeed(base, fast, 0.10).ok);
+}
+
+TEST(BenchCompareTest, MissingConfigFails)
+{
+    const std::vector<prof::SpeedRow> base = {makeRow("a", 100.0),
+                                              makeRow("b", 100.0)};
+    const std::vector<prof::SpeedRow> cur = {makeRow("a", 100.0)};
+    const auto out = prof::compareSpeed(base, cur, 0.10);
+    EXPECT_FALSE(out.ok);
+    bool missing = false;
+    for (const auto &l : out.lines)
+        missing = missing || l.find("missing") != std::string::npos;
+    EXPECT_TRUE(missing);
+}
+
+TEST(BenchCompareTest, DigestChangeWarnsButPasses)
+{
+    const std::vector<prof::SpeedRow> base = {
+        makeRow("a", 100.0, "0x1")};
+    const std::vector<prof::SpeedRow> cur = {
+        makeRow("a", 100.0, "0x2")};
+    const auto out = prof::compareSpeed(base, cur, 0.10);
+    EXPECT_TRUE(out.ok);
+    bool warned = false;
+    for (const auto &l : out.lines)
+        warned = warned || l.find("digest changed") != std::string::npos;
+    EXPECT_TRUE(warned);
+}
+
+TEST(BenchCompareTest, NewConfigNoted)
+{
+    const std::vector<prof::SpeedRow> base = {makeRow("a", 100.0)};
+    const std::vector<prof::SpeedRow> cur = {makeRow("a", 100.0),
+                                             makeRow("c", 10.0)};
+    const auto out = prof::compareSpeed(base, cur, 0.10);
+    EXPECT_TRUE(out.ok);
+    bool noted = false;
+    for (const auto &l : out.lines)
+        noted = noted || l.find("new config") != std::string::npos;
+    EXPECT_TRUE(noted);
+}
+
+TEST(SpeedMatrixTest, CanonicalMatrixShapeAndScaling)
+{
+    const auto full = prof::canonicalSpeedMatrix();
+    const auto quick = prof::canonicalSpeedMatrix(0.1);
+    ASSERT_EQ(full.size(), 5u);
+    ASSERT_EQ(quick.size(), full.size());
+    for (std::size_t i = 0; i < full.size(); ++i) {
+        EXPECT_EQ(full[i].name, quick[i].name);
+        EXPECT_GT(full[i].cycles, quick[i].cycles);
+    }
+    EXPECT_EQ(full[0].name, "uni/interleaved/1ctx/R0");
+    EXPECT_EQ(full.back().kind, prof::SpeedConfig::Kind::Emitter);
+}
+
+TEST(SpeedMatrixTest, EmitterConfigProducesWork)
+{
+    prof::SpeedConfig c;
+    c.name = "emitter/mxm";
+    c.kind = prof::SpeedConfig::Kind::Emitter;
+    c.workload = "mxm";
+    c.cycles = 10000;
+    const prof::SpeedRow row = prof::runSpeedConfig(c);
+    EXPECT_EQ(row.config, c.name);
+    EXPECT_GT(row.retired, 0u);
+    EXPECT_GT(row.peakRssKb, 0u);
+    EXPECT_EQ(row.digest.substr(0, 2), "0x");
+}
+
+} // namespace
+} // namespace mtsim

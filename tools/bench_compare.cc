@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Mechanical perf gate: diff two BENCH_speed.json files and exit
+ * nonzero when any configuration's KIPS regressed beyond the
+ * threshold (default 10%). CI runs this against the committed
+ * bench/baseline/BENCH_speed.json with a generous threshold so it
+ * only gates real cliffs; perf PRs run it locally with the default.
+ *
+ *   bench_compare bench/baseline/BENCH_speed.json BENCH_speed.json
+ *   bench_compare old.json new.json --threshold 0.25
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "prof/speed.hh"
+
+using namespace mtsim;
+
+namespace {
+
+void
+usage()
+{
+    std::cout <<
+        "bench_compare BASELINE CURRENT [--threshold F]\n"
+        "\n"
+        "  Compares per-config KIPS; exits 1 when any config in\n"
+        "  CURRENT is more than F (default 0.10 = 10%) slower than\n"
+        "  BASELINE or missing from it. Digest differences are\n"
+        "  reported as warnings: the simulated work changed.\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string baseline_path, current_path;
+    double threshold = 0.10;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--threshold") {
+            if (i + 1 >= argc) {
+                std::cerr << "error: --threshold needs a value\n";
+                return 2;
+            }
+            char *end = nullptr;
+            threshold = std::strtod(argv[++i], &end);
+            if (end == nullptr || *end != '\0' || threshold < 0) {
+                std::cerr << "error: bad threshold\n";
+                return 2;
+            }
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else if (baseline_path.empty()) {
+            baseline_path = a;
+        } else if (current_path.empty()) {
+            current_path = a;
+        } else {
+            std::cerr << "error: unexpected argument " << a << "\n\n";
+            usage();
+            return 2;
+        }
+    }
+    if (current_path.empty()) {
+        usage();
+        return 2;
+    }
+
+    try {
+        const auto baseline =
+            prof::readBenchSpeedFile(baseline_path);
+        const auto current = prof::readBenchSpeedFile(current_path);
+        const prof::CompareOutcome outcome =
+            prof::compareSpeed(baseline, current, threshold);
+        for (const std::string &line : outcome.lines)
+            std::cout << line << '\n';
+        std::cout << (outcome.ok ? "PASS" : "FAIL")
+                  << " (threshold " << threshold * 100 << "%)\n";
+        return outcome.ok ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 2;
+    }
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Perf-regression runner: sweeps the canonical simulator-speed
+ * matrix (src/prof/speed.hh) and writes BENCH_speed.json - one row
+ * per configuration with cycles, wall time, KIPS, peak RSS and the
+ * probe digest. The committed baseline lives at
+ * bench/baseline/BENCH_speed.json; diff two files with
+ * tools/bench_compare. See docs/OBSERVABILITY.md ("measuring a
+ * perf PR").
+ *
+ * Examples:
+ *   mtsim_bench --out BENCH_speed.json --best-of 3
+ *   mtsim_bench --quick --out smoke.json
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/atomic_file.hh"
+#include "prof/host_info.hh"
+#include "prof/speed.hh"
+
+using namespace mtsim;
+
+namespace {
+
+void
+usage()
+{
+    std::cout <<
+        "mtsim_bench - measure simulator speed over the canonical "
+        "matrix\n"
+        "\n"
+        "  --out FILE     write BENCH_speed.json here (default\n"
+        "                 BENCH_speed.json; atomic tmp+rename)\n"
+        "  --best-of N    run each config N times, keep the fastest\n"
+        "                 (default 1)\n"
+        "  --quick        ~10x shorter runs (smoke/CI-debug only;\n"
+        "                 digests differ from full runs)\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_speed.json";
+    unsigned best_of = 1;
+    double scale = 1.0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "error: " << a << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--out") {
+            out_path = next();
+        } else if (a == "--best-of") {
+            best_of = static_cast<unsigned>(
+                std::stoul(next()));
+            if (best_of == 0)
+                best_of = 1;
+        } else if (a == "--quick") {
+            scale = 0.1;
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::cerr << "error: unknown flag " << a << "\n\n";
+            usage();
+            return 2;
+        }
+    }
+
+    const prof::BuildInfo &build = prof::buildInfo();
+    std::cout << "mtsim_bench: " << build.buildType << " build "
+              << build.gitSha << ", sanitizers " << build.sanitizers
+              << ", best of " << best_of << "\n\n";
+    std::printf("  %-28s %10s %10s %10s %10s\n", "config", "cycles",
+                "wall ms", "KIPS", "Mcyc/s");
+
+    std::vector<prof::SpeedRow> rows;
+    for (const prof::SpeedConfig &cfg :
+         prof::canonicalSpeedMatrix(scale)) {
+        prof::SpeedRow best;
+        for (unsigned rep = 0; rep < best_of; ++rep) {
+            prof::SpeedRow r = prof::runSpeedConfig(cfg);
+            if (rep == 0 || r.kips > best.kips)
+                best = r;
+        }
+        std::printf("  %-28s %10llu %10.1f %10.1f %10.2f\n",
+                    best.config.c_str(),
+                    static_cast<unsigned long long>(best.cycles),
+                    best.wallMs, best.kips, best.mcps);
+        rows.push_back(std::move(best));
+    }
+
+    AtomicFile out(out_path);
+    if (!out.ok()) {
+        std::cerr << "error: cannot open " << out.tmpPath() << '\n';
+        return 2;
+    }
+    prof::writeBenchSpeedJson(out.stream(), rows, best_of);
+    if (!out.commit()) {
+        std::cerr << "error: cannot write " << out_path << '\n';
+        return 2;
+    }
+    std::cout << "\nwrote " << out_path << '\n';
+    return 0;
+}

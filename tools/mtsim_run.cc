@@ -14,12 +14,16 @@
  *             --procs 8
  *   mtsim_run --scheme interleaved --contexts 4 --mix DC \
  *             --stats-json out.json --trace-out trace.json
+ *
+ * With --prof the run also self-profiles the simulator (host-side
+ * cost tree, docs/OBSERVABILITY.md section 5); --progress N prints a
+ * KIPS heartbeat to stderr every N host seconds.
  */
 
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <limits>
@@ -28,11 +32,15 @@
 #include <string>
 
 #include "check/digest.hh"
+#include "common/atomic_file.hh"
 #include "common/config.hh"
 #include "metrics/breakdown.hh"
 #include "metrics/json_stats.hh"
 #include "metrics/report.hh"
 #include "obs/trace_writer.hh"
+#include "prof/host_info.hh"
+#include "prof/profiler.hh"
+#include "prof/progress.hh"
 #include "spec/spec_suite.hh"
 #include "splash/splash_suite.hh"
 #include "system/mp_system.hh"
@@ -60,6 +68,9 @@ struct Options
     Cycle sampleInterval = 0;
     bool check = false;
     bool digest = false;
+    bool prof = false;
+    std::string profJson;
+    std::uint64_t progressSeconds = 0;
     bool help = false;
 };
 
@@ -128,7 +139,15 @@ usage()
         "                      the simulation; exits 3 on the first\n"
         "                      violation (docs/CHECKING.md)\n"
         "  --digest            print the probe-stream digest (two\n"
-        "                      identical runs must match)\n";
+        "                      identical runs must match)\n"
+        "  --prof              self-profile the simulator and print\n"
+        "                      the host-side cost tree (also enabled\n"
+        "                      by MTSIM_PROF=1); simulation output\n"
+        "                      is bit-identical either way\n"
+        "  --prof-json FILE    write the cost tree + host info as\n"
+        "                      JSON (implies --prof)\n"
+        "  --progress N        print cycle count and KIPS to stderr\n"
+        "                      every N host seconds\n";
 }
 
 Options
@@ -186,6 +205,16 @@ parse(int argc, char **argv)
             o.check = true;
         } else if (a == "--digest") {
             o.digest = true;
+        } else if (a == "--prof") {
+            o.prof = true;
+        } else if (a == "--prof-json") {
+            o.profJson = next();
+            o.prof = true;
+        } else if (a == "--progress") {
+            o.progressSeconds = parseU64(a, next());
+            if (o.progressSeconds == 0)
+                throw std::invalid_argument(
+                    "--progress: must be >= 1");
         } else if (a == "--help" || a == "-h") {
             o.help = true;
         } else {
@@ -273,10 +302,11 @@ writeStatsJson(const Options &o, const RunInfo &info,
                                            const Histogram *>> &hists,
                const IntervalSampler *sampler, double wall_seconds)
 {
-    std::ofstream out(o.statsJson);
-    if (!out)
+    AtomicFile file(o.statsJson);
+    if (!file.ok())
         throw std::runtime_error("--stats-json: cannot open " +
-                                 o.statsJson);
+                                 file.tmpPath());
+    std::ostream &out = file.stream();
     JsonWriter w(out);
     w.beginObject();
 
@@ -333,13 +363,56 @@ writeStatsJson(const Options &o, const RunInfo &info,
              : 0.0);
     w.endObject();
 
+    w.key("host");
+    prof::writeHostJson(
+        w, prof::Throughput{
+               wall_seconds,
+               static_cast<std::uint64_t>(info.simulatedCycles),
+               info.retired});
+
     w.endObject();
     out << '\n';
+    if (!file.commit())
+        throw std::runtime_error("--stats-json: cannot write " +
+                                 o.statsJson);
+}
+
+/**
+ * Print the --prof cost tree and (with --prof-json) serialize it plus
+ * the host block. Runs after the regular report so the tree lands at
+ * the bottom of stdout.
+ */
+void
+finishProfile(const Options &o, const prof::Throughput &t)
+{
+    if (!o.prof)
+        return;
+    std::cout << '\n';
+    prof::Profiler::instance().report(std::cout);
+    if (o.profJson.empty())
+        return;
+    AtomicFile file(o.profJson);
+    if (!file.ok())
+        throw std::runtime_error("--prof-json: cannot open " +
+                                 file.tmpPath());
+    JsonWriter w(file.stream());
+    w.beginObject();
+    w.key("host");
+    prof::writeHostJson(w, t);
+    w.key("profile");
+    prof::Profiler::instance().writeJson(w);
+    w.endObject();
+    file.stream() << '\n';
+    if (!file.commit())
+        throw std::runtime_error("--prof-json: cannot write " +
+                                 o.profJson);
 }
 
 int
 runUniMode(const Options &o)
 {
+    if (o.prof)
+        prof::Profiler::instance().enable(true);
     Config cfg = Config::make(o.scheme, o.contexts);
     cfg.issueWidth = o.width;
     cfg.priorityContext = o.priority;
@@ -370,9 +443,18 @@ runUniMode(const Options &o)
         sampler.emplace(o.sampleInterval);
         sys.setSampler(&*sampler);
     }
+    std::optional<prof::ProgressMeter> progress;
+    if (o.progressSeconds > 0) {
+        progress.emplace(static_cast<double>(o.progressSeconds),
+                         std::cerr);
+        sys.setProgress(&*progress);
+    }
 
     WallClock wall;
-    sys.run(o.warmup, o.cycles);
+    {
+        MTSIM_PROF_SCOPE("run");
+        sys.run(o.warmup, o.cycles);
+    }
     const double wall_seconds = wall.seconds();
     if (trace) {
         sys.probes().removeSink(trace.get());
@@ -414,12 +496,19 @@ runUniMode(const Options &o)
               &sys.processor().runLengthHistogram()}},
             sampler ? &*sampler : nullptr, wall_seconds);
     }
+    finishProfile(o, prof::Throughput{
+                         wall_seconds,
+                         static_cast<std::uint64_t>(o.warmup +
+                                                    o.cycles),
+                         sys.retired()});
     return 0;
 }
 
 int
 runMpMode(const Options &o)
 {
+    if (o.prof)
+        prof::Profiler::instance().enable(true);
     const std::string app = o.app.empty() ? "water" : o.app;
     Config cfg = Config::makeMp(o.scheme, o.contexts, o.procs);
     cfg.issueWidth = o.width;
@@ -443,9 +532,19 @@ runMpMode(const Options &o)
         sampler.emplace(o.sampleInterval);
         sys.setSampler(&*sampler);
     }
+    std::optional<prof::ProgressMeter> progress;
+    if (o.progressSeconds > 0) {
+        progress.emplace(static_cast<double>(o.progressSeconds),
+                         std::cerr);
+        sys.setProgress(&*progress);
+    }
 
     WallClock wall;
-    const Cycle measured = sys.run();
+    Cycle measured = 0;
+    {
+        MTSIM_PROF_SCOPE("run");
+        measured = sys.run();
+    }
     const double wall_seconds = wall.seconds();
     if (trace) {
         sys.probes().removeSink(trace.get());
@@ -489,6 +588,10 @@ runMpMode(const Options &o)
              {"context_run_length", &runLen}},
             sampler ? &*sampler : nullptr, wall_seconds);
     }
+    finishProfile(o, prof::Throughput{
+                         wall_seconds,
+                         static_cast<std::uint64_t>(sys.now()),
+                         sys.retired()});
     return 0;
 }
 
@@ -503,6 +606,9 @@ main(int argc, char **argv)
             usage();
             return 0;
         }
+        if (const char *v = std::getenv("MTSIM_PROF");
+            v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0)
+            o.prof = true;
         return o.mp ? runMpMode(o) : runUniMode(o);
     } catch (const CheckError &e) {
         std::cerr << "invariant violation: " << e.what() << '\n';
