@@ -5,23 +5,72 @@
  * with identical configuration must produce identical digests; the
  * determinism auditor (differential harness, `mtsim_run --digest`)
  * is built on comparing them.
+ *
+ * Beyond the whole-run hash, the digest can keep a *windowed* stream:
+ * with a window size K, every K simulated cycles close an independent
+ * sub-digest over just that window's events. Two diverging runs then
+ * disagree from one specific window onward, so a mismatch localizes
+ * to a cycle range instead of "the runs differ somewhere"
+ * (tools/mtsim_diff consumes these windows; see
+ * docs/OBSERVABILITY.md, "Diagnosing a digest mismatch").
  */
 
 #ifndef MTSIM_CHECK_DIGEST_HH
 #define MTSIM_CHECK_DIGEST_HH
 
 #include <cstdint>
+#include <vector>
 
+#include "common/types.hh"
 #include "obs/probe.hh"
 
 namespace mtsim {
 
+/** One closed digest window: the sub-digest of cycles [start, end). */
+struct DigestWindow
+{
+    std::uint64_t index = 0;  ///< window number == start / windowCycles
+    Cycle start = 0;
+    Cycle end = 0;
+    std::uint64_t hash = 0;   ///< FNV-1a over this window's events only
+    std::uint64_t events = 0;
+};
+
 class ProbeDigest : public ProbeSink
 {
   public:
+    ProbeDigest() = default;
+
+    /** @param window_cycles sub-digest window size; 0 = whole-run
+     *  hash only. Must be fixed before the first event. */
+    explicit ProbeDigest(Cycle window_cycles)
+    {
+        setWindowCycles(window_cycles);
+    }
+
+    /** Set the sub-digest window size. Call before the first event. */
+    void
+    setWindowCycles(Cycle k)
+    {
+        windowCycles_ = k;
+        windowEnd_ = k;
+    }
+
     void
     onEvent(const ProbeEvent &ev) override
     {
+        if (windowCycles_ > 0) {
+            while (ev.cycle >= windowEnd_)
+                closeWindow();
+        }
+        if (perturbArmed_ && ev.cycle >= perturbCycle_) {
+            // Test-only determinism fault: one extra value mixed into
+            // both hashes the first time the stream reaches the armed
+            // cycle. Localization tooling must pin the divergence to
+            // exactly this window.
+            perturbArmed_ = false;
+            mix(kPerturbSalt);
+        }
         mix(static_cast<std::uint64_t>(ev.kind));
         mix(ev.cycle);
         mix(ev.proc);
@@ -32,34 +81,103 @@ class ProbeDigest : public ProbeSink
         mix(ev.arg);
         mix(ev.reg);
         ++events_;
+        ++windowEvents_;
     }
 
     std::uint64_t digest() const { return hash_; }
     std::uint64_t events() const { return events_; }
+
+    /** Sub-digest window size in cycles (0 = windowing off). */
+    Cycle windowCycles() const { return windowCycles_; }
+
+    /** The closed windows so far (call finishWindows() first to
+     *  include the trailing partial window). */
+    const std::vector<DigestWindow> &windows() const
+    {
+        return windows_;
+    }
+
+    /**
+     * Close the trailing partial window at end of run so its events
+     * are visible in windows(). Idempotent: a second call with no
+     * intervening events adds nothing.
+     */
+    void
+    finishWindows()
+    {
+        if (windowCycles_ > 0 && windowEvents_ > 0)
+            closeWindow();
+    }
+
+    /**
+     * Test-only: deterministically corrupt the digest stream at the
+     * first event whose cycle is >= @p cycle. Seeds a reproducible
+     * divergence for exercising window localization (mtsim_run
+     * --test-perturb-digest, tools/mtsim_diff smoke tests). Never use
+     * outside tests.
+     */
+    void
+    testPerturbAtCycle(Cycle cycle)
+    {
+        perturbCycle_ = cycle;
+        perturbArmed_ = true;
+    }
 
     void
     reset()
     {
         hash_ = kOffsetBasis;
         events_ = 0;
+        windows_.clear();
+        windowHash_ = kOffsetBasis;
+        windowEvents_ = 0;
+        windowStart_ = 0;
+        windowEnd_ = windowCycles_;
+        perturbArmed_ = false;
     }
 
   private:
     static constexpr std::uint64_t kOffsetBasis =
         1469598103934665603ull;
     static constexpr std::uint64_t kPrime = 1099511628211ull;
+    static constexpr std::uint64_t kPerturbSalt =
+        0x5eed5eed5eed5eedull;
 
     void
     mix(std::uint64_t v)
     {
         for (int i = 0; i < 8; ++i) {
-            hash_ ^= (v >> (8 * i)) & 0xff;
+            const std::uint64_t byte = (v >> (8 * i)) & 0xff;
+            hash_ ^= byte;
             hash_ *= kPrime;
+            windowHash_ ^= byte;
+            windowHash_ *= kPrime;
         }
+    }
+
+    void
+    closeWindow()
+    {
+        windows_.push_back({windows_.size(), windowStart_, windowEnd_,
+                            windowHash_, windowEvents_});
+        windowStart_ = windowEnd_;
+        windowEnd_ += windowCycles_;
+        windowHash_ = kOffsetBasis;
+        windowEvents_ = 0;
     }
 
     std::uint64_t hash_ = kOffsetBasis;
     std::uint64_t events_ = 0;
+
+    Cycle windowCycles_ = 0;
+    Cycle windowStart_ = 0;
+    Cycle windowEnd_ = 0;
+    std::uint64_t windowHash_ = kOffsetBasis;
+    std::uint64_t windowEvents_ = 0;
+    std::vector<DigestWindow> windows_;
+
+    Cycle perturbCycle_ = 0;
+    bool perturbArmed_ = false;
 };
 
 } // namespace mtsim

@@ -128,6 +128,11 @@ class Parser
     JsonValue
     value()
     {
+        // Containers recurse one host-stack frame per nesting level;
+        // bound the depth so adversarially deep input fails with a
+        // parse error instead of a stack overflow.
+        if (depth_ >= kMaxDepth)
+            fail("nesting too deep");
         skipWs();
         switch (peek()) {
           case '{':
@@ -161,11 +166,14 @@ class Parser
     objectValue()
     {
         expect('{');
+        ++depth_;
         JsonValue v;
         v.kind = JsonValue::Kind::Object;
         skipWs();
-        if (consume('}'))
+        if (consume('}')) {
+            --depth_;
             return v;
+        }
         while (true) {
             skipWs();
             JsonValue key = stringValue();
@@ -176,6 +184,7 @@ class Parser
             if (consume(','))
                 continue;
             expect('}');
+            --depth_;
             return v;
         }
     }
@@ -184,17 +193,21 @@ class Parser
     arrayValue()
     {
         expect('[');
+        ++depth_;
         JsonValue v;
         v.kind = JsonValue::Kind::Array;
         skipWs();
-        if (consume(']'))
+        if (consume(']')) {
+            --depth_;
             return v;
+        }
         while (true) {
             v.array.push_back(value());
             skipWs();
             if (consume(','))
                 continue;
             expect(']');
+            --depth_;
             return v;
         }
     }
@@ -294,8 +307,11 @@ class Parser
         return v;
     }
 
+    static constexpr std::size_t kMaxDepth = 1000;
+
     const std::string &text_;
     std::size_t pos_ = 0;
+    std::size_t depth_ = 0;
 };
 
 } // namespace

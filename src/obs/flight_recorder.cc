@@ -1,0 +1,129 @@
+#include "obs/flight_recorder.hh"
+
+#include <csignal>
+#include <cstdio>
+
+#include "common/atomic_file.hh"
+#include "metrics/json_stats.hh"
+
+namespace mtsim {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : ring_(capacity > 0 ? capacity : 1)
+{}
+
+std::vector<ProbeEvent>
+FlightRecorder::events() const
+{
+    std::vector<ProbeEvent> out;
+    out.reserve(filled_);
+    // Oldest entry: head_ when wrapped, index 0 before that.
+    const std::size_t first =
+        filled_ == ring_.size() ? head_ : 0;
+    for (std::size_t i = 0; i < filled_; ++i)
+        out.push_back(ring_[(first + i) % ring_.size()]);
+    return out;
+}
+
+void
+FlightRecorder::writeJson(std::ostream &os,
+                          const std::string &reason) const
+{
+    char hex[24];
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("schema", "mtsim_flight_recorder/v1");
+    w.kv("reason", reason);
+    w.kv("capacity", static_cast<std::uint64_t>(ring_.size()));
+    w.kv("events_held", static_cast<std::uint64_t>(filled_));
+    w.kv("events_seen", seen_);
+    w.kv("events_dropped", eventsDropped());
+    w.kv("last_cycle", static_cast<std::uint64_t>(lastCycle_));
+    if (state_) {
+        w.key("state");
+        state_(w);
+    }
+    w.key("events");
+    w.beginArray();
+    for (const ProbeEvent &ev : events()) {
+        w.beginObject();
+        w.kv("kind", probeKindName(ev.kind));
+        w.kv("cycle", static_cast<std::uint64_t>(ev.cycle));
+        w.kv("proc", static_cast<std::uint64_t>(ev.proc));
+        w.kv("ctx", static_cast<std::uint64_t>(ev.ctx));
+        w.kv("seq", static_cast<std::uint64_t>(ev.seq));
+        std::snprintf(hex, sizeof(hex), "0x%llx",
+                      static_cast<unsigned long long>(ev.addr));
+        w.kv("addr", hex);
+        w.kv("latency", static_cast<std::uint64_t>(ev.latency));
+        w.kv("arg", static_cast<std::uint64_t>(ev.arg));
+        w.kv("reg", static_cast<std::uint64_t>(ev.reg));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+bool
+FlightRecorder::dumpToFile(const std::string &path,
+                           const std::string &reason) const
+{
+    AtomicFile file(path);
+    if (!file.ok())
+        return false;
+    writeJson(file.stream(), reason);
+    return file.commit();
+}
+
+namespace {
+
+// Crash-dump registration. Plain globals: the simulator is
+// single-threaded and at most one recorder is armed.
+FlightRecorder *gCrashRecorder = nullptr;
+std::string gCrashPath;
+constexpr int kCrashSignals[] = {SIGSEGV, SIGBUS, SIGILL, SIGFPE,
+                                 SIGABRT};
+
+extern "C" void
+crashDumpHandler(int sig)
+{
+    // Disarm first: a crash inside the dump must not recurse.
+    std::signal(sig, SIG_DFL);
+    FlightRecorder *fr = gCrashRecorder;
+    gCrashRecorder = nullptr;
+    if (fr != nullptr) {
+        const std::string reason =
+            "fatal signal " + std::to_string(sig);
+        if (fr->dumpToFile(gCrashPath, reason))
+            std::fprintf(stderr,
+                         "flight recorder: wrote %s (%llu events, "
+                         "signal %d)\n",
+                         gCrashPath.c_str(),
+                         static_cast<unsigned long long>(fr->size()),
+                         sig);
+    }
+    std::raise(sig);
+}
+
+} // namespace
+
+void
+FlightRecorder::installCrashDump(FlightRecorder *fr,
+                                 const std::string &path)
+{
+    gCrashRecorder = fr;
+    gCrashPath = path;
+    for (int sig : kCrashSignals)
+        std::signal(sig, crashDumpHandler);
+}
+
+void
+FlightRecorder::uninstallCrashDump()
+{
+    gCrashRecorder = nullptr;
+    for (int sig : kCrashSignals)
+        std::signal(sig, SIG_DFL);
+}
+
+} // namespace mtsim

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The flight recorder: a fixed-size ring buffer over the probe
+ * stream, always attachable as a passive ProbeSink, holding the last
+ * N events plus a snapshot hook for the owning system's cycle and
+ * context state. When a run dies - an invariant-checker violation, a
+ * failed assert, a fatal signal - the recorder dumps everything it
+ * holds as structured JSON (atomic tmp+rename), turning "exit 3 with
+ * one line" into the event log of the final approach.
+ *
+ * Strictly passive: recording is a ring write per event, nothing
+ * feeds back into simulation, and a run with a recorder attached is
+ * bit-identical to one without (digest-pinned test).
+ */
+
+#ifndef MTSIM_OBS_FLIGHT_RECORDER_HH
+#define MTSIM_OBS_FLIGHT_RECORDER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "obs/probe.hh"
+
+namespace mtsim {
+
+class JsonWriter;
+
+class FlightRecorder : public ProbeSink
+{
+  public:
+    static constexpr std::size_t kDefaultCapacity = 4096;
+
+    explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+    void
+    onEvent(const ProbeEvent &ev) override
+    {
+        ring_[head_] = ev;
+        head_ = (head_ + 1) % ring_.size();
+        if (filled_ < ring_.size())
+            ++filled_;
+        ++seen_;
+        lastCycle_ = ev.cycle;
+    }
+
+    std::size_t capacity() const { return ring_.size(); }
+
+    /** Events currently held (== capacity once the ring wrapped). */
+    std::size_t size() const { return filled_; }
+
+    /** Total events observed since attachment. */
+    std::uint64_t eventsSeen() const { return seen_; }
+
+    /** Events that fell off the ring (seen - held). */
+    std::uint64_t
+    eventsDropped() const
+    {
+        return seen_ - filled_;
+    }
+
+    /** Cycle of the newest recorded event (0 when empty). */
+    Cycle lastCycle() const { return lastCycle_; }
+
+    /** The held events, oldest first. */
+    std::vector<ProbeEvent> events() const;
+
+    /**
+     * Provider of the owning system's live state (current cycle,
+     * per-context loaded/finished flags, ...), serialized into the
+     * dump's "state" member. UniSystem/MpSystem::attachFlightRecorder
+     * install one; optional.
+     */
+    using StateSnapshotFn = std::function<void(JsonWriter &)>;
+    void setStateSnapshot(StateSnapshotFn fn) { state_ = std::move(fn); }
+
+    /**
+     * Serialize the recording (schema mtsim_flight_recorder/v1):
+     * reason, ring statistics, the state snapshot if one is
+     * installed, and the held events oldest-first.
+     */
+    void writeJson(std::ostream &os, const std::string &reason) const;
+
+    /** writeJson to @p path via AtomicFile. @return commit success. */
+    bool dumpToFile(const std::string &path,
+                    const std::string &reason) const;
+
+    /**
+     * Install handlers for fatal signals (SIGSEGV, SIGBUS, SIGILL,
+     * SIGFPE, SIGABRT - the last covers failed asserts) that dump
+     * @p fr to @p path before re-raising with the default action.
+     * Best-effort: the dump path is not async-signal-safe, but a
+     * partially useful recording beats none when the process is dying
+     * anyway, and AtomicFile guarantees no torn file is published.
+     * One recorder at a time; uninstall before @p fr dies.
+     */
+    static void installCrashDump(FlightRecorder *fr,
+                                 const std::string &path);
+    static void uninstallCrashDump();
+
+  private:
+    std::vector<ProbeEvent> ring_;
+    std::size_t head_ = 0;
+    std::size_t filled_ = 0;
+    std::uint64_t seen_ = 0;
+    Cycle lastCycle_ = 0;
+    StateSnapshotFn state_;
+};
+
+} // namespace mtsim
+
+#endif // MTSIM_OBS_FLIGHT_RECORDER_HH

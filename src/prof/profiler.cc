@@ -42,7 +42,8 @@ namespace {
 inline void
 countAlloc()
 {
-    if (mtsim::prof::Profiler::enabled())
+    if (mtsim::prof::Profiler::enabled() ||
+        mtsim::prof::Profiler::allocCountingEnabled())
         gAllocs.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -199,6 +200,12 @@ std::uint64_t
 Profiler::allocCount()
 {
     return gAllocs.load(std::memory_order_relaxed);
+}
+
+void
+Profiler::enableAllocCounting(bool on)
+{
+    countAllocs_ = on;
 }
 
 namespace {

@@ -101,8 +101,20 @@ class Profiler
     /** Close @p node, crediting @p ns of inclusive time to it. */
     void pop(ProfNode *node, std::uint64_t ns);
 
-    /** Heap allocations observed while profiling was enabled. */
+    /** Heap allocations observed while profiling or standalone
+     *  allocation counting was enabled. */
     static std::uint64_t allocCount();
+
+    /**
+     * Count allocations without enabling scope timing: one relaxed
+     * counter increment per allocation, no clock reads on the hot
+     * path. The bench harness uses this so BENCH_speed.json rows
+     * carry allocation counts while KIPS stays unskewed by timer
+     * overhead. Counting happens while either this or enable(true)
+     * is on.
+     */
+    static void enableAllocCounting(bool on);
+    static bool allocCountingEnabled() { return countAllocs_; }
 
     /**
      * Print the cost tree: one row per scope with inclusive time,
@@ -120,6 +132,7 @@ class Profiler
     Profiler() : root_("(run)", nullptr), current_(&root_) {}
 
     static inline bool enabled_ = false;
+    static inline bool countAllocs_ = false;
 
     ProfNode root_;
     ProfNode *current_;

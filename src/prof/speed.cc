@@ -43,6 +43,17 @@ finishRow(const SpeedConfig &c, const Throughput &t,
     return row;
 }
 
+/** Move the closed digest windows into @p row as hex strings. */
+void
+attachWindows(SpeedRow &row, ProbeDigest &digest)
+{
+    digest.finishWindows();
+    row.digestWindowCycles = digest.windowCycles();
+    row.digestWindows.reserve(digest.windows().size());
+    for (const DigestWindow &win : digest.windows())
+        row.digestWindows.push_back(hex64(win.hash));
+}
+
 SpeedRow
 runUniSpeed(const SpeedConfig &c)
 {
@@ -55,15 +66,19 @@ runUniSpeed(const SpeedConfig &c)
         for (const auto &app : uniWorkload(c.workload))
             sys.addApp(app, specKernel(app));
     }
-    ProbeDigest digest;
+    ProbeDigest digest(kSpeedDigestWindowCycles);
     sys.probes().addSink(&digest);
+    const std::uint64_t allocs0 = Profiler::allocCount();
     sys.run(c.warmup, 0);   // untimed warm-up
     const std::uint64_t t0 = nowNs();
     sys.run(0, c.cycles);
     const std::uint64_t t1 = nowNs();
     const Throughput t{static_cast<double>(t1 - t0) / 1e9, c.cycles,
                        sys.retired()};
-    return finishRow(c, t, digest.digest());
+    SpeedRow row = finishRow(c, t, digest.digest());
+    row.allocs = Profiler::allocCount() - allocs0;
+    attachWindows(row, digest);
+    return row;
 }
 
 SpeedRow
@@ -74,14 +89,18 @@ runMpSpeed(const SpeedConfig &c)
     // No stats barrier: retired counts from cycle 0, matching the
     // timed window.
     sys.loadApp(splashApp(c.workload));
-    ProbeDigest digest;
+    ProbeDigest digest(kSpeedDigestWindowCycles);
     sys.probes().addSink(&digest);
+    const std::uint64_t allocs0 = Profiler::allocCount();
     const std::uint64_t t0 = nowNs();
     sys.run(c.cycles);
     const std::uint64_t t1 = nowNs();
     const Throughput t{static_cast<double>(t1 - t0) / 1e9, sys.now(),
                        sys.retired()};
-    return finishRow(c, t, digest.digest());
+    SpeedRow row = finishRow(c, t, digest.digest());
+    row.allocs = Profiler::allocCount() - allocs0;
+    attachWindows(row, digest);
+    return row;
 }
 
 SpeedRow
@@ -95,6 +114,7 @@ runEmitterSpeed(const SpeedConfig &c)
     // as the row's work fingerprint.
     std::uint64_t checksum = 0;
     std::uint64_t ops = 0;
+    const std::uint64_t allocs0 = Profiler::allocCount();
     const std::uint64_t t0 = nowNs();
     while (ops < c.cycles && src.next(op)) {
         checksum = checksum * 1099511628211ull ^
@@ -103,7 +123,9 @@ runEmitterSpeed(const SpeedConfig &c)
     }
     const std::uint64_t t1 = nowNs();
     const Throughput t{static_cast<double>(t1 - t0) / 1e9, 0, ops};
-    return finishRow(c, t, checksum);
+    SpeedRow row = finishRow(c, t, checksum);
+    row.allocs = Profiler::allocCount() - allocs0;
+    return row;
 }
 
 } // namespace
@@ -150,15 +172,27 @@ canonicalSpeedMatrix(double scale)
 SpeedRow
 runSpeedConfig(const SpeedConfig &c)
 {
+    // Count allocations without enabling scope timing, so the row
+    // carries an allocation count while KIPS stays unskewed.
+    const bool counting = Profiler::allocCountingEnabled();
+    Profiler::enableAllocCounting(true);
+    SpeedRow row;
     switch (c.kind) {
       case SpeedConfig::Kind::Uni:
-        return runUniSpeed(c);
+        row = runUniSpeed(c);
+        break;
       case SpeedConfig::Kind::Mp:
-        return runMpSpeed(c);
+        row = runMpSpeed(c);
+        break;
       case SpeedConfig::Kind::Emitter:
-        return runEmitterSpeed(c);
+        row = runEmitterSpeed(c);
+        break;
+      default:
+        Profiler::enableAllocCounting(counting);
+        throw std::logic_error("bad SpeedConfig kind");
     }
-    throw std::logic_error("bad SpeedConfig kind");
+    Profiler::enableAllocCounting(counting);
+    return row;
 }
 
 void
@@ -183,7 +217,20 @@ writeBenchSpeedJson(std::ostream &os,
         w.kv("kips", r.kips);
         w.kv("mcps", r.mcps);
         w.kv("peak_rss_kb", r.peakRssKb);
+        w.kv("allocs", r.allocs);
         w.kv("digest", r.digest);
+        // Optional additive fields: absent for rows without a window
+        // stream (emitter), so the schema string stays v1 and old
+        // readers keep working.
+        if (!r.digestWindows.empty()) {
+            w.kv("digest_window_cycles",
+                 static_cast<std::uint64_t>(r.digestWindowCycles));
+            w.key("digest_windows");
+            w.beginArray();
+            for (const std::string &h : r.digestWindows)
+                w.value(h);
+            w.endArray();
+        }
         w.endObject();
     }
     w.endArray();
@@ -210,6 +257,16 @@ speedRowsFromJson(const JsonValue &doc)
         row.mcps = r.at("mcps").asDouble();
         row.peakRssKb = r.at("peak_rss_kb").asU64();
         row.digest = r.at("digest").asString();
+        // Additive v1 fields; absent in older documents (the
+        // committed baseline predates them).
+        if (const JsonValue *a = r.find("allocs"))
+            row.allocs = a->asU64();
+        if (const JsonValue *k = r.find("digest_window_cycles"))
+            row.digestWindowCycles = k->asU64();
+        if (const JsonValue *wins = r.find("digest_windows")) {
+            for (const JsonValue &h : wins->array)
+                row.digestWindows.push_back(h.asString());
+        }
         rows.push_back(std::move(row));
     }
     return rows;
@@ -255,11 +312,71 @@ compareSpeed(const std::vector<SpeedRow> &baseline,
         out.lines.emplace_back(buf);
         if (regressed)
             out.ok = false;
-        if (base.digest != cur->digest)
+        if (base.digest != cur->digest) {
             out.lines.push_back(
                 "warn " + base.config + ": digest changed (" +
                 base.digest + " -> " + cur->digest +
                 "), the simulated work differs");
+            // With matching window streams, pin the mismatch to its
+            // first divergent window so the cycle range is actionable
+            // (see docs/OBSERVABILITY.md).
+            if (base.digestWindowCycles > 0 &&
+                base.digestWindowCycles == cur->digestWindowCycles) {
+                const std::size_t n =
+                    std::min(base.digestWindows.size(),
+                             cur->digestWindows.size());
+                std::size_t i = 0;
+                while (i < n &&
+                       base.digestWindows[i] == cur->digestWindows[i])
+                    ++i;
+                if (i < n || base.digestWindows.size() !=
+                                 cur->digestWindows.size()) {
+                    const std::uint64_t k = base.digestWindowCycles;
+                    std::snprintf(
+                        buf, sizeof(buf),
+                        "warn %s: first divergent digest window #%zu "
+                        "(cycles [%llu, %llu))",
+                        base.config.c_str(), i,
+                        static_cast<unsigned long long>(i * k),
+                        static_cast<unsigned long long>((i + 1) * k));
+                    out.lines.emplace_back(buf);
+                }
+            }
+        }
+        // Memory footprint deltas are informational only: peak RSS is
+        // host-noisy and alloc counts may legitimately move with new
+        // features, so neither ever fails the comparison.
+        if (base.peakRssKb > 0 && cur->peakRssKb > 0) {
+            const double rss_delta =
+                (static_cast<double>(cur->peakRssKb) -
+                 static_cast<double>(base.peakRssKb)) /
+                static_cast<double>(base.peakRssKb);
+            std::snprintf(buf, sizeof(buf),
+                          "%s %s: peak RSS %llu -> %llu KB (%+.1f%%)",
+                          rss_delta > threshold ? "warn" : "mem ",
+                          base.config.c_str(),
+                          static_cast<unsigned long long>(
+                              base.peakRssKb),
+                          static_cast<unsigned long long>(
+                              cur->peakRssKb),
+                          rss_delta * 100.0);
+            out.lines.emplace_back(buf);
+        }
+        if (base.allocs > 0 && cur->allocs > 0) {
+            const double alloc_delta =
+                (static_cast<double>(cur->allocs) -
+                 static_cast<double>(base.allocs)) /
+                static_cast<double>(base.allocs);
+            std::snprintf(buf, sizeof(buf),
+                          "%s %s: %llu -> %llu heap allocations "
+                          "(%+.1f%%)",
+                          alloc_delta > threshold ? "warn" : "mem ",
+                          base.config.c_str(),
+                          static_cast<unsigned long long>(base.allocs),
+                          static_cast<unsigned long long>(cur->allocs),
+                          alloc_delta * 100.0);
+            out.lines.emplace_back(buf);
+        }
     }
     for (const SpeedRow &cur : current) {
         bool known = false;

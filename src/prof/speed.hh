@@ -43,6 +43,14 @@ struct SpeedConfig
     Cycle cycles = 0;      ///< timed cycles (emitter: micro-ops)
 };
 
+/**
+ * Sub-digest window size used by the speed harness's simulator rows
+ * (mirrors mtsim_run's --digest-window default): every 10k simulated
+ * cycles one windowed sub-digest, so a digest mismatch between two
+ * BENCH_speed.json files localizes to a cycle range.
+ */
+inline constexpr Cycle kSpeedDigestWindowCycles = 10000;
+
 /** One measured row of BENCH_speed.json. */
 struct SpeedRow
 {
@@ -53,7 +61,10 @@ struct SpeedRow
     double kips = 0.0;          ///< the prof::Throughput definition
     double mcps = 0.0;          ///< million simulated cycles / second
     std::uint64_t peakRssKb = 0;
+    std::uint64_t allocs = 0;   ///< heap allocations during the run
     std::string digest;         ///< probe digest as "0x…" ("0x0" none)
+    Cycle digestWindowCycles = 0;          ///< 0 = no window stream
+    std::vector<std::string> digestWindows; ///< per-window hashes "0x…"
 };
 
 /**

@@ -1,5 +1,8 @@
 #include "system/mp_system.hh"
 
+#include "metrics/json_stats.hh"
+#include "obs/flight_recorder.hh"
+
 namespace mtsim {
 
 namespace {
@@ -86,6 +89,39 @@ MpSystem::enableChecking(const CheckConfig &cc)
         checker_->setResources(p, &mem_.mshrs(p),
                                &mem_.writeBuffer(p));
     probes_.addSink(checker_.get());
+}
+
+void
+MpSystem::attachFlightRecorder(FlightRecorder *fr)
+{
+    probes_.addSink(fr);
+    fr->setStateSnapshot([this](JsonWriter &w) {
+        w.beginObject();
+        w.kv("cycle", static_cast<std::uint64_t>(now_));
+        w.kv("measured_cycles",
+             static_cast<std::uint64_t>(measured_));
+        w.key("processors");
+        w.beginArray();
+        for (ProcId p = 0; p < cfg_.numProcessors; ++p) {
+            const Processor &proc = *procs_[p];
+            w.beginObject();
+            w.kv("proc", static_cast<std::uint64_t>(p));
+            w.kv("retired", proc.retired());
+            w.key("contexts");
+            w.beginArray();
+            for (CtxId c = 0; c < proc.numContexts(); ++c) {
+                const ThreadContext &ctx = proc.context(c);
+                w.beginObject();
+                w.kv("loaded", ctx.loaded());
+                w.kv("finished", ctx.loaded() && ctx.finished());
+                w.endObject();
+            }
+            w.endArray();
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    });
 }
 
 void

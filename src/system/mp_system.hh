@@ -29,6 +29,8 @@
 
 namespace mtsim {
 
+class FlightRecorder;
+
 /**
  * Builds the per-thread kernels of one parallel application: given
  * the thread count, a shared address space and a seed, returns
@@ -81,6 +83,13 @@ class MpSystem
 
     /** The system-wide probe bus; add sinks to observe events. */
     ProbeBus &probes() { return probes_; }
+
+    /**
+     * Subscribe a flight recorder to the probe bus and give it a
+     * state-snapshot hook over every node's live context state, so a
+     * crash dump shows where the machine stood. Passive.
+     */
+    void attachFlightRecorder(FlightRecorder *fr);
 
     /**
      * Attach an interval sampler fed with the aggregate busy-cycle

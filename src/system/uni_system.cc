@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "metrics/json_stats.hh"
+#include "obs/flight_recorder.hh"
+
 namespace mtsim {
 
 namespace {
@@ -61,6 +64,36 @@ UniSystem::enableChecking(const CheckConfig &cc)
         cc, cfg_, std::vector<Processor *>{&proc_});
     checker_->setResources(0, &mem_.mshrs(), &mem_.writeBuffer());
     probes_.addSink(checker_.get());
+}
+
+void
+UniSystem::attachFlightRecorder(FlightRecorder *fr)
+{
+    probes_.addSink(fr);
+    fr->setStateSnapshot([this](JsonWriter &w) {
+        w.beginObject();
+        w.kv("cycle", static_cast<std::uint64_t>(now_));
+        w.kv("measured_cycles",
+             static_cast<std::uint64_t>(measured_));
+        w.key("processors");
+        w.beginArray();
+        w.beginObject();
+        w.kv("proc", std::uint64_t{0});
+        w.kv("retired", proc_.retired());
+        w.key("contexts");
+        w.beginArray();
+        for (CtxId c = 0; c < proc_.numContexts(); ++c) {
+            const ThreadContext &ctx = proc_.context(c);
+            w.beginObject();
+            w.kv("loaded", ctx.loaded());
+            w.kv("finished", ctx.loaded() && ctx.finished());
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        w.endArray();
+        w.endObject();
+    });
 }
 
 void

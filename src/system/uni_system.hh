@@ -29,6 +29,8 @@
 
 namespace mtsim {
 
+class FlightRecorder;
+
 class UniSystem
 {
   public:
@@ -73,6 +75,14 @@ class UniSystem
 
     /** The system-wide probe bus; add sinks to observe events. */
     ProbeBus &probes() { return probes_; }
+
+    /**
+     * Subscribe a flight recorder to the probe bus and give it a
+     * state-snapshot hook over this system's live cycle and context
+     * state, so a crash dump shows where the machine stood. Passive:
+     * a recorded run is bit-identical to a plain one.
+     */
+    void attachFlightRecorder(FlightRecorder *fr);
 
     /**
      * Attach an interval sampler fed with the cumulative busy-cycle

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Tests of the flight recorder and the windowed digest stream: ring
+ * semantics, JSON dump structure, strict passivity (a recorded run
+ * with windowed digests is bit-identical to a plain run), window
+ * contiguity, seeded-perturbation localization, and the end-to-end
+ * checker-violation dump whose last events must include the
+ * violating cycle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/checker.hh"
+#include "check/digest.hh"
+#include "common/config.hh"
+#include "metrics/json_parse.hh"
+#include "metrics/json_stats.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/probe.hh"
+#include "spec/spec_suite.hh"
+#include "system/uni_system.hh"
+
+namespace mtsim {
+namespace {
+
+ProbeEvent
+issueAt(Cycle cycle, SeqNum seq)
+{
+    ProbeEvent ev;
+    ev.kind = ProbeKind::ContextIssue;
+    ev.cycle = cycle;
+    ev.seq = seq;
+    ev.addr = 0x1000 + 4 * seq;
+    return ev;
+}
+
+// ---- ring semantics -----------------------------------------------
+
+TEST(FlightRecorder, RingKeepsNewestEventsOldestFirst)
+{
+    FlightRecorder fr(8);
+    for (SeqNum s = 0; s < 20; ++s)
+        fr.onEvent(issueAt(100 + s, s));
+
+    EXPECT_EQ(fr.capacity(), 8u);
+    EXPECT_EQ(fr.size(), 8u);
+    EXPECT_EQ(fr.eventsSeen(), 20u);
+    EXPECT_EQ(fr.eventsDropped(), 12u);
+    EXPECT_EQ(fr.lastCycle(), 119u);
+
+    const std::vector<ProbeEvent> held = fr.events();
+    ASSERT_EQ(held.size(), 8u);
+    for (std::size_t i = 0; i < held.size(); ++i)
+        EXPECT_EQ(held[i].seq, 12 + i) << "event " << i;
+}
+
+TEST(FlightRecorder, PartialRingIsInInsertionOrder)
+{
+    FlightRecorder fr(16);
+    for (SeqNum s = 0; s < 5; ++s)
+        fr.onEvent(issueAt(s, s));
+    EXPECT_EQ(fr.size(), 5u);
+    EXPECT_EQ(fr.eventsDropped(), 0u);
+    const std::vector<ProbeEvent> held = fr.events();
+    ASSERT_EQ(held.size(), 5u);
+    for (std::size_t i = 0; i < held.size(); ++i)
+        EXPECT_EQ(held[i].seq, i);
+}
+
+// ---- the dump format ----------------------------------------------
+
+TEST(FlightRecorder, DumpRoundTripsThroughTheJsonParser)
+{
+    FlightRecorder fr(4);
+    for (SeqNum s = 0; s < 6; ++s)
+        fr.onEvent(issueAt(50 + s, s));
+    fr.setStateSnapshot([](JsonWriter &w) {
+        w.beginObject();
+        w.kv("cycle", std::uint64_t{56});
+        w.endObject();
+    });
+
+    std::ostringstream os;
+    fr.writeJson(os, "unit test");
+    const JsonValue doc = parseJson(os.str());
+
+    EXPECT_EQ(doc.at("schema").asString(), "mtsim_flight_recorder/v1");
+    EXPECT_EQ(doc.at("reason").asString(), "unit test");
+    EXPECT_EQ(doc.at("capacity").asU64(), 4u);
+    EXPECT_EQ(doc.at("events_held").asU64(), 4u);
+    EXPECT_EQ(doc.at("events_seen").asU64(), 6u);
+    EXPECT_EQ(doc.at("events_dropped").asU64(), 2u);
+    EXPECT_EQ(doc.at("last_cycle").asU64(), 55u);
+    EXPECT_EQ(doc.at("state").at("cycle").asU64(), 56u);
+
+    const JsonValue &events = doc.at("events");
+    ASSERT_EQ(events.array.size(), 4u);
+    EXPECT_EQ(events.array.front().at("kind").asString(), "issue");
+    EXPECT_EQ(events.array.front().at("seq").asU64(), 2u);
+    EXPECT_EQ(events.array.back().at("cycle").asU64(), 55u);
+}
+
+// ---- passivity (the digest-pinned acceptance test) ----------------
+
+/** Run the FP mix; optionally observed by recorder + window stream. */
+struct UniResult
+{
+    std::uint64_t digest;
+    std::uint64_t retired;
+    Cycle busy;
+    Cycle total;
+};
+
+UniResult
+runFpMix(bool observed)
+{
+    Config cfg = Config::make(Scheme::Interleaved, 2);
+    UniSystem sys(cfg);
+    for (const auto &app : uniWorkload("FP"))
+        sys.addApp(app, specKernel(app));
+    FlightRecorder recorder(256);
+    ProbeDigest digest(observed ? 1000 : 0);
+    if (observed)
+        sys.attachFlightRecorder(&recorder);
+    sys.probes().addSink(&digest);
+    sys.run(5000, 5000);
+    if (observed) {
+        EXPECT_GT(recorder.eventsSeen(), 0u);
+    }
+    return {digest.digest(), sys.retired(),
+            sys.breakdown().get(CycleClass::Busy),
+            sys.breakdown().total()};
+}
+
+TEST(FlightRecorder, RecorderAndWindowedDigestAreBitIdentical)
+{
+    // The tentpole passivity guarantee: attaching the recorder and
+    // turning on windowed sub-digests must not change the simulation
+    // or the whole-run hash (windowing mixes the same bytes).
+    const UniResult plain = runFpMix(false);
+    const UniResult observed = runFpMix(true);
+    EXPECT_EQ(plain.digest, observed.digest);
+    EXPECT_EQ(plain.retired, observed.retired);
+    EXPECT_EQ(plain.busy, observed.busy);
+    EXPECT_EQ(plain.total, observed.total);
+}
+
+// ---- the window stream --------------------------------------------
+
+TEST(DigestWindows, WindowsAreContiguousAndCoverAllEvents)
+{
+    Config cfg = Config::make(Scheme::Interleaved, 2);
+    UniSystem sys(cfg);
+    for (const auto &app : uniWorkload("FP"))
+        sys.addApp(app, specKernel(app));
+    ProbeDigest digest(1000);
+    sys.probes().addSink(&digest);
+    sys.run(4000, 4000);
+    digest.finishWindows();
+
+    const std::vector<DigestWindow> &wins = digest.windows();
+    ASSERT_GT(wins.size(), 2u);
+    std::uint64_t event_sum = 0;
+    for (std::size_t i = 0; i < wins.size(); ++i) {
+        EXPECT_EQ(wins[i].index, i);
+        EXPECT_EQ(wins[i].start, i * 1000);
+        EXPECT_EQ(wins[i].end, (i + 1) * 1000);
+        event_sum += wins[i].events;
+    }
+    EXPECT_EQ(event_sum, digest.events());
+
+    // Idempotent: finishing again adds nothing.
+    digest.finishWindows();
+    EXPECT_EQ(digest.windows().size(), wins.size());
+}
+
+TEST(DigestWindows, IdenticalRunsProduceIdenticalWindowStreams)
+{
+    auto windows = [] {
+        Config cfg = Config::make(Scheme::Interleaved, 2);
+        UniSystem sys(cfg);
+        for (const auto &app : uniWorkload("FP"))
+            sys.addApp(app, specKernel(app));
+        ProbeDigest digest(500);
+        sys.probes().addSink(&digest);
+        sys.run(3000, 3000);
+        digest.finishWindows();
+        return digest.windows();
+    };
+    const std::vector<DigestWindow> a = windows();
+    const std::vector<DigestWindow> b = windows();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].hash, b[i].hash) << "window " << i;
+        EXPECT_EQ(a[i].events, b[i].events) << "window " << i;
+    }
+}
+
+TEST(DigestWindows, PerturbationDivergesExactlyFromArmedWindow)
+{
+    // Synthetic stream, one event per cycle for 10 windows of 100.
+    auto stream = [](ProbeDigest &d) {
+        for (Cycle c = 0; c < 1000; ++c)
+            d.onEvent(issueAt(c, c));
+        d.finishWindows();
+    };
+    ProbeDigest clean(100), seeded(100);
+    seeded.testPerturbAtCycle(350);
+    stream(clean);
+    stream(seeded);
+
+    EXPECT_NE(clean.digest(), seeded.digest());
+    ASSERT_EQ(clean.windows().size(), 10u);
+    ASSERT_EQ(seeded.windows().size(), 10u);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(clean.windows()[i].hash, seeded.windows()[i].hash)
+            << "window " << i << " precedes the perturbation";
+    EXPECT_NE(clean.windows()[3].hash, seeded.windows()[3].hash)
+        << "cycle 350 falls in window #3";
+}
+
+// ---- end-to-end: checker violation dumps the recorder -------------
+
+TEST(FlightRecorder, CheckerViolationDumpIncludesViolatingCycle)
+{
+    Config cfg = Config::make(Scheme::Interleaved, 2);
+    UniSystem sys(cfg);
+    for (const auto &app : uniWorkload("DC"))
+        sys.addApp(app, specKernel(app));
+    FlightRecorder recorder(512);
+    sys.attachFlightRecorder(&recorder);   // before enableChecking
+    sys.processor().testForceOsSwapLeak(true);
+    sys.enableChecking();
+
+    Cycle violation_cycle = 0;
+    try {
+        // 4 DC apps on 2 contexts: the OS swaps the resident set at
+        // cycle 150000 (timeslice 50000 x 3 affinity slices) and the
+        // re-seeded scoreboard leak trips the checker there.
+        sys.run(0, 200000);
+        FAIL() << "expected a CheckError";
+    } catch (const CheckError &e) {
+        violation_cycle = e.violation().cycle;
+    }
+    ASSERT_GT(violation_cycle, 0u);
+
+    // The recorder subscribed before the checker, so it must have
+    // recorded up to and including the violating cycle.
+    EXPECT_EQ(recorder.lastCycle(), violation_cycle);
+
+    const std::string path = "fr_unit_dump.json";
+    ASSERT_TRUE(recorder.dumpToFile(path, "unit violation"));
+    const JsonValue doc = parseJsonFile(path);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(doc.at("schema").asString(),
+              "mtsim_flight_recorder/v1");
+    EXPECT_EQ(doc.at("last_cycle").asU64(), violation_cycle);
+    const JsonValue &events = doc.at("events");
+    ASSERT_FALSE(events.array.empty());
+    EXPECT_EQ(events.array.back().at("cycle").asU64(),
+              violation_cycle);
+    // The state snapshot reflects the moment of death.
+    EXPECT_EQ(doc.at("state").at("cycle").asU64(), violation_cycle);
+}
+
+} // namespace
+} // namespace mtsim

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Edge-case tests of the JSON reader (metrics/json_parse.hh): escape
+ * sequences, \uXXXX unicode to UTF-8, control characters, deep
+ * nesting (bounded, failing gracefully past the limit), truncated
+ * input, duplicate keys (document order, find() returns the first),
+ * and number/accessor edge cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "metrics/json_parse.hh"
+
+namespace mtsim {
+namespace {
+
+// ---- escapes ------------------------------------------------------
+
+TEST(JsonParse, SimpleEscapesDecode)
+{
+    const JsonValue v = parseJson(
+        R"({"s": "a\"b\\c\/d\b\f\n\r\te"})");
+    EXPECT_EQ(v.at("s").asString(), "a\"b\\c/d\b\f\n\r\te");
+}
+
+TEST(JsonParse, UnicodeEscapesEncodeUtf8)
+{
+    // One-, two- and three-byte UTF-8 targets via \uXXXX escapes,
+    // hex digits in either case.
+    EXPECT_EQ(parseJson("\"\\u0041\"").asString(), "A");
+    EXPECT_EQ(parseJson("\"\\u00e9\"").asString(), "\xc3\xa9");
+    EXPECT_EQ(parseJson("\"\\u20AC\"").asString(), "\xe2\x82\xac");
+    EXPECT_EQ(parseJson("\"\\u00E9\"").asString(), "\xc3\xa9");
+    // Raw multi-byte UTF-8 passes through untouched.
+    EXPECT_EQ(parseJson("\"\xc3\xa9\"").asString(), "\xc3\xa9");
+}
+
+TEST(JsonParse, BadEscapesFail)
+{
+    EXPECT_THROW(parseJson(R"("\q")"), JsonParseError);
+    EXPECT_THROW(parseJson(R"("\u12")"), JsonParseError);
+    EXPECT_THROW(parseJson(R"("\u12zz")"), JsonParseError);
+    EXPECT_THROW(parseJson("\"\\"), JsonParseError);
+}
+
+TEST(JsonParse, RawControlCharactersFail)
+{
+    EXPECT_THROW(parseJson("\"a\nb\""), JsonParseError);
+    EXPECT_THROW(parseJson(std::string("\"a\0b\"", 5)),
+                 JsonParseError);
+}
+
+// ---- nesting depth ------------------------------------------------
+
+TEST(JsonParse, DeeplyNestedArraysParseWithinTheBound)
+{
+    const int depth = 500;
+    std::string text(depth, '[');
+    text += "1";
+    text.append(depth, ']');
+    const JsonValue v = parseJson(text);
+    const JsonValue *p = &v;
+    for (int i = 1; i < depth; ++i) {
+        ASSERT_TRUE(p->isArray());
+        ASSERT_EQ(p->array.size(), 1u);
+        p = &p->array[0];
+    }
+    EXPECT_EQ(p->array.at(0).asU64(), 1u);
+}
+
+TEST(JsonParse, AbsurdNestingFailsGracefully)
+{
+    // Past the depth bound the parser must throw a JsonParseError,
+    // not overflow the host stack.
+    const int depth = 100000;
+    std::string text(depth, '[');
+    text += "1";
+    text.append(depth, ']');
+    EXPECT_THROW(parseJson(text), JsonParseError);
+
+    std::string objs;
+    for (int i = 0; i < 2000; ++i)
+        objs += "{\"k\":";
+    EXPECT_THROW(parseJson(objs), JsonParseError);
+}
+
+// ---- truncated input ----------------------------------------------
+
+TEST(JsonParse, TruncatedInputsFail)
+{
+    for (const char *text :
+         {"", "{", "[1,", "\"abc", "{\"a\":", "{\"a\":1",
+          "[1, 2", "tru", "nul", "-", "{\"a\" 1}"})
+        EXPECT_THROW(parseJson(text), JsonParseError)
+            << "input: " << text;
+}
+
+TEST(JsonParse, TrailingGarbageFails)
+{
+    EXPECT_THROW(parseJson("{} x"), JsonParseError);
+    EXPECT_THROW(parseJson("1 2"), JsonParseError);
+}
+
+TEST(JsonParse, ErrorCarriesByteOffset)
+{
+    try {
+        parseJson("{\"a\": !}");
+        FAIL() << "expected JsonParseError";
+    } catch (const JsonParseError &e) {
+        EXPECT_EQ(e.offset(), 6u);
+    }
+}
+
+// ---- duplicate keys -----------------------------------------------
+
+TEST(JsonParse, DuplicateKeysKeepDocumentOrderFindReturnsFirst)
+{
+    const JsonValue v = parseJson(R"({"k": 1, "x": 2, "k": 3})");
+    ASSERT_EQ(v.object.size(), 3u);
+    EXPECT_EQ(v.object[0].first, "k");
+    EXPECT_EQ(v.object[2].first, "k");
+    EXPECT_EQ(v.object[0].second.asU64(), 1u);
+    EXPECT_EQ(v.object[2].second.asU64(), 3u);
+    // find/at return the first occurrence.
+    EXPECT_EQ(v.at("k").asU64(), 1u);
+}
+
+// ---- numbers and accessors ----------------------------------------
+
+TEST(JsonParse, NumberEdgeCases)
+{
+    EXPECT_DOUBLE_EQ(parseJson("-0.5").asDouble(), -0.5);
+    EXPECT_DOUBLE_EQ(parseJson("1e3").asDouble(), 1000.0);
+    EXPECT_DOUBLE_EQ(parseJson("2.5E-1").asDouble(), 0.25);
+    EXPECT_EQ(parseJson("18014398509481984").asU64(),
+              18014398509481984ull); // 2^54, exact in a double
+    EXPECT_THROW(parseJson("1.2.3"), JsonParseError);
+    EXPECT_THROW(parseJson("1e"), JsonParseError);
+}
+
+TEST(JsonParse, AccessorTypeMismatchesThrow)
+{
+    const JsonValue v = parseJson(R"({"n": -1, "f": 0.5, "s": "x"})");
+    EXPECT_THROW(v.at("n").asU64(), std::runtime_error);
+    EXPECT_THROW(v.at("f").asU64(), std::runtime_error);
+    EXPECT_THROW(v.at("s").asDouble(), std::runtime_error);
+    EXPECT_THROW(v.at("n").asString(), std::runtime_error);
+    EXPECT_THROW(v.at("missing"), std::out_of_range);
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, LiteralsAndWhitespace)
+{
+    EXPECT_TRUE(parseJson("  true ").boolean);
+    EXPECT_FALSE(parseJson("false").boolean);
+    EXPECT_TRUE(parseJson("null").isNull());
+    const JsonValue v = parseJson(" { \"a\" : [ 1 , 2 ] } ");
+    EXPECT_EQ(v.at("a").array.size(), 2u);
+}
+
+} // namespace
+} // namespace mtsim

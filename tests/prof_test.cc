@@ -384,8 +384,10 @@ TEST(BenchCompareTest, IdenticalInputsPass)
     const auto rows = {makeRow("a", 100.0), makeRow("b", 50.0)};
     const auto out = prof::compareSpeed(rows, rows, 0.10);
     EXPECT_TRUE(out.ok);
-    ASSERT_EQ(out.lines.size(), 2u);
+    // One KIPS verdict plus one informational peak-RSS line per row.
+    ASSERT_EQ(out.lines.size(), 4u);
     EXPECT_EQ(out.lines[0].substr(0, 2), "ok");
+    EXPECT_EQ(out.lines[1].substr(0, 4), "mem ");
 }
 
 TEST(BenchCompareTest, RegressionBeyondThresholdFails)

@@ -29,7 +29,12 @@ usage()
         "  Compares per-config KIPS; exits 1 when any config in\n"
         "  CURRENT is more than F (default 0.10 = 10%) slower than\n"
         "  BASELINE or missing from it. Digest differences are\n"
-        "  reported as warnings: the simulated work changed.\n";
+        "  reported as warnings (the simulated work changed) and,\n"
+        "  when both files carry windowed digests, localized to the\n"
+        "  first divergent window's cycle range. Peak-RSS and\n"
+        "  heap-allocation deltas are reported per config ('mem'\n"
+        "  lines, 'warn' beyond the threshold) but never gate:\n"
+        "  memory footprint is informational only.\n";
 }
 
 } // namespace

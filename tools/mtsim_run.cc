@@ -20,8 +20,10 @@
  * KIPS heartbeat to stderr every N host seconds.
  */
 
+#include <cerrno>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iomanip>
@@ -37,6 +39,7 @@
 #include "metrics/breakdown.hh"
 #include "metrics/json_stats.hh"
 #include "metrics/report.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/trace_writer.hh"
 #include "prof/host_info.hh"
 #include "prof/profiler.hh"
@@ -68,6 +71,12 @@ struct Options
     Cycle sampleInterval = 0;
     bool check = false;
     bool digest = false;
+    Cycle digestWindow = 10000;
+    std::string frDump;
+    std::size_t frSize = FlightRecorder::kDefaultCapacity;
+    bool testOsSwapLeak = false;
+    bool testPerturb = false;
+    Cycle testPerturbCycle = 0;
     bool prof = false;
     std::string profJson;
     std::uint64_t progressSeconds = 0;
@@ -140,6 +149,23 @@ usage()
         "                      violation (docs/CHECKING.md)\n"
         "  --digest            print the probe-stream digest (two\n"
         "                      identical runs must match)\n"
+        "  --digest-window N   sub-digest window size in cycles for\n"
+        "                      the --stats-json digest block\n"
+        "                      (default 10000, 0 = whole-run only)\n"
+        "  --fr-dump FILE      arm the flight recorder: on a checker\n"
+        "                      violation, assert or fatal signal,\n"
+        "                      dump the last --fr-size probe events\n"
+        "                      plus machine state to FILE as JSON\n"
+        "  --fr-size N         flight-recorder ring capacity in\n"
+        "                      events (default 4096)\n"
+        "  --test-force-osswap-leak\n"
+        "                      test-only: re-seed the historical\n"
+        "                      OS-swap scoreboard leak so --check\n"
+        "                      trips (exercises the flight recorder)\n"
+        "  --test-perturb-digest CYCLE\n"
+        "                      test-only: corrupt the digest stream\n"
+        "                      at the first event at/after CYCLE\n"
+        "                      (exercises mtsim_diff localization)\n"
         "  --prof              self-profile the simulator and print\n"
         "                      the host-side cost tree (also enabled\n"
         "                      by MTSIM_PROF=1); simulation output\n"
@@ -205,6 +231,19 @@ parse(int argc, char **argv)
             o.check = true;
         } else if (a == "--digest") {
             o.digest = true;
+        } else if (a == "--digest-window") {
+            o.digestWindow = parseU64(a, next());
+        } else if (a == "--fr-dump") {
+            o.frDump = next();
+        } else if (a == "--fr-size") {
+            o.frSize = parseU64(a, next(), 1u << 24);
+            if (o.frSize == 0)
+                throw std::invalid_argument("--fr-size: must be >= 1");
+        } else if (a == "--test-force-osswap-leak") {
+            o.testOsSwapLeak = true;
+        } else if (a == "--test-perturb-digest") {
+            o.testPerturbCycle = parseU64(a, next());
+            o.testPerturb = true;
         } else if (a == "--prof") {
             o.prof = true;
         } else if (a == "--prof-json") {
@@ -222,6 +261,35 @@ parse(int argc, char **argv)
         }
     }
     return o;
+}
+
+/**
+ * Fail fast on unwritable output destinations, at flag-parse time: a
+ * long run must not die at the very end because its stats directory
+ * does not exist. AtomicFile probes by opening `path.tmp`; the
+ * uncommitted probe is removed by the destructor.
+ */
+void
+validateOutputs(const Options &o)
+{
+    const std::pair<const char *, const std::string *> outputs[] = {
+        {"--trace-out", &o.traceOut},
+        {"--stats-json", &o.statsJson},
+        {"--prof-json", &o.profJson},
+        {"--fr-dump", &o.frDump},
+    };
+    for (const auto &[flag, path] : outputs) {
+        if (path->empty())
+            continue;
+        errno = 0;
+        AtomicFile probe(*path);
+        if (!probe.ok())
+            throw std::runtime_error(
+                std::string(flag) + ": cannot write " + *path +
+                (errno != 0
+                     ? std::string(": ") + std::strerror(errno)
+                     : std::string()));
+    }
 }
 
 void
@@ -295,12 +363,47 @@ printDigest(const ProbeDigest &d)
               << " events)\n";
 }
 
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** The stats-JSON digest block: whole-run hash + window stream. */
+void
+writeDigestJson(JsonWriter &w, ProbeDigest &d)
+{
+    d.finishWindows();
+    w.beginObject();
+    w.kv("hash", hex64(d.digest()));
+    w.kv("events", d.events());
+    w.kv("window_cycles", static_cast<std::uint64_t>(
+                              d.windowCycles()));
+    w.key("windows");
+    w.beginArray();
+    for (const DigestWindow &win : d.windows()) {
+        w.beginObject();
+        w.kv("index", win.index);
+        w.kv("start", static_cast<std::uint64_t>(win.start));
+        w.kv("end", static_cast<std::uint64_t>(win.end));
+        w.kv("hash", hex64(win.hash));
+        w.kv("events", win.events);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
 void
 writeStatsJson(const Options &o, const RunInfo &info,
                const CycleBreakdown &bd, const CounterSet &counters,
                const std::vector<std::pair<std::string,
                                            const Histogram *>> &hists,
-               const IntervalSampler *sampler, double wall_seconds)
+               const IntervalSampler *sampler, ProbeDigest *digest,
+               double wall_seconds)
 {
     AtomicFile file(o.statsJson);
     if (!file.ok())
@@ -325,6 +428,8 @@ writeStatsJson(const Options &o, const RunInfo &info,
     }
     w.kv("width", static_cast<std::uint64_t>(o.width));
     w.kv("seed", o.seed);
+    if (!o.mp)
+        w.kv("warmup", static_cast<std::uint64_t>(o.warmup));
     w.kv("measured_cycles",
          static_cast<std::uint64_t>(info.measuredCycles));
     w.endObject();
@@ -349,6 +454,11 @@ writeStatsJson(const Options &o, const RunInfo &info,
     if (sampler != nullptr) {
         w.key("samples");
         writeSamplerJson(w, *sampler);
+    }
+
+    if (digest != nullptr) {
+        w.key("digest");
+        writeDigestJson(w, *digest);
     }
 
     w.key("sim_speed");
@@ -428,14 +538,27 @@ runUniMode(const Options &o)
             sys.addApp(app, specKernel(app));
     }
 
+    // The recorder subscribes before the checker: the checker throws
+    // from inside the emitting probe call, so only earlier sinks see
+    // the violating event - and the dump must include it.
+    std::optional<FlightRecorder> recorder;
+    if (!o.frDump.empty()) {
+        recorder.emplace(o.frSize);
+        sys.attachFlightRecorder(&*recorder);
+        FlightRecorder::installCrashDump(&*recorder, o.frDump);
+    }
+    if (o.testOsSwapLeak)
+        sys.processor().testForceOsSwapLeak(true);
     if (o.check)
         sys.enableChecking();
     auto trace = makeTraceWriter(o);
     if (trace)
         sys.probes().addSink(trace.get());
     std::optional<ProbeDigest> digest;
-    if (o.digest) {
-        digest.emplace();
+    if (o.digest || !o.statsJson.empty()) {
+        digest.emplace(o.digestWindow);
+        if (o.testPerturb)
+            digest->testPerturbAtCycle(o.testPerturbCycle);
         sys.probes().addSink(&*digest);
     }
     std::optional<IntervalSampler> sampler;
@@ -451,10 +574,21 @@ runUniMode(const Options &o)
     }
 
     WallClock wall;
-    {
+    try {
         MTSIM_PROF_SCOPE("run");
         sys.run(o.warmup, o.cycles);
+    } catch (const CheckError &e) {
+        if (recorder) {
+            if (recorder->dumpToFile(o.frDump, e.what()))
+                std::cerr << "flight recorder: wrote " << o.frDump
+                          << " (" << recorder->size()
+                          << " events)\n";
+            FlightRecorder::uninstallCrashDump();
+        }
+        throw;
     }
+    if (recorder)
+        FlightRecorder::uninstallCrashDump();
     const double wall_seconds = wall.seconds();
     if (trace) {
         sys.probes().removeSink(trace.get());
@@ -482,7 +616,7 @@ runUniMode(const Options &o)
     printCounters(counters);
     if (o.check)
         std::cout << "check: " << sys.checker()->summary() << '\n';
-    if (digest)
+    if (o.digest && digest)
         printDigest(*digest);
 
     if (!o.statsJson.empty()) {
@@ -494,7 +628,8 @@ runUniMode(const Options &o)
              {"bus_queue_delay", &sys.mem().busQueueDelay()},
              {"context_run_length",
               &sys.processor().runLengthHistogram()}},
-            sampler ? &*sampler : nullptr, wall_seconds);
+            sampler ? &*sampler : nullptr,
+            digest ? &*digest : nullptr, wall_seconds);
     }
     finishProfile(o, prof::Throughput{
                          wall_seconds,
@@ -517,14 +652,28 @@ runMpMode(const Options &o)
     sys.setStatsBarrier(kStatsBarrier);
     sys.loadApp(splashApp(app));
 
+    // Recorder before checker, as in runUniMode: the checker throws
+    // mid-emit, and the dump must include the violating event.
+    std::optional<FlightRecorder> recorder;
+    if (!o.frDump.empty()) {
+        recorder.emplace(o.frSize);
+        sys.attachFlightRecorder(&*recorder);
+        FlightRecorder::installCrashDump(&*recorder, o.frDump);
+    }
+    if (o.testOsSwapLeak) {
+        for (ProcId p = 0; p < cfg.numProcessors; ++p)
+            sys.processor(p).testForceOsSwapLeak(true);
+    }
     if (o.check)
         sys.enableChecking();
     auto trace = makeTraceWriter(o);
     if (trace)
         sys.probes().addSink(trace.get());
     std::optional<ProbeDigest> digest;
-    if (o.digest) {
-        digest.emplace();
+    if (o.digest || !o.statsJson.empty()) {
+        digest.emplace(o.digestWindow);
+        if (o.testPerturb)
+            digest->testPerturbAtCycle(o.testPerturbCycle);
         sys.probes().addSink(&*digest);
     }
     std::optional<IntervalSampler> sampler;
@@ -541,10 +690,21 @@ runMpMode(const Options &o)
 
     WallClock wall;
     Cycle measured = 0;
-    {
+    try {
         MTSIM_PROF_SCOPE("run");
         measured = sys.run();
+    } catch (const CheckError &e) {
+        if (recorder) {
+            if (recorder->dumpToFile(o.frDump, e.what()))
+                std::cerr << "flight recorder: wrote " << o.frDump
+                          << " (" << recorder->size()
+                          << " events)\n";
+            FlightRecorder::uninstallCrashDump();
+        }
+        throw;
     }
+    if (recorder)
+        FlightRecorder::uninstallCrashDump();
     const double wall_seconds = wall.seconds();
     if (trace) {
         sys.probes().removeSink(trace.get());
@@ -570,7 +730,7 @@ runMpMode(const Options &o)
     printCounters(counters);
     if (o.check)
         std::cout << "check: " << sys.checker()->summary() << '\n';
-    if (digest)
+    if (o.digest && digest)
         printDigest(*digest);
 
     if (!o.statsJson.empty()) {
@@ -586,7 +746,8 @@ runMpMode(const Options &o)
             o, info, bd, counters,
             {{"dmiss_latency", &sys.mem().dmissLatency()},
              {"context_run_length", &runLen}},
-            sampler ? &*sampler : nullptr, wall_seconds);
+            sampler ? &*sampler : nullptr,
+            digest ? &*digest : nullptr, wall_seconds);
     }
     finishProfile(o, prof::Throughput{
                          wall_seconds,
@@ -606,6 +767,7 @@ main(int argc, char **argv)
             usage();
             return 0;
         }
+        validateOutputs(o);
         if (const char *v = std::getenv("MTSIM_PROF");
             v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0)
             o.prof = true;
