@@ -46,6 +46,8 @@ MshrFile::allocate(Addr lineAddr, Cycle done)
             e.valid = true;
             e.lineAddr = lineAddr;
             e.done = done;
+            if (done < nextDoneAt_)
+                nextDoneAt_ = done;
             ++allocations_;
             return;
         }
@@ -58,10 +60,18 @@ MshrFile::allocate(Addr lineAddr, Cycle done)
 void
 MshrFile::retire(Cycle now)
 {
+    if (now < nextDoneAt_)
+        return;
+    Cycle next = kCycleNever;
     for (Entry &e : entries_) {
-        if (e.valid && e.done <= now)
+        if (!e.valid)
+            continue;
+        if (e.done <= now)
             e.valid = false;
+        else if (e.done < next)
+            next = e.done;
     }
+    nextDoneAt_ = next;
 }
 
 std::uint32_t
@@ -80,6 +90,7 @@ MshrFile::clear()
 {
     for (Entry &e : entries_)
         e.valid = false;
+    nextDoneAt_ = kCycleNever;
 }
 
 } // namespace mtsim

@@ -61,6 +61,12 @@ class MshrFile
     };
 
     std::vector<Entry> entries_;
+    /**
+     * Earliest completion among valid entries (conservative: may be
+     * stale-low after a retire, never stale-high), so the per-cycle
+     * retire() scan short-circuits while nothing is due.
+     */
+    Cycle nextDoneAt_ = kCycleNever;
     std::uint64_t allocations_ = 0;
     std::uint64_t merges_ = 0;
 };

@@ -1,12 +1,20 @@
 #include "cache/tlb.hh"
 
+#include <bit>
+#include <cassert>
+
 namespace mtsim {
 
 Tlb::Tlb(const TlbParams &params)
     : params_(params),
+      pageShift_(static_cast<std::uint32_t>(
+          std::countr_zero(params.pageBytes))),
       pages_(params.entries, 0),
       valid_(params.entries, false)
-{}
+{
+    assert(std::has_single_bit(params.pageBytes) &&
+           "page size must be a power of two");
+}
 
 bool
 Tlb::present(Addr a) const
@@ -31,7 +39,8 @@ Tlb::access(Addr a)
     ++misses_;
     pages_[fifo_] = page;
     valid_[fifo_] = true;
-    fifo_ = (fifo_ + 1) % pages_.size();
+    if (++fifo_ == pages_.size())
+        fifo_ = 0;
     lastPage_ = page;
     return params_.missPenalty;
 }

@@ -37,9 +37,10 @@ class Tlb
     std::uint64_t misses() const { return misses_; }
 
   private:
-    Addr pageOf(Addr a) const { return a / params_.pageBytes; }
+    Addr pageOf(Addr a) const { return a >> pageShift_; }
 
     TlbParams params_;
+    std::uint32_t pageShift_;  ///< log2(pageBytes); pageBytes must be 2^k
     std::vector<Addr> pages_;   ///< valid entries (page numbers)
     std::vector<bool> valid_;
     std::size_t fifo_ = 0;

@@ -17,36 +17,19 @@ Scoreboard::reset()
 }
 
 Cycle
-Scoreboard::regReady(RegId r) const
-{
-    if (r == kNoReg || r == kZeroReg)
-        return 0;
-    return ready_[r];
-}
-
-ProducerKind
-Scoreboard::regKind(RegId r) const
-{
-    if (r == kNoReg || r == kZeroReg)
-        return ProducerKind::None;
-    return kind_[r];
-}
-
-Cycle
 Scoreboard::readyCycle(const MicroOp &op,
                        std::uint32_t result_latency, Cycle now) const
 {
-    Cycle when = std::max(regReady(op.src1), regReady(op.src2));
+    Cycle when = std::max(ready_[op.src1], ready_[op.src2]);
     // Output dependence: do not let this write complete before an
     // older write to the same register that is still outstanding.
     // A prior ready time at or before `now` is history, not an
-    // in-flight write; it must not delay issue.
-    if (op.dst != kNoReg && op.dst != kZeroReg) {
-        Cycle prior = ready_[op.dst];
-        if (prior > now && prior > result_latency &&
-            prior - result_latency > when)
-            when = prior - result_latency;
-    }
+    // in-flight write; it must not delay issue. The sentinel slots
+    // hold 0, so kNoReg/kZeroReg destinations fail `prior > now`.
+    const Cycle prior = ready_[op.dst];
+    if (prior > now && prior > result_latency &&
+        prior - result_latency > when)
+        when = prior - result_latency;
     return when;
 }
 
@@ -56,8 +39,7 @@ Scoreboard::blockingKind(const MicroOp &op, Cycle now) const
     ProducerKind k = ProducerKind::None;
     Cycle worst = now;
     auto consider = [&](RegId r) {
-        if (r == kNoReg || r == kZeroReg)
-            return;
+        // Sentinel slots hold 0 and never exceed `worst` (>= now).
         if (ready_[r] > worst) {
             worst = ready_[r];
             k = kind_[r];

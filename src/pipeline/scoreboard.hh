@@ -59,12 +59,19 @@ class Scoreboard
     /** Reset everything (context reload by the OS). */
     void reset();
 
-    Cycle regReady(RegId r) const;
-    ProducerKind regKind(RegId r) const;
+    Cycle regReady(RegId r) const { return ready_[r]; }
+    ProducerKind regKind(RegId r) const { return kind_[r]; }
 
   private:
-    std::array<Cycle, kNumRegs> ready_;
-    std::array<ProducerKind, kNumRegs> kind_;
+    // One slot per possible RegId byte, so readers index with the raw
+    // operand field and never branch: the kZeroReg and kNoReg slots
+    // are pinned to {ready 0, ProducerKind::None} (recordWrite and
+    // clearWrite guard them), which is exactly what the old special
+    // cases returned.
+    static constexpr std::size_t kSlots = 256;
+
+    std::array<Cycle, kSlots> ready_;
+    std::array<ProducerKind, kSlots> kind_;
 };
 
 } // namespace mtsim
