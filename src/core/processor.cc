@@ -64,7 +64,7 @@ Processor::noteSwitch(CtxId c, Cycle now, SwitchReason reason,
     if (now >= lastSwitchAt_)
         runLen_.record(now - lastSwitchAt_);
     lastSwitchAt_ = now;
-    if (probes_ && probes_->enabled()) {
+    if (probeOn_) {
         ProbeEvent ev;
         ev.kind = ProbeKind::ContextSwitch;
         ev.cycle = now;
@@ -136,13 +136,6 @@ Processor::osSwap(CtxId c, InstrSource *src, std::uint32_t app_id,
     }
 }
 
-ProducerKind
-Processor::kindForOp(const MicroOp &op) const
-{
-    return resultLatency(cfg_.lat, op) <= 5 ? ProducerKind::ShortOp
-                                            : ProducerKind::LongOp;
-}
-
 SyncManager::WakeFn
 Processor::wakeFn(CtxId c)
 {
@@ -154,7 +147,6 @@ Processor::wakeFn(CtxId c)
 std::uint32_t
 Processor::squashFrom(CtxId c, SeqNum from_seq, Cycle now)
 {
-    const bool probed = probes_ && probes_->enabled();
     std::uint32_t n = 0;
     std::uint32_t counted = 0;
     for (std::size_t i = 0; i < inflight_.size();) {
@@ -163,7 +155,7 @@ Processor::squashFrom(CtxId c, SeqNum from_seq, Cycle now)
             ctxs_[c].scoreboard().clearWrite(f.dst);
             if (f.issuedAt >= statsEpoch_)
                 ++counted;
-            if (probed) {
+            if (probeOn_) {
                 ProbeEvent ev;
                 ev.kind = ProbeKind::ContextSquash;
                 ev.cycle = now;
@@ -222,6 +214,8 @@ Processor::blockedSwitch(Cycle now, Cycle flush_until)
 void
 Processor::processMissEvents(Cycle now)
 {
+    if (now < nextMissDetectAt_)
+        return;
     for (std::size_t i = 0; i < missEvents_.size();) {
         MissEvent ev = missEvents_[i];
         if (ev.detectAt > now) {
@@ -266,11 +260,26 @@ Processor::processMissEvents(Cycle now)
             ctx.setMissReplaySeq(ev.seq);
         }
     }
+    // Recompute the minimum in a separate pass: squashFrom runs
+    // inside the scan above and its swap-with-back removal can move
+    // an unvisited entry into an already-visited slot, so a minimum
+    // folded into the scan could run stale-high and delay a detect.
+    // A survivor still due (same displacement, also possible before
+    // this cache existed) keeps next <= now and re-scans next cycle.
+    Cycle next = kCycleNever;
+    for (const MissEvent &e : missEvents_) {
+        if (e.detectAt < next)
+            next = e.detectAt;
+    }
+    nextMissDetectAt_ = next;
 }
 
 void
 Processor::retireDue(Cycle now)
 {
+    if (now < nextRetireAt_)
+        return;
+    Cycle next = kCycleNever;
     bool any = false;
     for (std::size_t i = 0; i < inflight_.size();) {
         InFlight &f = inflight_[i];
@@ -291,9 +300,12 @@ Processor::retireDue(Cycle now)
             inflight_.pop_back();
             any = true;
         } else {
+            if (f.retireAt < next)
+                next = f.retireAt;
             ++i;
         }
     }
+    nextRetireAt_ = next;
     if (any && now >= lastRelease_ + 32) {
         releaseRetired();
         lastRelease_ = now;
@@ -417,11 +429,9 @@ Processor::attributeIdle(Cycle now)
 
 CycleClass
 Processor::classifyHazard(const ThreadContext &ctx, const MicroOp &op,
-                          Cycle fu_free, Cycle now) const
+                          Cycle fu_free, Cycle reg_ready,
+                          Cycle now) const
 {
-    const Cycle reg_ready =
-        ctx.scoreboard().readyCycle(op, resultLatency(cfg_.lat, op),
-                                    now);
     if (fu_free > reg_ready && fu_free > now) {
         return (fu_free - now) > 4 ? CycleClass::LongInstr
                                    : CycleClass::ShortInstr;
@@ -439,6 +449,10 @@ Processor::classifyHazard(const ThreadContext &ctx, const MicroOp &op,
 void
 Processor::tick(Cycle now)
 {
+    // Latched once per cycle; every emit site inside the slot loop
+    // reads the flag instead of chasing probes_->enabled().
+    probeOn_ = probes_ && probes_->enabled();
+
     processMissEvents(now);
     retireDue(now);
 
@@ -449,8 +463,24 @@ Processor::tick(Cycle now)
     // Each cycle has issueWidth slots; every slot is attributed to
     // exactly one category. A processor-wide stall raised by an
     // earlier slot (I-miss, flush, TLB trap) consumes the rest.
+    // The single-issue fast path runs the stall-timer checks exactly
+    // once and never enters the loop; only slot >= 1 of a wider
+    // machine re-checks, because slot 0 may have raised a stall.
     const std::uint32_t width = cfg_.issueWidth;
-    for (std::uint32_t slot = 0; slot < width; ++slot) {
+    if (flushUntil_ > now) {
+        bd_.add(CycleClass::Switch, width);
+        return;
+    }
+    if (fetchStallUntil_ > now) {
+        bd_.add(CycleClass::InstStall, width);
+        return;
+    }
+    if (dataTlbStallUntil_ > now) {
+        bd_.add(CycleClass::DataStall, width);
+        return;
+    }
+    tickSlot(now);
+    for (std::uint32_t slot = 1; slot < width; ++slot) {
         if (flushUntil_ > now) {
             bd_.add(CycleClass::Switch, width - slot);
             return;
@@ -569,15 +599,18 @@ Processor::issueFrom(int c, Cycle now, bool attribute_stall)
     }
 
     // Register and functional-unit hazards.
-    const Cycle fu_free = fuBusy_[static_cast<std::size_t>(
-        fuKind(op.op))];
+    const FuKind fu = fuKind(op.op);
+    const Cycle fu_free = fuBusy_[static_cast<std::size_t>(fu)];
     const std::uint32_t res_lat = resultLatency(cfg_.lat, op);
-    Cycle startable = ctx.scoreboard().readyCycle(op, res_lat, now);
+    const Cycle reg_ready =
+        ctx.scoreboard().readyCycle(op, res_lat, now);
+    Cycle startable = reg_ready;
     if (fu_free > startable)
         startable = fu_free;
 
     if (!fine_grained && startable > now) {
-        const CycleClass why = classifyHazard(ctx, op, fu_free, now);
+        const CycleClass why =
+            classifyHazard(ctx, op, fu_free, reg_ready, now);
         const Cycle wait = startable - now;
         const bool hintable =
             cfg_.switchHintThreshold > 0 &&
@@ -608,7 +641,8 @@ Processor::issueFrom(int c, Cycle now, bool attribute_stall)
     }
 
     // ---- the instruction issues this cycle -------------------------
-    ProducerKind write_kind = kindForOp(op);
+    ProducerKind write_kind = res_lat <= 5 ? ProducerKind::ShortOp
+                                           : ProducerKind::LongOp;
     Cycle write_ready = now + res_lat;
     bool issued_useful = true;
 
@@ -645,9 +679,11 @@ Processor::issueFrom(int c, Cycle now, bool attribute_stall)
             write_kind = ProducerKind::LoadMiss;
             if (cfg_.scheme == Scheme::Blocked ||
                 cfg_.scheme == Scheme::Interleaved) {
+                const Cycle detect = now + cfg_.sw.missDetectStage;
                 missEvents_.push_back(
-                    {static_cast<CtxId>(c), op.seq,
-                     now + cfg_.sw.missDetectStage, r.ready});
+                    {static_cast<CtxId>(c), op.seq, detect, r.ready});
+                if (detect < nextMissDetectAt_)
+                    nextMissDetectAt_ = detect;
             }
         }
         break;
@@ -731,7 +767,7 @@ Processor::issueFrom(int c, Cycle now, bool attribute_stall)
       }
       case Op::Barrier: {
         if (sync_) {
-            if (probes_ && probes_->enabled()) {
+            if (probeOn_) {
                 ProbeEvent ev;
                 ev.kind = ProbeKind::BarrierArrive;
                 ev.cycle = now;
@@ -766,7 +802,6 @@ Processor::issueFrom(int c, Cycle now, bool attribute_stall)
     if (op.dst != kNoReg)
         ctx.scoreboard().recordWrite(op.dst, write_ready, write_kind);
 
-    const FuKind fu = fuKind(op.op);
     if (fu != FuKind::None) {
         fuBusy_[static_cast<std::size_t>(fu)] =
             now + issueInterval(cfg_.lat, op);
@@ -774,10 +809,13 @@ Processor::issueFrom(int c, Cycle now, bool attribute_stall)
 
     if (issued_useful) {
         bd_.add(CycleClass::Busy);
-        inflight_.push_back({op.seq, now + pipeDepth(cfg_, op.op),
-                             op.dst, static_cast<CtxId>(c),
-                             ctx.appId(), now});
-        if (probes_ && probes_->enabled()) {
+        const Cycle retire_at = now + pipeDepth(cfg_, op.op);
+        inflight_.push_back({op.seq, retire_at, op.dst,
+                             static_cast<CtxId>(c), ctx.appId(),
+                             now});
+        if (retire_at < nextRetireAt_)
+            nextRetireAt_ = retire_at;
+        if (probeOn_) {
             ProbeEvent ev;
             ev.kind = ProbeKind::ContextIssue;
             ev.cycle = now;

@@ -186,12 +186,14 @@ class Processor
     /** Blocked scheme: flush and move to the next available context. */
     void blockedSwitch(Cycle now, Cycle flush_until);
 
-    /** Stall classification for a register/FU hazard. */
+    /**
+     * Stall classification for a register/FU hazard. @p reg_ready is
+     * the scoreboard ready cycle the caller already computed (before
+     * applying the functional-unit constraint).
+     */
     CycleClass classifyHazard(const ThreadContext &ctx,
                               const MicroOp &op, Cycle fu_free,
-                              Cycle now) const;
-
-    ProducerKind kindForOp(const MicroOp &op) const;
+                              Cycle reg_ready, Cycle now) const;
 
     SyncManager::WakeFn wakeFn(CtxId c);
 
@@ -205,6 +207,15 @@ class Processor
     Btb btb_;
     std::vector<InFlight> inflight_;
     std::vector<MissEvent> missEvents_;
+    /**
+     * Conservative (never stale-high) minima over inflight_.retireAt
+     * and missEvents_.detectAt, so the per-cycle retire and
+     * miss-detect scans short-circuit while nothing is due. Removals
+     * (squash, osSwap) may leave them stale-low, which only costs an
+     * extra scan.
+     */
+    Cycle nextRetireAt_ = kCycleNever;
+    Cycle nextMissDetectAt_ = kCycleNever;
     std::array<Cycle, static_cast<std::size_t>(FuKind::NumFus)>
         fuBusy_{};
 
@@ -221,6 +232,9 @@ class Processor
     // Per-cycle structural state for dual issue (reset every tick).
     bool memPortUsed_ = false;
     bool branchUsed_ = false;
+    /** probes_ && probes_->enabled(), latched once per tick so the
+     *  slot loop's emit sites skip the double indirection. */
+    bool probeOn_ = false;
 
     CycleBreakdown bd_;
     std::vector<std::pair<std::uint32_t, std::uint64_t>> appRetired_;
