@@ -40,6 +40,10 @@ class MshrFile
     /** Retire every entry whose completion is <= @p now. */
     void retire(Cycle now);
 
+    /** Earliest completion (conservative-low; see nextDoneAt_). A
+     *  retire(now) with now < nextDoneAt() is a provable no-op. */
+    Cycle nextDoneAt() const { return nextDoneAt_; }
+
     /** Outstanding entry count. */
     std::uint32_t inUse() const;
 

@@ -60,9 +60,10 @@ mixApps(const std::string &mix)
 
 RunSignature
 uniSignature(const Config &cfg, const UniApps &apps, Cycle warmup,
-             Cycle measure, bool check)
+             Cycle measure, bool check, bool fast_forward)
 {
     UniSystem sys(cfg);
+    sys.setFastForward(fast_forward);
     for (const auto &[name, kernel] : apps)
         sys.addApp(name, kernel);
     if (check) {
@@ -88,9 +89,10 @@ uniSignature(const Config &cfg, const UniApps &apps, Cycle warmup,
 
 RunSignature
 mpSignature(const Config &cfg, const ParallelAppFn &app, bool check,
-            Cycle max_cycles)
+            Cycle max_cycles, bool fast_forward)
 {
     MpSystem sys(cfg);
+    sys.setFastForward(fast_forward);
     sys.setStatsBarrier(kStatsBarrier);
     if (check) {
         CheckConfig cc;

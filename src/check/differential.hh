@@ -64,16 +64,20 @@ UniApps mixApps(const std::string &mix);
 /**
  * Run a workstation configuration and reduce it to a signature.
  * With @p check, the full invariant-checker battery runs alongside
- * and aborts on the first violation.
+ * and aborts on the first violation. @p fast_forward toggles the
+ * event-driven clock jump; signatures must be identical either way
+ * (that equivalence is itself a differential test).
  */
 RunSignature uniSignature(const Config &cfg, const UniApps &apps,
                           Cycle warmup, Cycle measure,
-                          bool check = true);
+                          bool check = true,
+                          bool fast_forward = true);
 
 /** Run a multiprocessor application to completion (same contract). */
 RunSignature mpSignature(const Config &cfg, const ParallelAppFn &app,
                          bool check = true,
-                         Cycle max_cycles = 500000000ull);
+                         Cycle max_cycles = 500000000ull,
+                         bool fast_forward = true);
 
 } // namespace mtsim
 

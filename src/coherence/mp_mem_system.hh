@@ -37,6 +37,24 @@ class MpMemSystem : public MemSystem
     explicit MpMemSystem(const Config &cfg);
 
     void tick(Cycle now) override;
+
+    /**
+     * Earliest cycle at which tick() would do any work (event
+     * callback or any node's MSHR retirement). tick(now) with now
+     * strictly before this is a provable no-op, so the per-cycle
+     * driver can skip the call. Conservative-low only.
+     */
+    Cycle
+    nextTickAt() const
+    {
+        Cycle next = events_.nextEventCycle();
+        for (const auto &node : nodes_) {
+            if (node->mshrs->nextDoneAt() < next)
+                next = node->mshrs->nextDoneAt();
+        }
+        return next;
+    }
+
     LoadResult load(ProcId p, Addr a, Cycle now) override;
     StoreResult store(ProcId p, Addr a, Cycle now) override;
     FetchResult ifetch(ProcId p, Addr pc, Cycle now) override;

@@ -21,12 +21,6 @@ EventQueue::runUntil(Cycle now)
     }
 }
 
-Cycle
-EventQueue::nextEventCycle() const
-{
-    return heap_.empty() ? kCycleNever : heap_.top().when;
-}
-
 void
 EventQueue::clear()
 {

@@ -34,8 +34,13 @@ class EventQueue
     /** Run every event scheduled at or before @p now, in order. */
     void runUntil(Cycle now);
 
-    /** Cycle of the earliest pending event, or kCycleNever. */
-    Cycle nextEventCycle() const;
+    /** Cycle of the earliest pending event, or kCycleNever. Inline
+     *  so per-cycle "anything due?" guards cost one compare. */
+    Cycle
+    nextEventCycle() const
+    {
+        return heap_.empty() ? kCycleNever : heap_.top().when;
+    }
 
     bool empty() const { return heap_.empty(); }
     std::size_t size() const { return heap_.size(); }

@@ -224,6 +224,7 @@ Processor::processMissEvents(Cycle now)
         }
         missEvents_[i] = missEvents_.back();
         missEvents_.pop_back();
+        stateChangedLastTick_ = true;
 
         ThreadContext &ctx = ctxs_[ev.ctx];
         if (!otherThreadExists(ctxs_, ev.ctx)) {
@@ -306,9 +307,12 @@ Processor::retireDue(Cycle now)
         }
     }
     nextRetireAt_ = next;
-    if (any && now >= lastRelease_ + 32) {
-        releaseRetired();
-        lastRelease_ = now;
+    if (any) {
+        stateChangedLastTick_ = true;
+        if (now >= lastRelease_ + 32) {
+            releaseRetired();
+            lastRelease_ = now;
+        }
     }
 }
 
@@ -383,6 +387,266 @@ Processor::selectOwner(Cycle now)
     }
 }
 
+int
+Processor::constSelectOwner(Cycle now) const
+{
+    // Mirror of selectOwner without the cursor writes. Keep the two
+    // in lockstep: any scheme change there must be replicated here.
+    switch (cfg_.scheme) {
+      case Scheme::Single:
+      case Scheme::Blocked:
+        if (ctxs_[current_].available(now))
+            return current_;
+        if (ctxs_[current_].finished() || !ctxs_[current_].loaded() ||
+            blockedNeedsNewCurrent_)
+            return nextAvailableRing(ctxs_, current_, now);
+        return -1;
+      case Scheme::Interleaved:
+      case Scheme::FineGrained:
+      default: {
+        const int prio = cfg_.priorityContext;
+        if (cfg_.scheme == Scheme::Interleaved && prio >= 0 &&
+            prio < static_cast<int>(ctxs_.size())) {
+            if (ctxs_[prio].available(now) && rrLast_ != prio)
+                return prio;
+            const int n = static_cast<int>(ctxs_.size());
+            for (int step = 1; step <= n; ++step) {
+                int idx = (rrLastOther_ + step) % n;
+                if (idx == prio)
+                    continue;
+                if (ctxs_[idx].available(now))
+                    return idx;
+            }
+            if (ctxs_[prio].available(now))
+                return prio;
+            return -1;
+        }
+        return nextAvailableRing(ctxs_, rrLast_, now);
+      }
+    }
+}
+
+bool
+Processor::planFastForward(Cycle now, Cycle limit,
+                           FastForwardPlan &out)
+{
+    // A window must cover at least two cycles to beat plain ticking.
+    if (limit <= now + 1)
+        return false;
+
+    // Global cap: no in-flight retirement or miss detection may fall
+    // inside the window (either mutates scoreboards, contexts or
+    // cursors mid-window). The caches are conservative-low, so a
+    // stale value can only shrink the window, never over-extend it;
+    // a miss event left due by a swap-with-back displacement keeps
+    // nextMissDetectAt_ <= now and correctly declines the plan.
+    Cycle cap = limit;
+    if (nextRetireAt_ < cap)
+        cap = nextRetireAt_;
+    if (nextMissDetectAt_ < cap)
+        cap = nextMissDetectAt_;
+    if (cap <= now + 1)
+        return false;
+
+    // ---- processor-wide stall timers -------------------------------
+    // tick() early-returns on these before owner selection, so the
+    // skipped cycles rotate no cursors (needOwnerCommit stays false).
+    // Priority order matches tick(): flush, then fetch, then DTLB.
+    if (flushUntil_ > now) {
+        out.until = std::min(cap, flushUntil_);
+        out.cls = CycleClass::Switch;
+        out.attribute = true;
+        out.needOwnerCommit = false;
+        return out.until > now + 1;
+    }
+    if (fetchStallUntil_ > now) {
+        out.until = std::min(cap, fetchStallUntil_);
+        out.cls = CycleClass::InstStall;
+        out.attribute = true;
+        out.needOwnerCommit = false;
+        return out.until > now + 1;
+    }
+    if (dataTlbStallUntil_ > now) {
+        out.until = std::min(cap, dataTlbStallUntil_);
+        out.cls = CycleClass::DataStall;
+        out.attribute = true;
+        out.needOwnerCommit = false;
+        return out.until > now + 1;
+    }
+
+    const int owner = constSelectOwner(now);
+    if (owner < 0) {
+        // ---- idle window -------------------------------------------
+        // No context is available and none can become available
+        // before its unavailable-until timer expires: sync wakes are
+        // immediate callbacks fired by some context issuing an
+        // unlock/arrive, and nothing issues while the whole system
+        // is inside fast-forward windows. selectOwner mutates no
+        // cursor when it returns -1, so no owner commit is needed.
+        // Replicate attributeIdle's choice of attributed context.
+        int who;
+        Cycle wake = kCycleNever;
+        if ((cfg_.scheme == Scheme::Single ||
+             cfg_.scheme == Scheme::Blocked) &&
+            !blockedNeedsNewCurrent_ && ctxs_[current_].loaded() &&
+            !ctxs_[current_].finished()) {
+            // Resident context holds the pipeline: others waking
+            // mid-window change neither selectOwner's -1 nor the
+            // attribution, so only current_'s wake caps the window.
+            who = current_;
+            wake = ctxs_[current_].unavailableUntil();
+        } else {
+            who = soonestAvailable(ctxs_);
+            if (who >= 0)
+                wake = ctxs_[who].unavailableUntil();
+        }
+        out.attribute = true;
+        out.needOwnerCommit = false;
+        if (who >= 0) {
+            out.until = std::min(cap, wake);
+            switch (ctxs_[who].waitKind()) {
+              case WaitKind::Sync:
+                out.cls = CycleClass::Sync;
+                break;
+              case WaitKind::Backoff:
+                out.cls = CycleClass::LongInstr;
+                break;
+              case WaitKind::Memory:
+              default:
+                out.cls = CycleClass::DataStall;
+                break;
+            }
+            return out.until > now + 1;
+        }
+        // No known resume time. Loaded unfinished threads are all
+        // blocked on synchronization (Sync time); otherwise this is
+        // the end-of-run tail, which attributes nothing.
+        out.until = cap;
+        out.cls = CycleClass::Sync;
+        for (const ThreadContext &c : ctxs_) {
+            if (c.loaded() && !c.finished())
+                return out.until > now + 1;
+        }
+        out.attribute = false;
+        return out.until > now + 1;
+    }
+
+    // ---- hazard window ---------------------------------------------
+    // Only provable for a single-issue machine with exactly one
+    // available context: then every skipped cycle selects the same
+    // owner, whose selection is idempotent after the one rotation
+    // beginFastForward replays, and the stalled instruction's hazard
+    // comparisons stay constant thanks to the breakpoint caps below.
+    if (cfg_.issueWidth != 1 || availableCount(ctxs_, now) != 1)
+        return false;
+
+    // Another context waking mid-window would contend for the slot.
+    for (const ThreadContext &c : ctxs_) {
+        if (static_cast<int>(c.id()) == owner)
+            continue;
+        if (c.loaded() && !c.finished() &&
+            c.unavailableUntil() < cap)
+            cap = c.unavailableUntil();
+    }
+    if (cap <= now + 1)
+        return false;
+
+    ThreadContext &ctx = ctxs_[static_cast<CtxId>(owner)];
+    MicroOp op;
+    // peek is transparent: the skipped lockstep cycles would have
+    // performed the identical peek. Failure means the thread ends
+    // exactly now; let lockstep handle the transition.
+    if (!ctx.peek(op))
+        return false;
+
+    out.attribute = true;
+    out.needOwnerCommit = true;
+
+    // Branch redirect: issueFrom bails before the fetch until the
+    // branch resolves, attributing ShortInstr.
+    if (ctx.nextFetchAt() > now) {
+        out.until = std::min(cap, ctx.nextFetchAt());
+        out.cls = CycleClass::ShortInstr;
+        return out.until > now + 1;
+    }
+
+    if (cfg_.scheme == Scheme::FineGrained) {
+        // HEP interlock: one instruction per context in the pipe.
+        // Anything past it issues (fine-grained has no scoreboard
+        // stalls), so that is the only fast-forwardable window.
+        if (ctx.nextIssueSeq() > 0 &&
+            ctx.lastIssueAt() + cfg_.intPipeDepth > now) {
+            out.until =
+                std::min(cap, ctx.lastIssueAt() + cfg_.intPipeDepth);
+            out.cls = CycleClass::ShortInstr;
+            return out.until > now + 1;
+        }
+        return false;
+    }
+
+    // An unfetched instruction would run a (mutating) ifetch.
+    if (op.seq != ctx.lastFetchSeq())
+        return false;
+
+    // Sync fence: holds while any of the owner's instructions is in
+    // flight, and none can retire before cap.
+    if (isSync(op.op) && sync_) {
+        for (const InFlight &f : inflight_) {
+            if (f.ctx == static_cast<CtxId>(owner)) {
+                out.until = cap;
+                out.cls = CycleClass::Sync;
+                return out.until > now + 1;
+            }
+        }
+    }
+
+    // Register / functional-unit hazard. Everything below mirrors
+    // issueFrom's stall path; the capAt breakpoints pin every
+    // time-vs-now comparison so the classification (and the decision
+    // to stall at all) is constant across the window.
+    const FuKind fu = fuKind(op.op);
+    const Cycle fu_free = fuBusy_[static_cast<std::size_t>(fu)];
+    const std::uint32_t res_lat = resultLatency(cfg_.lat, op);
+    const Cycle reg_ready =
+        ctx.scoreboard().readyCycle(op, res_lat, now);
+    Cycle startable = reg_ready;
+    if (fu_free > startable)
+        startable = fu_free;
+    if (startable <= now)
+        return false; // the instruction issues this cycle
+
+    Cycle until = cap;
+    auto capAt = [&](Cycle x) {
+        if (x > now && x < until)
+            until = x;
+    };
+    capAt(startable);
+    capAt(fu_free);
+    if (fu_free > now + 4)
+        capAt(fu_free - 4); // LongInstr/ShortInstr threshold
+    capAt(ctx.scoreboard().regReady(op.src1));
+    capAt(ctx.scoreboard().regReady(op.src2));
+    capAt(ctx.scoreboard().regReady(op.dst));
+
+    const CycleClass why =
+        classifyHazard(ctx, op, fu_free, reg_ready, now);
+    // A live switch hint mutates (backoff / blocked switch). The
+    // wait only shrinks as now advances, so a hint that is off now
+    // stays off for the whole window.
+    const bool hintable =
+        cfg_.switchHintThreshold > 0 &&
+        startable - now >= cfg_.switchHintThreshold &&
+        why != CycleClass::DataStall &&
+        otherThreadExists(ctxs_, owner);
+    if (hintable && (cfg_.scheme == Scheme::Blocked ||
+                     cfg_.scheme == Scheme::Interleaved))
+        return false;
+
+    out.until = until;
+    out.cls = why;
+    return out.until > now + 1;
+}
+
 void
 Processor::attributeIdle(Cycle now)
 {
@@ -452,6 +716,9 @@ Processor::tick(Cycle now)
     // Latched once per cycle; every emit site inside the slot loop
     // reads the flag instead of chasing probes_->enabled().
     probeOn_ = probes_ && probes_->enabled();
+    issuedLastTick_ = false;
+    shortStallHint_ = false;
+    stateChangedLastTick_ = false;
 
     processMissEvents(now);
     retireDue(now);
@@ -468,14 +735,17 @@ Processor::tick(Cycle now)
     // machine re-checks, because slot 0 may have raised a stall.
     const std::uint32_t width = cfg_.issueWidth;
     if (flushUntil_ > now) {
+        stateChangedLastTick_ = true;
         bd_.add(CycleClass::Switch, width);
         return;
     }
     if (fetchStallUntil_ > now) {
+        stateChangedLastTick_ = true;
         bd_.add(CycleClass::InstStall, width);
         return;
     }
     if (dataTlbStallUntil_ > now) {
+        stateChangedLastTick_ = true;
         bd_.add(CycleClass::DataStall, width);
         return;
     }
@@ -621,6 +891,7 @@ Processor::issueFrom(int c, Cycle now, bool attribute_stall)
 
         if (hintable && cfg_.scheme == Scheme::Blocked) {
             // Compiler-inserted explicit switch (Table 4: 3 cycles).
+            stateChangedLastTick_ = true;
             bd_.add(CycleClass::Switch);
             ctx.makeUnavailable(startable, WaitKind::Backoff);
             blockedSwitch(now, now + cfg_.sw.blockedExplicitCost);
@@ -628,6 +899,7 @@ Processor::issueFrom(int c, Cycle now, bool attribute_stall)
         }
         if (hintable && cfg_.scheme == Scheme::Interleaved) {
             // Compiler-inserted backoff (Table 4: 1 cycle).
+            stateChangedLastTick_ = true;
             bd_.add(CycleClass::Switch);
             ++switchEvents_;
             noteSwitch(static_cast<CtxId>(c), now,
@@ -635,12 +907,19 @@ Processor::issueFrom(int c, Cycle now, bool attribute_stall)
             ctx.makeUnavailable(startable, WaitKind::Backoff);
             return true;
         }
+        // A stall this short cannot yield a fast-forward window on
+        // the next cycle (its cap would be <= next-now + 1), so let
+        // the run loop skip the doomed plan attempt.
+        if (startable <= now + 2)
+            shortStallHint_ = true;
         if (attribute_stall)
             bd_.add(why);
         return attribute_stall;
     }
 
     // ---- the instruction issues this cycle -------------------------
+    issuedLastTick_ = true;
+    stateChangedLastTick_ = true;
     ProducerKind write_kind = res_lat <= 5 ? ProducerKind::ShortOp
                                            : ProducerKind::LongOp;
     Cycle write_ready = now + res_lat;

@@ -56,6 +56,78 @@ class Processor
     /** Simulate one processor cycle. */
     void tick(Cycle now);
 
+    // ---- event-driven fast-forward ---------------------------------
+    /**
+     * A provable stall window [now, until): every cycle in it would
+     * tick as a pure stall, attributing issueWidth slots of `cls` and
+     * changing no other architectural or probe-visible state (apart
+     * from the one-time cursor rotation beginFastForward replays).
+     */
+    struct FastForwardPlan
+    {
+        Cycle until = 0;  ///< exclusive end of the skippable window
+        CycleClass cls = CycleClass::DataStall;
+        /** False for the end-of-run tail (nothing loaded and
+         *  unfinished): those cycles attribute no slots at all. */
+        bool attribute = true;
+        /** True when the window's first cycle would run tickSlot and
+         *  its owner-selection cursor rotation must be replayed. */
+        bool needOwnerCommit = false;
+    };
+
+    /**
+     * Try to plan a fast-forward window starting at @p now, capped at
+     * @p limit (exclusive). Returns true and fills @p out when every
+     * cycle in [now, out.until) provably ticks as a pure stall with
+     * constant attribution. Declines (returns false) whenever any
+     * skipped cycle could mutate state: an instruction could issue, a
+     * fetch/miss/retire event falls inside the window, a switch hint
+     * would fire, or the stall classification could change mid-window.
+     *
+     * Mutates nothing except via ThreadContext::peek, whose fetch
+     * buffering is transparent: the skipped lockstep cycles would
+     * have performed the identical peek.
+     */
+    bool planFastForward(Cycle now, Cycle limit,
+                         FastForwardPlan &out);
+
+    /**
+     * Commit a planned window: replay the owner-selection cursor
+     * rotation the first skipped cycle's tickSlot would have
+     * performed (idempotent for the remaining window cycles because
+     * exactly one context is available, or none).
+     */
+    void beginFastForward(Cycle now) { (void)selectOwner(now); }
+
+    /** Attribute @p n skipped cycles (issueWidth slots each). */
+    void
+    addSkippedCycles(CycleClass cls, Cycle n)
+    {
+        bd_.add(cls, static_cast<std::uint64_t>(n) * cfg_.issueWidth);
+    }
+
+    /** True if the last tick() issued at least one instruction (the
+     *  fast-forward planner is only worth consulting when idle). */
+    bool issuedLastTick() const { return issuedLastTick_; }
+
+    /**
+     * True if the last tick() changed planner-visible state: issued,
+     * retired, processed a miss event, or sat in a stall-timer
+     * window. A declined fast-forward plan stays declined until this
+     * fires again, so the system only re-plans after such a tick
+     * (purely a scheduling heuristic - never affects results).
+     */
+    bool stateChangedLastTick() const { return stateChangedLastTick_; }
+
+    /**
+     * True if the last tick() hit a register/FU hazard that resolves
+     * within two cycles: the planner's window cap would land at or
+     * before now+1 next cycle, so a plan attempt is provably doomed.
+     * Skipping it is a pure scheduling heuristic (an attempt that is
+     * not made changes nothing).
+     */
+    bool shortStallHint() const { return shortStallHint_; }
+
     ThreadContext &context(CtxId c) { return ctxs_[c]; }
     const ThreadContext &context(CtxId c) const { return ctxs_[c]; }
     std::uint8_t numContexts() const
@@ -162,6 +234,11 @@ class Processor
     void releaseRetired();
     int selectOwner(Cycle now);
     /**
+     * selectOwner's result at @p now without its cursor writes (used
+     * by the fast-forward planner, which must not mutate on decline).
+     */
+    int constSelectOwner(Cycle now) const;
+    /**
      * Attempt to issue from context @p c. When @p attribute_stall is
      * false a hazard bubble is reported by returning false with no
      * cycle attributed (used by the skip-blocked issue variant);
@@ -235,6 +312,12 @@ class Processor
     /** probes_ && probes_->enabled(), latched once per tick so the
      *  slot loop's emit sites skip the double indirection. */
     bool probeOn_ = false;
+    /** Set by issueFrom when an instruction is consumed; cleared at
+     *  tick() start. Starts true so the first cycle always ticks. */
+    bool issuedLastTick_ = true;
+    bool stateChangedLastTick_ = true;
+    /** Last tick stalled on a hazard resolving within two cycles. */
+    bool shortStallHint_ = false;
 
     CycleBreakdown bd_;
     std::vector<std::pair<std::uint32_t, std::uint64_t>> appRetired_;

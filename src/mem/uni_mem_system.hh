@@ -35,6 +35,21 @@ class UniMemSystem : public MemSystem
     explicit UniMemSystem(const Config &cfg);
 
     void tick(Cycle now) override;
+
+    /**
+     * Earliest cycle at which tick() would do any work (event
+     * callback or MSHR retirement). tick(now) with now strictly
+     * before this is a provable no-op, so the per-cycle driver can
+     * skip the call. Conservative-low only (never stale-high).
+     */
+    Cycle
+    nextTickAt() const
+    {
+        const Cycle e = events_.nextEventCycle();
+        const Cycle m = mshrs_.nextDoneAt();
+        return e < m ? e : m;
+    }
+
     LoadResult load(ProcId p, Addr a, Cycle now) override;
     StoreResult store(ProcId p, Addr a, Cycle now) override;
     FetchResult ifetch(ProcId p, Addr pc, Cycle now) override;

@@ -44,6 +44,17 @@ class Scheduler
      */
     void tick(Cycle now);
 
+    /**
+     * Earliest cycle at which tick() is not a no-op (the next slice
+     * boundary), so the system's fast-forward can skip over the
+     * quiet span. kCycleNever before start().
+     */
+    Cycle
+    nextActionCycle() const
+    {
+        return started_ ? nextSlice_ : kCycleNever;
+    }
+
     std::size_t numApps() const { return apps_.size(); }
     const std::string &appName(std::uint32_t id) const
     {

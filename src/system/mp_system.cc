@@ -144,12 +144,88 @@ MpSystem::finished() const
     return true;
 }
 
+bool
+MpSystem::tryFastForward(Cycle end)
+{
+    MTSIM_PROF_SCOPE("fastforward");
+    // A processor that issued last cycle cannot prove a window, and
+    // the finished()-break below must keep observing its 64-cycle
+    // boundaries, so both decline outright.
+    for (const auto &p : procs_) {
+        if (p->issuedLastTick() || p->shortStallHint())
+            return false;
+    }
+    if (finished())
+        return false;
+    // Two-phase: plan every node against the shrinking window (a
+    // plan stays valid on any prefix of itself), then commit. Only
+    // when ALL nodes are provably stalled can no context wake
+    // another through the sync manager mid-window.
+    Cycle until = end;
+    ffPlans_.resize(procs_.size());
+    for (std::size_t i = 0; i < procs_.size(); ++i) {
+        if (!procs_[i]->planFastForward(now_, until, ffPlans_[i]))
+            return false;
+        if (ffPlans_[i].until < until)
+            until = ffPlans_[i].until;
+    }
+    if (until <= now_ + 1)
+        return false;
+    for (std::size_t i = 0; i < procs_.size(); ++i) {
+        if (ffPlans_[i].needOwnerCommit)
+            procs_[i]->beginFastForward(now_);
+    }
+    if (checker_ || sampler_ || progress_) {
+        // Observer replay: identical per-cycle streams to lockstep.
+        for (Cycle c = now_; c < until; ++c) {
+            if (mem_.nextTickAt() <= c)
+                mem_.tick(c);
+            for (std::size_t i = 0; i < procs_.size(); ++i) {
+                if (ffPlans_[i].attribute)
+                    procs_[i]->addSkippedCycles(ffPlans_[i].cls, 1);
+            }
+            if (checker_)
+                checker_->onCycleEnd(c);
+            if (sampler_) {
+                Cycle busy = 0;
+                for (const auto &p : procs_)
+                    busy += p->breakdown().get(CycleClass::Busy);
+                sampler_->observe(c, static_cast<double>(busy));
+            }
+            if (progress_ && (c & 0xFFF) == 0)
+                progress_->poll(c, retired());
+        }
+    } else {
+        // Bulk: one memory drain (callbacks keep their original
+        // timestamps) and one aggregate attribution per node.
+        if (mem_.nextTickAt() <= until - 1)
+            mem_.tick(until - 1);
+        for (std::size_t i = 0; i < procs_.size(); ++i) {
+            if (ffPlans_[i].attribute)
+                procs_[i]->addSkippedCycles(ffPlans_[i].cls,
+                                            until - now_);
+        }
+    }
+    ffCycles_ += until - now_;
+    now_ = until;
+    return true;
+}
+
 Cycle
 MpSystem::run(Cycle max_cycles)
 {
     const Cycle end = now_ + max_cycles;
+    // Same arming heuristic as UniSystem::runLoop: a declined plan
+    // stays declined until some node's planner-visible state changes.
+    bool armed = true;
     while (now_ < end) {
-        {
+        if (ffEnabled_ && armed) {
+            if (tryFastForward(end))
+                continue;
+            armed = false;
+        }
+        // A provable no-op before the next event/MSHR completion.
+        if (mem_.nextTickAt() <= now_) {
             MTSIM_PROF_SCOPE("mem.tick");
             mem_.tick(now_);
         }
@@ -176,6 +252,12 @@ MpSystem::run(Cycle max_cycles)
         if (progress_ && (now_ & 0xFFF) == 0)
             progress_->poll(now_, retired());
         ++now_;
+        for (const auto &p : procs_) {
+            if (p->stateChangedLastTick()) {
+                armed = true;
+                break;
+            }
+        }
         if ((now_ & 63) == 0 && finished())
             break;
     }

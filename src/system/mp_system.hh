@@ -109,6 +109,17 @@ class MpSystem
     }
 
     /**
+     * Enable or disable event-driven fast-forward (default on).
+     * When no processor can issue before a known future cycle the
+     * clock jumps there, bulk-attributing every node's skipped
+     * slots. Results are bit-identical either way.
+     */
+    void setFastForward(bool on) { ffEnabled_ = on; }
+
+    /** Cycles skipped by fast-forward (0 when disabled). */
+    Cycle fastForwardedCycles() const { return ffCycles_; }
+
+    /**
      * Enable runtime invariant checking on every processor
      * (docs/CHECKING.md). Must be called before run().
      */
@@ -119,6 +130,13 @@ class MpSystem
 
   private:
     void clearAllStats();
+    /**
+     * Attempt one fast-forward jump from now_: valid only when every
+     * processor proves a stall window, because a single issuing
+     * context could wake any other through the sync manager. Returns
+     * true with now_ advanced to the earliest window end.
+     */
+    bool tryFastForward(Cycle end);
 
     Config cfg_;
     ProbeBus probes_;
@@ -135,6 +153,10 @@ class MpSystem
     std::uint32_t statsBarrier_ = ~0u;
     bool statsCleared_ = false;
     bool statsPending_ = false;
+    bool ffEnabled_ = true;
+    Cycle ffCycles_ = 0;
+    /** Scratch per-processor plans (avoids per-attempt allocation). */
+    std::vector<Processor::FastForwardPlan> ffPlans_;
 };
 
 } // namespace mtsim

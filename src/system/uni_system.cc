@@ -103,38 +103,39 @@ UniSystem::run(Cycle warmup, Cycle measure)
         sched_.start();
         started_ = true;
     }
-    const Cycle warm_end = now_ + warmup;
-    while (now_ < warm_end) {
-        {
-            MTSIM_PROF_SCOPE("mem.tick");
-            mem_.tick(now_);
-        }
-        {
-            MTSIM_PROF_SCOPE("os");
-            sched_.tick(now_);
-        }
-        {
-            MTSIM_PROF_SCOPE("pipeline");
-            proc_.tick(now_);
-        }
-        if (checker_) {
-            MTSIM_PROF_SCOPE("checker");
-            checker_->onCycleEnd(now_);
-        }
-        if (progress_ && (now_ & 0xFFF) == 0)
-            progress_->poll(now_, proc_.retired());
-        ++now_;
-    }
+    runLoop(now_ + warmup, false);
     proc_.clearStats(now_);
     if (checker_)
         checker_->onStatsClear(now_);
-    const Cycle measure_end = now_ + measure;
-    while (now_ < measure_end) {
-        {
+    runLoop(now_ + measure, true);
+    measured_ += measure;
+}
+
+void
+UniSystem::runLoop(Cycle end, bool measuring)
+{
+    // Consult the fast-forward planner only while "armed": a busy
+    // pipeline cannot prove a window, and a declined plan stays
+    // declined until the processor's planner-visible state changes
+    // again. Pure scheduling heuristic - results are unaffected.
+    bool armed = true;
+    while (now_ < end) {
+        if (ffEnabled_ && armed && !proc_.issuedLastTick() &&
+            !proc_.shortStallHint()) {
+            if (tryFastForward(end, measuring))
+                continue;
+            armed = false;
+        }
+        // The scheduler acting (slice boundary) also re-arms: an OS
+        // swap changes the context picture behind the flag's back.
+        const bool sched_acts = sched_.nextActionCycle() <= now_;
+        // Both ticks are provable no-ops before their next-action
+        // cycles, so quiet cycles skip the calls outright.
+        if (mem_.nextTickAt() <= now_) {
             MTSIM_PROF_SCOPE("mem.tick");
             mem_.tick(now_);
         }
-        {
+        if (sched_acts) {
             MTSIM_PROF_SCOPE("os");
             sched_.tick(now_);
         }
@@ -146,14 +147,62 @@ UniSystem::run(Cycle warmup, Cycle measure)
             MTSIM_PROF_SCOPE("checker");
             checker_->onCycleEnd(now_);
         }
-        if (sampler_)
+        if (measuring && sampler_)
             sampler_->observe(now_, static_cast<double>(
                 proc_.breakdown().get(CycleClass::Busy)));
         if (progress_ && (now_ & 0xFFF) == 0)
             progress_->poll(now_, proc_.retired());
         ++now_;
+        if (proc_.stateChangedLastTick() || sched_acts)
+            armed = true;
     }
-    measured_ += measure;
+}
+
+bool
+UniSystem::tryFastForward(Cycle end, bool measuring)
+{
+    MTSIM_PROF_SCOPE("fastforward");
+    // The scheduler mutates its slice state at nextActionCycle, so
+    // no window may cross it (its tick is a no-op before then).
+    Cycle limit = end;
+    if (sched_.nextActionCycle() < limit)
+        limit = sched_.nextActionCycle();
+    Processor::FastForwardPlan plan;
+    if (!proc_.planFastForward(now_, limit, plan))
+        return false;
+    if (plan.needOwnerCommit)
+        proc_.beginFastForward(now_);
+    const Cycle until = plan.until;
+    if (checker_ || sampler_ || progress_) {
+        // Observer replay: feed every attached observer the exact
+        // per-cycle stream lockstep would have produced. Memory
+        // events still run at their own timestamps (they can emit
+        // probe events); the scheduler tick is a provable no-op.
+        for (Cycle c = now_; c < until; ++c) {
+            if (mem_.nextTickAt() <= c)
+                mem_.tick(c);
+            if (plan.attribute)
+                proc_.addSkippedCycles(plan.cls, 1);
+            if (checker_)
+                checker_->onCycleEnd(c);
+            if (measuring && sampler_)
+                sampler_->observe(c, static_cast<double>(
+                    proc_.breakdown().get(CycleClass::Busy)));
+            if (progress_ && (c & 0xFFF) == 0)
+                progress_->poll(c, proc_.retired());
+        }
+    } else {
+        // Bulk: one memory drain (event callbacks receive their
+        // original timestamps, so this is order-identical to the
+        // per-cycle drains) and one aggregate attribution.
+        if (mem_.nextTickAt() <= until - 1)
+            mem_.tick(until - 1);
+        if (plan.attribute)
+            proc_.addSkippedCycles(plan.cls, until - now_);
+    }
+    ffCycles_ += until - now_;
+    now_ = until;
+    return true;
 }
 
 double

@@ -102,6 +102,20 @@ class UniSystem
     }
 
     /**
+     * Enable or disable event-driven fast-forward (default on).
+     * When every loaded context is stalled with a known resume cycle
+     * the clock jumps to the earliest wake-up, bulk-attributing the
+     * skipped issue slots through the regular breakdown accounting.
+     * Results are bit-identical either way: attached observers
+     * (checker, sampler, progress) replay the skipped cycles'
+     * streams exactly.
+     */
+    void setFastForward(bool on) { ffEnabled_ = on; }
+
+    /** Cycles skipped by fast-forward (0 when disabled). */
+    Cycle fastForwardedCycles() const { return ffCycles_; }
+
+    /**
      * Enable runtime invariant checking (docs/CHECKING.md). Must be
      * called before the first run(); with abortOnViolation (the
      * default) any violated invariant throws CheckError carrying
@@ -113,6 +127,16 @@ class UniSystem
     InvariantChecker *checker() { return checker_.get(); }
 
   private:
+    /** Simulate lockstep cycles until @p end (sampler only observes
+     *  when @p measuring). */
+    void runLoop(Cycle end, bool measuring);
+    /**
+     * Attempt one fast-forward jump from now_. Returns true (with
+     * now_ advanced) when the processor proved a stall window; the
+     * caller then re-enters the loop.
+     */
+    bool tryFastForward(Cycle end, bool measuring);
+
     Config cfg_;
     ProbeBus probes_;
     UniMemSystem mem_;
@@ -125,6 +149,8 @@ class UniSystem
     Cycle now_ = 0;
     Cycle measured_ = 0;
     bool started_ = false;
+    bool ffEnabled_ = true;
+    Cycle ffCycles_ = 0;
 };
 
 } // namespace mtsim

@@ -80,6 +80,7 @@ struct Options
     bool prof = false;
     std::string profJson;
     std::uint64_t progressSeconds = 0;
+    bool fastForward = true;
     bool help = false;
 };
 
@@ -173,7 +174,11 @@ usage()
         "  --prof-json FILE    write the cost tree + host info as\n"
         "                      JSON (implies --prof)\n"
         "  --progress N        print cycle count and KIPS to stderr\n"
-        "                      every N host seconds\n";
+        "                      every N host seconds\n"
+        "  --no-fast-forward   disable the event-driven clock jump\n"
+        "                      over provable stall windows (results\n"
+        "                      are bit-identical either way; this\n"
+        "                      only trades speed for simplicity)\n";
 }
 
 Options
@@ -254,6 +259,8 @@ parse(int argc, char **argv)
             if (o.progressSeconds == 0)
                 throw std::invalid_argument(
                     "--progress: must be >= 1");
+        } else if (a == "--no-fast-forward") {
+            o.fastForward = false;
         } else if (a == "--help" || a == "-h") {
             o.help = true;
         } else {
@@ -528,6 +535,7 @@ runUniMode(const Options &o)
     cfg.priorityContext = o.priority;
     cfg.seed = o.seed;
     UniSystem sys(cfg);
+    sys.setFastForward(o.fastForward);
     if (!o.app.empty()) {
         sys.addApp(o.app, specKernel(o.app));
     } else if (o.mix == "SP") {
@@ -649,6 +657,7 @@ runMpMode(const Options &o)
     cfg.issueWidth = o.width;
     cfg.seed = o.seed;
     MpSystem sys(cfg);
+    sys.setFastForward(o.fastForward);
     sys.setStatsBarrier(kStatsBarrier);
     sys.loadApp(splashApp(app));
 
