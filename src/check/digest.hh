@@ -98,14 +98,24 @@ class ProbeDigest : public ProbeSink
     }
 
     /**
-     * Close the trailing partial window at end of run so its events
-     * are visible in windows(). Idempotent: a second call with no
-     * intervening events adds nothing.
+     * Close the trailing windows at end of run so their sub-digests
+     * are visible in windows(). With @p end_cycle (exclusive end of
+     * the simulated range) every grid window overlapping
+     * [0, end_cycle) is serialized - including a final partial
+     * window and event-free tail windows - so a divergence in the
+     * tail still localizes to a window when the run length is not a
+     * multiple of the window size. Without it, only a pending
+     * window with events is closed (legacy behavior). Idempotent:
+     * a second call with no intervening events adds nothing.
      */
     void
-    finishWindows()
+    finishWindows(Cycle end_cycle = 0)
     {
-        if (windowCycles_ > 0 && windowEvents_ > 0)
+        if (windowCycles_ == 0)
+            return;
+        while (windowStart_ < end_cycle)
+            closeWindow();
+        if (windowEvents_ > 0)
             closeWindow();
     }
 

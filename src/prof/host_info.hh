@@ -47,23 +47,31 @@ struct Throughput
     std::uint64_t cycles = 0;       ///< simulated processor cycles
     std::uint64_t instructions = 0; ///< retired instructions
 
+    /**
+     * Denominator clamped to one nanosecond: a measurement shorter
+     * than the host timer's granularity (possible on very fast runs,
+     * e.g. the first --progress poll) reports a finite saturated
+     * rate instead of inf/nan or a misleading zero.
+     */
+    double
+    wallClamped() const
+    {
+        return wallSeconds > 1e-9 ? wallSeconds : 1e-9;
+    }
+
     /** Thousands of simulated instructions per wall second. */
     double
     kips() const
     {
-        return wallSeconds > 0.0
-                   ? static_cast<double>(instructions) /
-                         wallSeconds / 1e3
-                   : 0.0;
+        return static_cast<double>(instructions) / wallClamped() /
+               1e3;
     }
 
     /** Simulated cycles per wall second. */
     double
     cyclesPerSecond() const
     {
-        return wallSeconds > 0.0
-                   ? static_cast<double>(cycles) / wallSeconds
-                   : 0.0;
+        return static_cast<double>(cycles) / wallClamped();
     }
 };
 

@@ -45,9 +45,9 @@ finishRow(const SpeedConfig &c, const Throughput &t,
 
 /** Move the closed digest windows into @p row as hex strings. */
 void
-attachWindows(SpeedRow &row, ProbeDigest &digest)
+attachWindows(SpeedRow &row, ProbeDigest &digest, Cycle end_cycle)
 {
-    digest.finishWindows();
+    digest.finishWindows(end_cycle);
     row.digestWindowCycles = digest.windowCycles();
     row.digestWindows.reserve(digest.windows().size());
     for (const DigestWindow &win : digest.windows())
@@ -77,7 +77,7 @@ runUniSpeed(const SpeedConfig &c)
                        sys.retired()};
     SpeedRow row = finishRow(c, t, digest.digest());
     row.allocs = Profiler::allocCount() - allocs0;
-    attachWindows(row, digest);
+    attachWindows(row, digest, sys.now());
     return row;
 }
 
@@ -99,7 +99,7 @@ runMpSpeed(const SpeedConfig &c)
                        sys.retired()};
     SpeedRow row = finishRow(c, t, digest.digest());
     row.allocs = Profiler::allocCount() - allocs0;
-    attachWindows(row, digest);
+    attachWindows(row, digest, sys.now());
     return row;
 }
 
@@ -253,7 +253,13 @@ speedRowsFromJson(const JsonValue &doc)
         row.cycles = r.at("cycles").asU64();
         row.retired = r.at("retired").asU64();
         row.wallMs = r.at("wall_ms").asDouble();
-        row.kips = r.at("kips").asDouble();
+        // Spell out the absent-KIPS case: the generic missing-key
+        // error would not say which row is unusable.
+        if (const JsonValue *k = r.find("kips"))
+            row.kips = k->asDouble();
+        else
+            throw std::runtime_error("row '" + row.config +
+                                     "' has no kips value");
         row.mcps = r.at("mcps").asDouble();
         row.peakRssKb = r.at("peak_rss_kb").asU64();
         row.digest = r.at("digest").asString();
@@ -299,9 +305,19 @@ compareSpeed(const std::vector<SpeedRow> &baseline,
                                 ": missing from current results");
             continue;
         }
-        const double delta =
-            base.kips > 0.0 ? (cur->kips - base.kips) / base.kips
-                            : 0.0;
+        // A non-positive KIPS means an aborted or corrupt run; the
+        // ratio test would silently pass on it, so fail loudly.
+        if (base.kips <= 0.0 || cur->kips <= 0.0) {
+            out.ok = false;
+            std::snprintf(buf, sizeof(buf),
+                          "FAIL %s: non-positive KIPS (baseline "
+                          "%.1f, current %.1f) - aborted run or "
+                          "corrupt row, no comparison possible",
+                          base.config.c_str(), base.kips, cur->kips);
+            out.lines.emplace_back(buf);
+            continue;
+        }
+        const double delta = (cur->kips - base.kips) / base.kips;
         const bool regressed = delta < -threshold;
         std::snprintf(buf, sizeof(buf),
                       "%s %s: %.1f -> %.1f KIPS (%+.1f%%, "

@@ -51,6 +51,9 @@ class UniSystem
     void run(Cycle warmup, Cycle measure);
 
     Cycle measuredCycles() const { return measured_; }
+
+    /** Current simulation cycle (warm-up + measured so far). */
+    Cycle now() const { return now_; }
     const CycleBreakdown &breakdown() const
     {
         return proc_.breakdown();

@@ -179,6 +179,54 @@ TEST(DigestWindows, WindowsAreContiguousAndCoverAllEvents)
     EXPECT_EQ(digest.windows().size(), wins.size());
 }
 
+TEST(DigestWindows, PartialTailWindowIsSerializedOnUnevenRuns)
+{
+    // 4000 + 2500 cycles against a 1000-cycle window: the run ends
+    // mid-window, and the final partial window must still be closed
+    // and serialized so a tail divergence localizes (this is the
+    // exact shape mtsim_diff consumes).
+    Config cfg = Config::make(Scheme::Interleaved, 2);
+    UniSystem sys(cfg);
+    for (const auto &app : uniWorkload("FP"))
+        sys.addApp(app, specKernel(app));
+    ProbeDigest digest(1000);
+    sys.probes().addSink(&digest);
+    sys.run(4000, 2500);
+    digest.finishWindows(sys.now());
+
+    const std::vector<DigestWindow> &wins = digest.windows();
+    // Every grid window overlapping [0, 6500) is present, including
+    // the partial tail [6000, 7000) - even if it held no events.
+    ASSERT_EQ(wins.size(), 7u);
+    std::uint64_t event_sum = 0;
+    for (std::size_t i = 0; i < wins.size(); ++i) {
+        EXPECT_EQ(wins[i].index, i);
+        EXPECT_EQ(wins[i].start, i * 1000);
+        event_sum += wins[i].events;
+    }
+    EXPECT_EQ(event_sum, digest.events());
+
+    // Idempotent: finishing again at the same end adds nothing.
+    digest.finishWindows(sys.now());
+    EXPECT_EQ(digest.windows().size(), 7u);
+}
+
+TEST(DigestWindows, EventFreeTailWindowsAreStillClosed)
+{
+    // A digest whose last event lands early must still serialize the
+    // empty tail windows up to the run end, so two runs diverging
+    // only by tail events keep comparable window streams.
+    ProbeDigest digest(100);
+    digest.onEvent(issueAt(42, 1));
+    digest.finishWindows(950);
+    const std::vector<DigestWindow> &wins = digest.windows();
+    ASSERT_EQ(wins.size(), 10u);
+    EXPECT_EQ(wins[0].events, 1u);
+    for (std::size_t i = 1; i < wins.size(); ++i)
+        EXPECT_EQ(wins[i].events, 0u);
+    EXPECT_EQ(wins.back().start, 900u);
+}
+
 TEST(DigestWindows, IdenticalRunsProduceIdenticalWindowStreams)
 {
     auto windows = [] {

@@ -6,6 +6,7 @@
  * atomic file output, and the bench_compare pass/fail logic.
  */
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -216,6 +217,25 @@ TEST(HostInfoTest, ThroughputDefinitions)
     EXPECT_DOUBLE_EQ(zero.cyclesPerSecond(), 0.0);
 }
 
+TEST(HostInfoTest, ThroughputClampsZeroWall)
+{
+    // A measurement shorter than the host timer's granularity (the
+    // first --progress poll on a very fast run) must never produce
+    // inf/nan - the denominator clamps to one nanosecond.
+    const prof::Throughput t{0.0, 5000, 10000};
+    EXPECT_TRUE(std::isfinite(t.kips()));
+    EXPECT_TRUE(std::isfinite(t.cyclesPerSecond()));
+    EXPECT_GT(t.kips(), 0.0);
+    EXPECT_GT(t.cyclesPerSecond(), 0.0);
+    // Negative wall (clock skew) clamps the same way.
+    const prof::Throughput skew{-1.0, 5000, 10000};
+    EXPECT_TRUE(std::isfinite(skew.kips()));
+    EXPECT_GT(skew.kips(), 0.0);
+    // A normal measurement is unaffected by the clamp.
+    const prof::Throughput normal{2.0, 4000000, 1000000};
+    EXPECT_DOUBLE_EQ(normal.kips(), 500.0);
+}
+
 TEST(HostInfoTest, BuildAndRssPopulated)
 {
     const prof::BuildInfo &b = prof::buildInfo();
@@ -414,6 +434,46 @@ TEST(BenchCompareTest, SpeedupAlwaysPasses)
     const std::vector<prof::SpeedRow> base = {makeRow("a", 100.0)};
     const std::vector<prof::SpeedRow> fast = {makeRow("a", 300.0)};
     EXPECT_TRUE(prof::compareSpeed(base, fast, 0.10).ok);
+}
+
+TEST(BenchCompareTest, ZeroKipsFailsExplicitly)
+{
+    // A zero-KIPS row records an aborted run; the ratio test would
+    // pass it silently, so the comparison must fail with a message
+    // naming the unusable row.
+    const std::vector<prof::SpeedRow> base = {makeRow("a", 0.0)};
+    const std::vector<prof::SpeedRow> cur = {makeRow("a", 100.0)};
+    const auto out = prof::compareSpeed(base, cur, 0.10);
+    EXPECT_FALSE(out.ok);
+    ASSERT_FALSE(out.lines.empty());
+    EXPECT_EQ(out.lines[0].substr(0, 4), "FAIL");
+    EXPECT_NE(out.lines[0].find("non-positive KIPS"),
+              std::string::npos);
+
+    // And symmetrically for a dead current row.
+    const std::vector<prof::SpeedRow> dead = {makeRow("a", 0.0)};
+    const auto out2 = prof::compareSpeed(cur, dead, 0.10);
+    EXPECT_FALSE(out2.ok);
+    EXPECT_NE(out2.lines[0].find("non-positive KIPS"),
+              std::string::npos);
+}
+
+TEST(BenchCompareTest, AbsentKipsValueIsAnError)
+{
+    // A row with no kips key cannot be compared; the reader names
+    // the offending row instead of failing with a generic message.
+    const std::string doc =
+        "{\"schema\": \"mtsim_bench_speed/v1\", \"rows\": ["
+        "{\"config\": \"a\", \"cycles\": 1, \"retired\": 1, "
+        "\"wall_ms\": 1.0, \"mcps\": 1.0, \"peak_rss_kb\": 1, "
+        "\"digest\": \"0x1\"}]}";
+    try {
+        prof::speedRowsFromJson(parseJson(doc));
+        FAIL() << "expected a runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("no kips value"),
+                  std::string::npos);
+    }
 }
 
 TEST(BenchCompareTest, MissingConfigFails)

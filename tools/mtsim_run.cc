@@ -381,9 +381,9 @@ hex64(std::uint64_t v)
 
 /** The stats-JSON digest block: whole-run hash + window stream. */
 void
-writeDigestJson(JsonWriter &w, ProbeDigest &d)
+writeDigestJson(JsonWriter &w, ProbeDigest &d, Cycle end_cycle)
 {
-    d.finishWindows();
+    d.finishWindows(end_cycle);
     w.beginObject();
     w.kv("hash", hex64(d.digest()));
     w.kv("events", d.events());
@@ -465,7 +465,7 @@ writeStatsJson(const Options &o, const RunInfo &info,
 
     if (digest != nullptr) {
         w.key("digest");
-        writeDigestJson(w, *digest);
+        writeDigestJson(w, *digest, info.simulatedCycles);
     }
 
     w.key("sim_speed");
