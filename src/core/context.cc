@@ -1,12 +1,20 @@
 #include "core/context.hh"
 
-#include <cassert>
-
 namespace mtsim {
 
-ThreadContext::ThreadContext(CtxId id)
-    : id_(id)
-{}
+ThreadContext::ThreadContext(CtxId id, ContextHotState *hot,
+                             Scoreboard *sb)
+    : id_(id), slot_(hot != nullptr ? id : 0), hot_(hot), sb_(sb)
+{
+    if (hot_ == nullptr) {
+        ownHot_ = std::make_unique<ContextHotState>(1);
+        hot_ = ownHot_.get();
+    }
+    if (sb_ == nullptr) {
+        ownSb_ = std::make_unique<Scoreboard>();
+        sb_ = ownSb_.get();
+    }
+}
 
 void
 ThreadContext::loadThread(InstrSource *src, std::uint32_t app_id)
@@ -17,13 +25,14 @@ ThreadContext::loadThread(InstrSource *src, std::uint32_t app_id)
     readIdx_ = 0;
     baseSeq_ = nextSeq_;       // sequence numbers stay monotonic
     sourceDone_ = false;
-    unavailableUntil_ = 0;
-    waitKind_ = WaitKind::None;
-    nextFetchAt_ = 0;
-    lastIssueAt_ = 0;
-    lastFetchSeq_ = ~SeqNum(0);
+    hot_->unavailUntil[slot_] = 0;
+    hot_->waitKind[slot_] = WaitKind::None;
+    hot_->nextFetchAt[slot_] = 0;
+    hot_->lastIssueAt[slot_] = 0;
+    hot_->lastFetchSeq[slot_] = ~SeqNum(0);
     missReplaySeq_ = ~SeqNum(0);
-    sb_.reset();
+    sb_->reset();
+    updateRunnable();
 }
 
 void
@@ -36,10 +45,11 @@ ThreadContext::unloadThread()
     // An empty slot holds no register state: without this, ready
     // times from the unloaded thread would greet the next loadThread
     // caller that forgets the reset.
-    sb_.reset();
+    sb_->reset();
     missReplaySeq_ = ~SeqNum(0);
-    unavailableUntil_ = 0;
-    waitKind_ = WaitKind::None;
+    hot_->unavailUntil[slot_] = 0;
+    hot_->waitKind[slot_] = WaitKind::None;
+    hot_->runnable[slot_] = 0;
 }
 
 bool
@@ -56,6 +66,7 @@ ThreadContext::peek(MicroOp &op)
     MicroOp fetched;
     if (!source_->next(fetched)) {
         sourceDone_ = true;
+        updateRunnable();
         return false;
     }
     fetched.seq = nextSeq_++;
@@ -65,18 +76,13 @@ ThreadContext::peek(MicroOp &op)
 }
 
 void
-ThreadContext::consume()
-{
-    assert(readIdx_ < buf_.size());
-    ++readIdx_;
-}
-
-void
 ThreadContext::rollbackTo(SeqNum seq)
 {
     assert(seq >= baseSeq_);
     readIdx_ = static_cast<std::size_t>(seq - baseSeq_);
     assert(readIdx_ <= buf_.size());
+    if (sourceDone_)
+        updateRunnable();
 }
 
 void
@@ -89,12 +95,8 @@ ThreadContext::retireUpTo(SeqNum seq)
         if (readIdx_ > 0)
             --readIdx_;
     }
-}
-
-bool
-ThreadContext::finished() const
-{
-    return sourceDone_ && readIdx_ >= buf_.size();
+    if (sourceDone_)
+        updateRunnable();
 }
 
 } // namespace mtsim

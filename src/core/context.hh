@@ -5,13 +5,23 @@
  * plus the fetch/replay machinery that models the EPC restart
  * semantics — after a squash, execution resumes with the instruction
  * that caused the context to become unavailable.
+ *
+ * The fields the issue loop reads every cycle (availability, wait
+ * kind, fetch/issue cursors) live in a ContextHotState block the
+ * owning processor shares across its contexts, stored as contiguous
+ * structure-of-arrays so ring scans touch a handful of cache lines
+ * instead of chasing per-context objects (docs/ARCHITECTURE.md §9).
+ * A standalone ThreadContext (unit tests) owns a single-slot block.
  */
 
 #ifndef MTSIM_CORE_CONTEXT_HH
 #define MTSIM_CORE_CONTEXT_HH
 
+#include <cassert>
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <vector>
 
 #include "common/types.hh"
 #include "isa/micro_op.hh"
@@ -28,10 +38,49 @@ enum class WaitKind : std::uint8_t {
     Backoff, ///< backoff / explicit switch on instruction latency
 };
 
+/**
+ * Per-processor structure-of-arrays block of the context fields read
+ * every cycle, indexed by context id. ThreadContext writes through to
+ * its slot, so the arrays are the single source of truth.
+ */
+struct ContextHotState
+{
+    explicit ContextHotState(std::size_t n)
+        : unavailUntil(n, 0), nextFetchAt(n, 0), lastIssueAt(n, 0),
+          lastFetchSeq(n, ~SeqNum(0)), waitKind(n, WaitKind::None),
+          runnable(n, 0)
+    {}
+
+    std::vector<Cycle> unavailUntil;
+    std::vector<Cycle> nextFetchAt;
+    std::vector<Cycle> lastIssueAt;
+    std::vector<SeqNum> lastFetchSeq;
+    std::vector<WaitKind> waitKind;
+    /** loaded() && !finished(), maintained by ThreadContext. */
+    std::vector<std::uint8_t> runnable;
+
+    std::size_t size() const { return runnable.size(); }
+
+    bool
+    available(std::size_t slot, Cycle now) const
+    {
+        return runnable[slot] != 0 && unavailUntil[slot] <= now;
+    }
+};
+
 class ThreadContext
 {
   public:
-    explicit ThreadContext(CtxId id = 0);
+    /**
+     * @param id context index within the owning processor
+     * @param hot shared hot-state block (slot @p id); when null the
+     *        context allocates a private single-slot block
+     * @param sb scoreboard storage inside the processor's contiguous
+     *        pool; when null the context allocates its own
+     */
+    explicit ThreadContext(CtxId id = 0,
+                           ContextHotState *hot = nullptr,
+                           Scoreboard *sb = nullptr);
 
     /** Bind a software thread; resets all per-context state. */
     void loadThread(InstrSource *src, std::uint32_t app_id);
@@ -50,7 +99,14 @@ class ThreadContext
     bool peek(MicroOp &op);
 
     /** Consume the instruction last peeked. */
-    void consume();
+    void
+    consume()
+    {
+        assert(readIdx_ < buf_.size());
+        ++readIdx_;
+        if (sourceDone_)
+            updateRunnable();
+    }
 
     /**
      * Roll fetch back so the instruction with sequence number
@@ -62,40 +118,46 @@ class ThreadContext
     void retireUpTo(SeqNum seq);
 
     /** True once the source is exhausted and all ops consumed. */
-    bool finished() const;
+    bool finished() const
+    {
+        return sourceDone_ && readIdx_ >= buf_.size();
+    }
+
+    /** loaded() && !finished(), read from the shared hot block. */
+    bool runnable() const { return hot_->runnable[slot_] != 0; }
 
     // ---- availability ----------------------------------------------
     bool
     available(Cycle now) const
     {
-        return loaded() && !finished() && unavailableUntil_ <= now;
+        return hot_->available(slot_, now);
     }
 
     void
     makeUnavailable(Cycle until, WaitKind why)
     {
-        unavailableUntil_ = until;
-        waitKind_ = why;
+        hot_->unavailUntil[slot_] = until;
+        hot_->waitKind[slot_] = why;
     }
 
-    Cycle unavailableUntil() const { return unavailableUntil_; }
-    WaitKind waitKind() const { return waitKind_; }
+    Cycle unavailableUntil() const { return hot_->unavailUntil[slot_]; }
+    WaitKind waitKind() const { return hot_->waitKind[slot_]; }
 
     // ---- per-context pipeline state ---------------------------------
-    Scoreboard &scoreboard() { return sb_; }
-    const Scoreboard &scoreboard() const { return sb_; }
+    Scoreboard &scoreboard() { return *sb_; }
+    const Scoreboard &scoreboard() const { return *sb_; }
 
     /** Earliest cycle this context may fetch (branch redirect). */
-    Cycle nextFetchAt() const { return nextFetchAt_; }
-    void setNextFetchAt(Cycle c) { nextFetchAt_ = c; }
+    Cycle nextFetchAt() const { return hot_->nextFetchAt[slot_]; }
+    void setNextFetchAt(Cycle c) { hot_->nextFetchAt[slot_] = c; }
 
     /** Sequence number of the last instruction I-fetched. */
-    SeqNum lastFetchSeq() const { return lastFetchSeq_; }
-    void setLastFetchSeq(SeqNum s) { lastFetchSeq_ = s; }
+    SeqNum lastFetchSeq() const { return hot_->lastFetchSeq[slot_]; }
+    void setLastFetchSeq(SeqNum s) { hot_->lastFetchSeq[slot_] = s; }
 
     /** Fine-grained scheme: cycle of this context's last issue. */
-    Cycle lastIssueAt() const { return lastIssueAt_; }
-    void setLastIssueAt(Cycle c) { lastIssueAt_ = c; }
+    Cycle lastIssueAt() const { return hot_->lastIssueAt[slot_]; }
+    void setLastIssueAt(Cycle c) { hot_->lastIssueAt[slot_] = c; }
 
     std::uint64_t retired() const { return retiredCount_; }
     void noteRetired(std::uint64_t n = 1) { retiredCount_ += n; }
@@ -116,7 +178,21 @@ class ThreadContext
     void clearMissReplaySeq() { missReplaySeq_ = ~SeqNum(0); }
 
   private:
+    void
+    updateRunnable()
+    {
+        hot_->runnable[slot_] =
+            (source_ != nullptr && !finished()) ? 1 : 0;
+    }
+
     CtxId id_;
+    std::size_t slot_;
+    ContextHotState *hot_;
+    Scoreboard *sb_;
+    /** Backing storage for a standalone (test) context. */
+    std::unique_ptr<ContextHotState> ownHot_;
+    std::unique_ptr<Scoreboard> ownSb_;
+
     InstrSource *source_ = nullptr;
     std::uint32_t appId_ = 0;
 
@@ -126,15 +202,8 @@ class ThreadContext
     SeqNum nextSeq_ = 0;
     bool sourceDone_ = false;
 
-    Cycle unavailableUntil_ = 0;
-    WaitKind waitKind_ = WaitKind::None;
-    Cycle nextFetchAt_ = 0;
-    Cycle lastIssueAt_ = 0;
-    SeqNum lastFetchSeq_ = ~SeqNum(0);
     SeqNum missReplaySeq_ = ~SeqNum(0);
     std::uint64_t retiredCount_ = 0;
-
-    Scoreboard sb_;
 };
 
 } // namespace mtsim

@@ -3,6 +3,18 @@
 namespace mtsim {
 
 int
+nextAvailableRing(const ContextHotState &hot, int from, Cycle now)
+{
+    const int n = static_cast<int>(hot.size());
+    for (int step = 1; step <= n; ++step) {
+        int idx = (from + step) % n;
+        if (hot.available(idx, now))
+            return idx;
+    }
+    return -1;
+}
+
+int
 nextAvailableRing(const std::vector<ThreadContext> &ctxs, int from,
                   Cycle now)
 {
@@ -13,6 +25,16 @@ nextAvailableRing(const std::vector<ThreadContext> &ctxs, int from,
             return idx;
     }
     return -1;
+}
+
+bool
+otherThreadExists(const ContextHotState &hot, int self)
+{
+    for (int i = 0; i < static_cast<int>(hot.size()); ++i) {
+        if (i != self && hot.runnable[i] != 0)
+            return true;
+    }
+    return false;
 }
 
 bool
@@ -28,6 +50,17 @@ otherThreadExists(const std::vector<ThreadContext> &ctxs, int self)
 }
 
 int
+availableCount(const ContextHotState &hot, Cycle now)
+{
+    int n = 0;
+    for (std::size_t i = 0; i < hot.size(); ++i) {
+        if (hot.available(i, now))
+            ++n;
+    }
+    return n;
+}
+
+int
 availableCount(const std::vector<ThreadContext> &ctxs, Cycle now)
 {
     int n = 0;
@@ -36,6 +69,22 @@ availableCount(const std::vector<ThreadContext> &ctxs, Cycle now)
             ++n;
     }
     return n;
+}
+
+int
+soonestAvailable(const ContextHotState &hot)
+{
+    int best = -1;
+    Cycle best_at = kCycleNever;
+    for (int i = 0; i < static_cast<int>(hot.size()); ++i) {
+        if (hot.runnable[i] == 0)
+            continue;
+        if (hot.unavailUntil[i] < best_at) {
+            best_at = hot.unavailUntil[i];
+            best = i;
+        }
+    }
+    return best;
 }
 
 int

@@ -3,6 +3,12 @@
  * Context-selection helpers shared by the scheme implementations in
  * the processor: ring scans for round-robin interleaving and for the
  * blocked scheme's switch-target choice.
+ *
+ * The primary overloads scan a processor's ContextHotState block
+ * (contiguous per-context arrays, docs/ARCHITECTURE.md §9); the
+ * vector<ThreadContext> overloads express the same semantics through
+ * the per-context accessors and exist for tests and cold callers.
+ * Both read the same SoA-backed truth, so they cannot diverge.
  */
 
 #ifndef MTSIM_CORE_ISSUE_POLICY_HH
@@ -19,6 +25,7 @@ namespace mtsim {
  * First context available at @p now scanning the ring starting AFTER
  * @p from (wrapping), or -1 if none.
  */
+int nextAvailableRing(const ContextHotState &hot, int from, Cycle now);
 int nextAvailableRing(const std::vector<ThreadContext> &ctxs, int from,
                       Cycle now);
 
@@ -26,9 +33,11 @@ int nextAvailableRing(const std::vector<ThreadContext> &ctxs, int from,
  * True if any loaded, unfinished context other than @p self exists
  * (the hardware's "is there anyone to switch to" test).
  */
+bool otherThreadExists(const ContextHotState &hot, int self);
 bool otherThreadExists(const std::vector<ThreadContext> &ctxs, int self);
 
 /** Count of contexts available at @p now. */
+int availableCount(const ContextHotState &hot, Cycle now);
 int availableCount(const std::vector<ThreadContext> &ctxs, Cycle now);
 
 /**
@@ -37,6 +46,7 @@ int availableCount(const std::vector<ThreadContext> &ctxs, Cycle now);
  * context is available, to attribute the idle cycle to whatever the
  * gating context waits for.
  */
+int soonestAvailable(const ContextHotState &hot);
 int soonestAvailable(const std::vector<ThreadContext> &ctxs);
 
 } // namespace mtsim

@@ -10,12 +10,13 @@ namespace mtsim {
 Processor::Processor(const Config &cfg, MemSystem &mem, ProcId id,
                      SyncManager *sync, std::uint32_t sync_threads)
     : cfg_(cfg), mem_(mem), id_(id), sync_(sync),
-      syncThreads_(sync_threads), btb_(cfg.btbEntries)
+      syncThreads_(sync_threads), hot_(cfg.numContexts),
+      sbs_(cfg.numContexts), btb_(cfg.btbEntries)
 {
     cfg_.validate();
     ctxs_.reserve(cfg_.numContexts);
     for (CtxId c = 0; c < cfg_.numContexts; ++c)
-        ctxs_.emplace_back(c);
+        ctxs_.emplace_back(c, &hot_, &sbs_[c]);
     fuBusy_.fill(0);
 }
 
@@ -32,8 +33,8 @@ Processor::retiredForApp(std::uint32_t app_id) const
 bool
 Processor::allFinished() const
 {
-    for (const ThreadContext &c : ctxs_) {
-        if (c.loaded() && !c.finished())
+    for (std::size_t c = 0; c < hot_.size(); ++c) {
+        if (hot_.runnable[c] != 0)
             return false;
     }
     return true;
@@ -202,7 +203,7 @@ Processor::blockedSwitch(Cycle now, Cycle flush_until)
                flush_until > now ? flush_until - now : 0);
     if (flush_until > flushUntil_)
         flushUntil_ = flush_until;
-    int next = nextAvailableRing(ctxs_, current_, now);
+    int next = nextAvailableRing(hot_, current_, now);
     if (next >= 0) {
         current_ = next;
         blockedNeedsNewCurrent_ = false;
@@ -227,7 +228,7 @@ Processor::processMissEvents(Cycle now)
         stateChangedLastTick_ = true;
 
         ThreadContext &ctx = ctxs_[ev.ctx];
-        if (!otherThreadExists(ctxs_, ev.ctx)) {
+        if (!otherThreadExists(hot_, ev.ctx)) {
             // Nobody to yield to: behave like the single-context
             // processor and let dependents stall on the scoreboard.
             continue;
@@ -243,7 +244,7 @@ Processor::processMissEvents(Cycle now)
             // the next context may start (Figure 2).
             if (ev.detectAt + 2 > flushUntil_)
                 flushUntil_ = ev.detectAt + 2;
-            int next = nextAvailableRing(ctxs_, current_, now);
+            int next = nextAvailableRing(hot_, current_, now);
             if (next >= 0) {
                 current_ = next;
                 blockedNeedsNewCurrent_ = false;
@@ -338,11 +339,10 @@ Processor::selectOwner(Cycle now)
     switch (cfg_.scheme) {
       case Scheme::Single:
       case Scheme::Blocked:
-        if (ctxs_[current_].available(now))
+        if (hot_.available(current_, now))
             return current_;
-        if (ctxs_[current_].finished() || !ctxs_[current_].loaded() ||
-            blockedNeedsNewCurrent_) {
-            int next = nextAvailableRing(ctxs_, current_, now);
+        if (hot_.runnable[current_] == 0 || blockedNeedsNewCurrent_) {
+            int next = nextAvailableRing(hot_, current_, now);
             if (next >= 0) {
                 current_ = next;
                 blockedNeedsNewCurrent_ = false;
@@ -358,7 +358,7 @@ Processor::selectOwner(Cycle now)
             prio < static_cast<int>(ctxs_.size())) {
             // Priority context takes every other slot; the rest
             // round-robin over the remaining contexts.
-            if (ctxs_[prio].available(now) && rrLast_ != prio) {
+            if (hot_.available(prio, now) && rrLast_ != prio) {
                 rrLast_ = prio;
                 return prio;
             }
@@ -367,19 +367,19 @@ Processor::selectOwner(Cycle now)
                 int idx = (rrLastOther_ + step) % n;
                 if (idx == prio)
                     continue;
-                if (ctxs_[idx].available(now)) {
+                if (hot_.available(idx, now)) {
                     rrLastOther_ = idx;
                     rrLast_ = idx;
                     return idx;
                 }
             }
-            if (ctxs_[prio].available(now)) {
+            if (hot_.available(prio, now)) {
                 rrLast_ = prio;
                 return prio;
             }
             return -1;
         }
-        int owner = nextAvailableRing(ctxs_, rrLast_, now);
+        int owner = nextAvailableRing(hot_, rrLast_, now);
         if (owner >= 0)
             rrLast_ = owner;
         return owner;
@@ -395,11 +395,10 @@ Processor::constSelectOwner(Cycle now) const
     switch (cfg_.scheme) {
       case Scheme::Single:
       case Scheme::Blocked:
-        if (ctxs_[current_].available(now))
+        if (hot_.available(current_, now))
             return current_;
-        if (ctxs_[current_].finished() || !ctxs_[current_].loaded() ||
-            blockedNeedsNewCurrent_)
-            return nextAvailableRing(ctxs_, current_, now);
+        if (hot_.runnable[current_] == 0 || blockedNeedsNewCurrent_)
+            return nextAvailableRing(hot_, current_, now);
         return -1;
       case Scheme::Interleaved:
       case Scheme::FineGrained:
@@ -407,21 +406,21 @@ Processor::constSelectOwner(Cycle now) const
         const int prio = cfg_.priorityContext;
         if (cfg_.scheme == Scheme::Interleaved && prio >= 0 &&
             prio < static_cast<int>(ctxs_.size())) {
-            if (ctxs_[prio].available(now) && rrLast_ != prio)
+            if (hot_.available(prio, now) && rrLast_ != prio)
                 return prio;
             const int n = static_cast<int>(ctxs_.size());
             for (int step = 1; step <= n; ++step) {
                 int idx = (rrLastOther_ + step) % n;
                 if (idx == prio)
                     continue;
-                if (ctxs_[idx].available(now))
+                if (hot_.available(idx, now))
                     return idx;
             }
-            if (ctxs_[prio].available(now))
+            if (hot_.available(prio, now))
                 return prio;
             return -1;
         }
-        return nextAvailableRing(ctxs_, rrLast_, now);
+        return nextAvailableRing(hot_, rrLast_, now);
       }
     }
 }
@@ -488,17 +487,17 @@ Processor::planFastForward(Cycle now, Cycle limit,
         Cycle wake = kCycleNever;
         if ((cfg_.scheme == Scheme::Single ||
              cfg_.scheme == Scheme::Blocked) &&
-            !blockedNeedsNewCurrent_ && ctxs_[current_].loaded() &&
-            !ctxs_[current_].finished()) {
+            !blockedNeedsNewCurrent_ &&
+            hot_.runnable[current_] != 0) {
             // Resident context holds the pipeline: others waking
             // mid-window change neither selectOwner's -1 nor the
             // attribution, so only current_'s wake caps the window.
             who = current_;
-            wake = ctxs_[current_].unavailableUntil();
+            wake = hot_.unavailUntil[current_];
         } else {
-            who = soonestAvailable(ctxs_);
+            who = soonestAvailable(hot_);
             if (who >= 0)
-                wake = ctxs_[who].unavailableUntil();
+                wake = hot_.unavailUntil[who];
         }
         out.attribute = true;
         out.needOwnerCommit = false;
@@ -523,8 +522,8 @@ Processor::planFastForward(Cycle now, Cycle limit,
         // the end-of-run tail, which attributes nothing.
         out.until = cap;
         out.cls = CycleClass::Sync;
-        for (const ThreadContext &c : ctxs_) {
-            if (c.loaded() && !c.finished())
+        for (std::size_t c = 0; c < hot_.size(); ++c) {
+            if (hot_.runnable[c] != 0)
                 return out.until > now + 1;
         }
         out.attribute = false;
@@ -537,16 +536,15 @@ Processor::planFastForward(Cycle now, Cycle limit,
     // owner, whose selection is idempotent after the one rotation
     // beginFastForward replays, and the stalled instruction's hazard
     // comparisons stay constant thanks to the breakpoint caps below.
-    if (cfg_.issueWidth != 1 || availableCount(ctxs_, now) != 1)
+    if (cfg_.issueWidth != 1 || availableCount(hot_, now) != 1)
         return false;
 
     // Another context waking mid-window would contend for the slot.
-    for (const ThreadContext &c : ctxs_) {
-        if (static_cast<int>(c.id()) == owner)
+    for (std::size_t c = 0; c < hot_.size(); ++c) {
+        if (static_cast<int>(c) == owner)
             continue;
-        if (c.loaded() && !c.finished() &&
-            c.unavailableUntil() < cap)
-            cap = c.unavailableUntil();
+        if (hot_.runnable[c] != 0 && hot_.unavailUntil[c] < cap)
+            cap = hot_.unavailUntil[c];
     }
     if (cap <= now + 1)
         return false;
@@ -637,7 +635,7 @@ Processor::planFastForward(Cycle now, Cycle limit,
         cfg_.switchHintThreshold > 0 &&
         startable - now >= cfg_.switchHintThreshold &&
         why != CycleClass::DataStall &&
-        otherThreadExists(ctxs_, owner);
+        otherThreadExists(hot_, owner);
     if (hintable && (cfg_.scheme == Scheme::Blocked ||
                      cfg_.scheme == Scheme::Interleaved))
         return false;
@@ -655,11 +653,10 @@ Processor::attributeIdle(Cycle now)
     int who;
     if ((cfg_.scheme == Scheme::Single ||
          cfg_.scheme == Scheme::Blocked) &&
-        !blockedNeedsNewCurrent_ && ctxs_[current_].loaded() &&
-        !ctxs_[current_].finished()) {
+        !blockedNeedsNewCurrent_ && hot_.runnable[current_] != 0) {
         who = current_;
     } else {
-        who = soonestAvailable(ctxs_);
+        who = soonestAvailable(hot_);
     }
     if (who < 0) {
         // No context has a known resume time. If unfinished threads
@@ -668,15 +665,15 @@ Processor::attributeIdle(Cycle now)
         // that is sync time, not a hole in the accounting. Only the
         // end-of-run tail, with nothing loaded and unfinished, stays
         // unattributed.
-        for (const ThreadContext &c : ctxs_) {
-            if (c.loaded() && !c.finished()) {
+        for (std::size_t c = 0; c < hot_.size(); ++c) {
+            if (hot_.runnable[c] != 0) {
                 bd_.add(CycleClass::Sync);
                 return;
             }
         }
         return;
     }
-    switch (ctxs_[who].waitKind()) {
+    switch (hot_.waitKind[who]) {
       case WaitKind::Sync:
         bd_.add(CycleClass::Sync);
         break;
@@ -788,7 +785,7 @@ Processor::tickSlot(Cycle now)
         for (int tries = 0; tries < cfg_.numContexts; ++tries) {
             if (issueFrom(candidate, now, false))
                 return;
-            candidate = nextAvailableRing(ctxs_, candidate, now);
+            candidate = nextAvailableRing(hot_, candidate, now);
             if (candidate < 0 || candidate == owner)
                 break;
         }
@@ -886,8 +883,8 @@ Processor::issueFrom(int c, Cycle now, bool attribute_stall)
             cfg_.switchHintThreshold > 0 &&
             wait >= cfg_.switchHintThreshold &&
             why != CycleClass::DataStall &&
-            otherThreadExists(ctxs_, c) &&
-            nextAvailableRing(ctxs_, c, now) >= 0;
+            otherThreadExists(hot_, c) &&
+            nextAvailableRing(hot_, c, now) >= 0;
 
         if (hintable && cfg_.scheme == Scheme::Blocked) {
             // Compiler-inserted explicit switch (Table 4: 3 cycles).

@@ -280,6 +280,15 @@ class Processor
     SyncManager *sync_;
     std::uint32_t syncThreads_;
 
+    /**
+     * Hot per-context state and scoreboard storage, owned here as
+     * contiguous arrays (SoA) so the per-cycle ring scans and hazard
+     * checks stay on a handful of cache lines; the ThreadContext
+     * objects write through pointers into these blocks. Declared
+     * before ctxs_ so the contexts can bind to them at construction.
+     */
+    ContextHotState hot_;
+    std::vector<Scoreboard> sbs_;
     std::vector<ThreadContext> ctxs_;
     Btb btb_;
     std::vector<InFlight> inflight_;
