@@ -2,6 +2,7 @@
 
 #include "metrics/json_stats.hh"
 #include "obs/flight_recorder.hh"
+#include "workload/replay.hh"
 
 namespace mtsim {
 
@@ -55,9 +56,17 @@ MpSystem::loadApp(const ParallelAppFn &app)
     AddressSpace shared(kSharedBase);
     std::vector<KernelFn> kernels = app(n, shared, cfg_.seed);
     for (std::uint32_t t = 0; t < n; ++t) {
-        sources_.push_back(std::make_unique<ThreadSource>(
-            threadCodeBase(t), threadDataBase(t),
-            cfg_.seed + 577 * (t + 1), kernels[t]));
+        const Addr code = threadCodeBase(t);
+        const Addr data = threadDataBase(t);
+        const std::uint64_t seed = cfg_.seed + 577 * (t + 1);
+        if (cfg_.replayFrontEnd) {
+            sources_.push_back(std::make_unique<ReplayCursor>(
+                std::make_shared<ReplayProgram>(code, data, seed,
+                                                kernels[t])));
+        } else {
+            sources_.push_back(std::make_unique<ThreadSource>(
+                code, data, seed, kernels[t]));
+        }
         const ProcId p = static_cast<ProcId>(t % cfg_.numProcessors);
         const CtxId c = static_cast<CtxId>(t / cfg_.numProcessors);
         procs_[p]->context(c).loadThread(sources_.back().get(), t);

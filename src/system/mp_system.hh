@@ -143,7 +143,7 @@ class MpSystem
     MpMemSystem mem_;
     SyncManager sync_;
     std::vector<std::unique_ptr<Processor>> procs_;
-    std::vector<std::unique_ptr<ThreadSource>> sources_;
+    std::vector<std::unique_ptr<InstrSource>> sources_;
     std::unique_ptr<InvariantChecker> checker_;
     IntervalSampler *sampler_ = nullptr;
     prof::ProgressMeter *progress_ = nullptr;

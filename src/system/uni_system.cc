@@ -4,6 +4,7 @@
 
 #include "metrics/json_stats.hh"
 #include "obs/flight_recorder.hh"
+#include "workload/replay.hh"
 
 namespace mtsim {
 
@@ -46,9 +47,17 @@ std::uint32_t
 UniSystem::addApp(const std::string &name, const KernelFn &kernel)
 {
     const auto app = static_cast<std::uint32_t>(sources_.size());
-    sources_.push_back(std::make_unique<ThreadSource>(
-        codeBaseOf(app), dataBaseOf(app), cfg_.seed + 101 * (app + 1),
-        kernel));
+    const Addr code = codeBaseOf(app);
+    const Addr data = dataBaseOf(app);
+    const std::uint64_t seed = cfg_.seed + 101 * (app + 1);
+    if (cfg_.replayFrontEnd) {
+        sources_.push_back(
+            std::make_unique<ReplayCursor>(std::make_shared<ReplayProgram>(
+                code, data, seed, kernel)));
+    } else {
+        sources_.push_back(
+            std::make_unique<ThreadSource>(code, data, seed, kernel));
+    }
     return sched_.addApp(name, sources_.back().get());
 }
 

@@ -145,7 +145,7 @@ class UniSystem
     UniMemSystem mem_;
     Processor proc_;
     Scheduler sched_;
-    std::vector<std::unique_ptr<ThreadSource>> sources_;
+    std::vector<std::unique_ptr<InstrSource>> sources_;
     std::unique_ptr<InvariantChecker> checker_;
     IntervalSampler *sampler_ = nullptr;
     prof::ProgressMeter *progress_ = nullptr;

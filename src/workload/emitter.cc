@@ -4,54 +4,60 @@
 #include <stdexcept>
 
 #include "isa/latency.hh"
+#include "prof/profiler.hh"
 
 namespace mtsim {
 
-namespace {
+namespace detail {
 
 /**
  * Twine stand-in: list-schedule one basic block by critical path so
  * that loads and long-latency producers are separated from their
  * consumers, while preserving every register and memory dependence.
+ *
+ * One instance lives for the Emitter's lifetime and is reused for
+ * every block: the edge lists, priority array, and output buffer keep
+ * their capacity across run() calls, so steady-state emission does
+ * not touch the allocator.
  */
 class BlockScheduler
 {
   public:
-    explicit BlockScheduler(std::vector<MicroOp> &ops) : ops_(ops) {}
-
     void
-    run()
+    run(std::vector<MicroOp> &ops)
     {
-        const std::size_t n = ops_.size();
+        const std::size_t n = ops.size();
         if (n < 2)
             return;
 
-        buildEdges();
-        computePriorities();
+        buildEdges(ops);
+        computePriorities(ops);
 
-        std::vector<MicroOp> out;
-        out.reserve(n);
-        std::vector<bool> emitted(n, false);
-        std::vector<int> preds_left(n);
+        out_.clear();
+        out_.reserve(n);
+        emitted_.assign(n, 0);
+        predsLeft_.resize(n);
         for (std::size_t i = 0; i < n; ++i)
-            preds_left[i] = static_cast<int>(preds_[i].size());
+            predsLeft_[i] = static_cast<int>(preds_[i].size());
 
         for (std::size_t step = 0; step < n; ++step) {
             // Pick the ready op with the longest remaining critical
             // path; break ties by program order for determinism.
             std::size_t best = n;
             for (std::size_t i = 0; i < n; ++i) {
-                if (emitted[i] || preds_left[i] != 0)
+                if (emitted_[i] != 0 || predsLeft_[i] != 0)
                     continue;
                 if (best == n || prio_[i] > prio_[best])
                     best = i;
             }
-            emitted[best] = true;
-            out.push_back(ops_[best]);
+            emitted_[best] = 1;
+            out_.push_back(ops[best]);
             for (std::size_t succ : succs_[best])
-                --preds_left[succ];
+                --predsLeft_[succ];
         }
-        ops_ = std::move(out);
+        // Buffer ping-pong: ops gets the scheduled block, out_ keeps
+        // the old buffer (cleared, capacity intact) for the next run.
+        ops.swap(out_);
     }
 
   private:
@@ -69,15 +75,21 @@ class BlockScheduler
     }
 
     void
-    buildEdges()
+    buildEdges(const std::vector<MicroOp> &ops)
     {
-        const std::size_t n = ops_.size();
-        succs_.assign(n, {});
-        preds_.assign(n, {});
+        const std::size_t n = ops.size();
+        if (succs_.size() < n) {
+            succs_.resize(n);
+            preds_.resize(n);
+        }
         for (std::size_t i = 0; i < n; ++i) {
-            const MicroOp &a = ops_[i];
+            succs_[i].clear();
+            preds_[i].clear();
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            const MicroOp &a = ops[i];
             for (std::size_t j = i + 1; j < n; ++j) {
-                const MicroOp &b = ops_[j];
+                const MicroOp &b = ops[j];
                 bool dep = false;
                 // RAW: b reads a's destination.
                 if (reads(b, a.dst))
@@ -102,32 +114,39 @@ class BlockScheduler
     }
 
     void
-    computePriorities()
+    computePriorities(const std::vector<MicroOp> &ops)
     {
         static const LatencyParams lat;
-        const std::size_t n = ops_.size();
+        const std::size_t n = ops.size();
         prio_.assign(n, 0);
         for (std::size_t ii = n; ii-- > 0;) {
             std::uint32_t best_succ = 0;
             for (std::size_t s : succs_[ii])
                 best_succ = std::max(best_succ, prio_[s]);
-            prio_[ii] = best_succ + resultLatency(lat, ops_[ii]);
+            prio_[ii] = best_succ + resultLatency(lat, ops[ii]);
         }
     }
 
-    std::vector<MicroOp> &ops_;
     std::vector<std::vector<std::size_t>> succs_;
     std::vector<std::vector<std::size_t>> preds_;
     std::vector<std::uint32_t> prio_;
+    std::vector<MicroOp> out_;
+    std::vector<std::uint8_t> emitted_;
+    std::vector<int> predsLeft_;
 };
 
-} // namespace
+} // namespace detail
 
 Emitter::Emitter(Addr code_base, Addr data_base, std::uint64_t seed,
                  bool schedule)
     : space_(data_base), rng_(seed), codeBase_(code_base),
       pc_(code_base), schedule_(schedule)
-{}
+{
+    if (schedule_)
+        sched_ = std::make_unique<detail::BlockScheduler>();
+}
+
+Emitter::~Emitter() = default;
 
 Addr
 Emitter::codeRegion(std::uint32_t idx) const
@@ -206,10 +225,8 @@ Emitter::flushBlock()
 {
     if (block_.empty())
         return;
-    if (schedule_) {
-        BlockScheduler sched(block_);
-        sched.run();
-    }
+    if (schedule_)
+        sched_->run(block_);
     commit(block_);
     block_.clear();
 }
@@ -580,13 +597,16 @@ ThreadSource::ThreadSource(Addr code_base, Addr data_base,
 bool
 ThreadSource::next(MicroOp &op)
 {
-    while (em_.streamEmpty() && coro_.alive())
-        coro_.resume();
     if (em_.streamEmpty()) {
-        // Coroutine finished: flush any trailing half-block.
-        em_.pause();
-        if (em_.streamEmpty())
-            return false;
+        MTSIM_PROF_SCOPE("frontend.emit");
+        while (em_.streamEmpty() && coro_.alive())
+            coro_.resume();
+        if (em_.streamEmpty()) {
+            // Coroutine finished: flush any trailing half-block.
+            em_.pause();
+            if (em_.streamEmpty())
+                return false;
+        }
     }
     op = em_.popOp();
     return true;

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "common/generator.hh"
@@ -31,6 +32,10 @@
 #include "workload/program.hh"
 
 namespace mtsim {
+
+namespace detail {
+class BlockScheduler;
+}
 
 class Emitter
 {
@@ -49,6 +54,7 @@ class Emitter
      */
     Emitter(Addr code_base, Addr data_base, std::uint64_t seed = 1,
             bool schedule = true);
+    ~Emitter();
 
     /** Data-segment allocator for the kernel. */
     AddressSpace &mem() { return space_; }
@@ -157,6 +163,9 @@ class Emitter
 
     std::vector<MicroOp> block_;   ///< current unscheduled basic block
     std::deque<MicroOp> ready_;    ///< scheduled, pc-assigned stream
+    /** Persistent scheduler scratch; reused across blocks so the
+     *  steady-state emission path allocates nothing. */
+    std::unique_ptr<detail::BlockScheduler> sched_;
 
     int intRot_ = 0;
     int fpRot_ = 0;

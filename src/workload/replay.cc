@@ -1,0 +1,34 @@
+#include "workload/replay.hh"
+
+#include "prof/profiler.hh"
+
+namespace mtsim {
+
+ReplayProgram::ReplayProgram(Addr code_base, Addr data_base,
+                             std::uint64_t seed, const KernelFn &kernel,
+                             bool schedule)
+    : decode_(code_base, data_base, seed, kernel, schedule)
+{}
+
+bool
+ReplayProgram::decodeTo(std::size_t idx)
+{
+    if (done_)
+        return false;
+    MTSIM_PROF_SCOPE("frontend.replay");
+    // Decode a whole chunk past the request: the coroutine was going
+    // to produce these ops anyway, and bursting keeps the resume
+    // machinery out of the steady-state fetch path.
+    const std::size_t target = idx + kChunkOps;
+    MicroOp op;
+    while (ops_.size() < target) {
+        if (!decode_.next(op)) {
+            done_ = true;
+            return idx < ops_.size();
+        }
+        ops_.push_back(op);
+    }
+    return true;
+}
+
+} // namespace mtsim

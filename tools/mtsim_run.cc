@@ -81,6 +81,7 @@ struct Options
     std::string profJson;
     std::uint64_t progressSeconds = 0;
     bool fastForward = true;
+    bool replay = true;
     bool help = false;
 };
 
@@ -178,7 +179,11 @@ usage()
         "  --no-fast-forward   disable the event-driven clock jump\n"
         "                      over provable stall windows (results\n"
         "                      are bit-identical either way; this\n"
-        "                      only trades speed for simplicity)\n";
+        "                      only trades speed for simplicity)\n"
+        "  --no-replay         fetch from the kernel coroutines\n"
+        "                      lazily instead of the pre-decoded\n"
+        "                      replay buffers (bit-identical results;\n"
+        "                      lower host memory, slower)\n";
 }
 
 Options
@@ -261,6 +266,8 @@ parse(int argc, char **argv)
                     "--progress: must be >= 1");
         } else if (a == "--no-fast-forward") {
             o.fastForward = false;
+        } else if (a == "--no-replay") {
+            o.replay = false;
         } else if (a == "--help" || a == "-h") {
             o.help = true;
         } else {
@@ -534,6 +541,7 @@ runUniMode(const Options &o)
     cfg.issueWidth = o.width;
     cfg.priorityContext = o.priority;
     cfg.seed = o.seed;
+    cfg.replayFrontEnd = o.replay;
     UniSystem sys(cfg);
     sys.setFastForward(o.fastForward);
     if (!o.app.empty()) {
@@ -656,6 +664,7 @@ runMpMode(const Options &o)
     Config cfg = Config::makeMp(o.scheme, o.contexts, o.procs);
     cfg.issueWidth = o.width;
     cfg.seed = o.seed;
+    cfg.replayFrontEnd = o.replay;
     MpSystem sys(cfg);
     sys.setFastForward(o.fastForward);
     sys.setStatsBarrier(kStatsBarrier);
