@@ -11,13 +11,23 @@ ICache::Access
 ICache::access(Addr pc)
 {
     Access a;
-    a.tlbPenalty = tlb_.access(pc);
     a.lineAddr = tags_.lineAddrOf(pc);
+    if (a.lineAddr == lastHitLine_) {
+        // Same line as the previous hit: the page is the TLB's
+        // most-recent entry and the line is present, so the full
+        // probe would change nothing but the hit counters.
+        a.tlbPenalty = tlb_.access(pc);
+        ++hits_;
+        return a;
+    }
+    a.tlbPenalty = tlb_.access(pc);
     a.hit = tags_.present(pc);
     if (a.hit) {
         ++hits_;
+        lastHitLine_ = a.lineAddr;
     } else {
         ++misses_;
+        lastHitLine_ = ~Addr(0);
     }
     return a;
 }
@@ -30,6 +40,8 @@ ICache::fill(Addr lineAddr, Cycle fill_start)
         tags_.fill(lineAddr + static_cast<Addr>(i) * line_bytes,
                    LineState::Shared);
     tags_.reservePort(fill_start, tags_.params().fillOccupancy);
+    // The fill's victims may include the memoised line.
+    dropLineMemo();
 }
 
 void
@@ -37,6 +49,7 @@ ICache::clear()
 {
     tags_.clear();
     tlb_.clear();
+    dropLineMemo();
 }
 
 } // namespace mtsim

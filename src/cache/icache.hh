@@ -35,6 +35,15 @@ class ICache
     Access access(Addr pc);
 
     /**
+     * Forget the last-hit-line memo. Must be called whenever the tag
+     * array is mutated behind access()/fill()'s back (the OS
+     * scheduler's displaceRandom interference), because the memo
+     * short-circuits the tag probe for back-to-back fetches of the
+     * same line.
+     */
+    void dropLineMemo() { lastHitLine_ = ~Addr(0); }
+
+    /**
      * Install the miss line plus the configured prefetch lines
      * (Table 1: fetch size 2 lines) and reserve the array for the
      * fill occupancy starting at @p fill_start.
@@ -53,6 +62,14 @@ class ICache
     void clear();
 
   private:
+    /**
+     * Line address of the most recent hit. A refetch of the same
+     * line is a provable hit with no TLB penalty (same page, both
+     * already most-recently-used) and no tag-array state change, so
+     * access() skips the probe. Invalidated by fill(), clear() and
+     * dropLineMemo(); sequential fetch makes this the common case.
+     */
+    Addr lastHitLine_ = ~Addr(0);
     Cache tags_;
     Tlb tlb_;
     std::uint64_t hits_ = 0;

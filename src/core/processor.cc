@@ -708,6 +708,67 @@ Processor::classifyHazard(const ThreadContext &ctx, const MicroOp &op,
 }
 
 void
+Processor::noteStallBatch(int c, const MicroOp &op, Cycle fu_free,
+                          CycleClass why, Cycle startable, Cycle now)
+{
+    // Single-issue only: a wider machine's other slots could issue
+    // or consume structural resources the batch does not model.
+    if (cfg_.issueWidth != 1)
+        return;
+    Cycle until = startable;
+    auto capAt = [&](Cycle x) {
+        if (x > now && x < until)
+            until = x;
+    };
+    // Events due inside the window would make a skipped tick do
+    // real work (retire, miss detection).
+    capAt(nextRetireAt_);
+    capAt(nextMissDetectAt_);
+    // Another context available anywhere in the window could take
+    // over the slot (owner rotation) and issue; one available this
+    // very cycle (skip-blocked donation) declines outright.
+    const std::size_t n = hot_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (static_cast<int>(i) == c || hot_.runnable[i] == 0)
+            continue;
+        if (hot_.unavailUntil[i] <= now)
+            return;
+        capAt(hot_.unavailUntil[i]);
+    }
+    if (until <= now + 1)
+        return;
+    // Classification breakpoints, pinned exactly as in
+    // planFastForward: inside [now, until) every time-vs-now
+    // comparison classifyHazard makes keeps its value, so @p why
+    // holds for the whole window (and the hint, off this tick with a
+    // shrinking wait, stays off).
+    const ThreadContext &ctx = ctxs_[static_cast<std::size_t>(c)];
+    capAt(fu_free);
+    if (fu_free > now + 4)
+        capAt(fu_free - 4);
+    capAt(ctx.scoreboard().regReady(op.src1));
+    capAt(ctx.scoreboard().regReady(op.src2));
+    capAt(ctx.scoreboard().regReady(op.dst));
+    if (until <= now + 1)
+        return;
+    stallBatch_.from = now + 1;
+    stallBatch_.until = until;
+    stallBatch_.cls = why;
+    stallBatch_.valid = true;
+}
+
+bool
+Processor::takeStallBatch(Cycle from, Cycle *until, CycleClass *cls)
+{
+    if (!stallBatch_.valid || stallBatch_.from != from)
+        return false;
+    stallBatch_.valid = false;
+    *until = stallBatch_.until;
+    *cls = stallBatch_.cls;
+    return true;
+}
+
+void
 Processor::tick(Cycle now)
 {
     // Latched once per cycle; every emit site inside the slot loop
@@ -716,6 +777,7 @@ Processor::tick(Cycle now)
     issuedLastTick_ = false;
     shortStallHint_ = false;
     stateChangedLastTick_ = false;
+    stallBatch_.valid = false;
 
     processMissEvents(now);
     retireDue(now);
@@ -909,8 +971,11 @@ Processor::issueFrom(int c, Cycle now, bool attribute_stall)
         // the run loop skip the doomed plan attempt.
         if (startable <= now + 2)
             shortStallHint_ = true;
-        if (attribute_stall)
+        if (attribute_stall) {
             bd_.add(why);
+            if (startable > now + 1)
+                noteStallBatch(c, op, fu_free, why, startable, now);
+        }
         return attribute_stall;
     }
 

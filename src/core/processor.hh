@@ -128,6 +128,24 @@ class Processor
      */
     bool shortStallHint() const { return shortStallHint_; }
 
+    /**
+     * RAW-stall batch: when a tick()'s only obstacle was a short
+     * register/FU ready-time (single-issue, exactly one available
+     * context, no retire/miss/stall-timer event due inside the
+     * window, switch hint off, constant stall classification), the
+     * tick records the remaining provably-identical stall cycles
+     * [now+1, until). Consuming the batch and bulk-attributing
+     * `cls` for those cycles is bit-identical to ticking them:
+     * each one would re-run the same owner selection and hazard
+     * check, attribute one slot of `cls`, emit no probe events and
+     * mutate nothing.
+     *
+     * One-shot: valid only for the cycle immediately after the tick
+     * that recorded it (@p from must equal that cycle), and cleared
+     * by the call. Returns false otherwise.
+     */
+    bool takeStallBatch(Cycle from, Cycle *until, CycleClass *cls);
+
     ThreadContext &context(CtxId c) { return ctxs_[c]; }
     const ThreadContext &context(CtxId c) const { return ctxs_[c]; }
     std::uint8_t numContexts() const
@@ -272,6 +290,18 @@ class Processor
                               const MicroOp &op, Cycle fu_free,
                               Cycle reg_ready, Cycle now) const;
 
+    /**
+     * Try to record a RAW-stall batch from issueFrom's hazard-stall
+     * path (see takeStallBatch). @p why is the classification the
+     * caller attributed for this tick; the capAt breakpoints keep it
+     * valid for the whole window. Caps the window at every event
+     * that could make a skipped cycle differ from this one: a retire
+     * or miss-detect coming due, another context waking, or a
+     * classification breakpoint (FU-free / register-ready crossing).
+     */
+    void noteStallBatch(int c, const MicroOp &op, Cycle fu_free,
+                        CycleClass why, Cycle startable, Cycle now);
+
     SyncManager::WakeFn wakeFn(CtxId c);
 
     Config cfg_;
@@ -327,6 +357,16 @@ class Processor
     bool stateChangedLastTick_ = true;
     /** Last tick stalled on a hazard resolving within two cycles. */
     bool shortStallHint_ = false;
+
+    /** Pending RAW-stall batch (see takeStallBatch). */
+    struct StallBatch
+    {
+        Cycle from = 0;  ///< first skippable cycle (tick cycle + 1)
+        Cycle until = 0; ///< exclusive end of the window
+        CycleClass cls = CycleClass::ShortInstr;
+        bool valid = false;
+    };
+    StallBatch stallBatch_;
 
     CycleBreakdown bd_;
     std::vector<std::pair<std::uint32_t, std::uint64_t>> appRetired_;

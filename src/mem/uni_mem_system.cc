@@ -289,6 +289,7 @@ UniMemSystem::displace(std::uint32_t icache_lines,
                        std::uint32_t dcache_lines, Rng &rng)
 {
     l1i_.tags().displaceRandom(icache_lines, rng);
+    l1i_.dropLineMemo();
     l1d_.displaceRandom(dcache_lines, rng);
 }
 

@@ -164,6 +164,51 @@ UniSystem::runLoop(Cycle end, bool measuring)
         ++now_;
         if (proc_.stateChangedLastTick() || sched_acts)
             armed = true;
+        // RAW-stall batch: the tick just proved its remaining stall
+        // cycles are bit-identical pure stalls; advance them in one
+        // pass instead of re-deriving each one. The window may not
+        // cross the scheduler's next action cycle (its tick is a
+        // provable no-op before then). Gated with fast-forward so
+        // --no-fast-forward still means pure lockstep.
+        Cycle b_until;
+        CycleClass b_cls;
+        if (ffEnabled_ &&
+            proc_.takeStallBatch(now_, &b_until, &b_cls)) {
+            if (sched_.nextActionCycle() < b_until)
+                b_until = sched_.nextActionCycle();
+            if (end < b_until)
+                b_until = end;
+            if (b_until > now_) {
+                if (checker_ || sampler_ || progress_) {
+                    // Observer replay: identical per-cycle streams
+                    // to lockstep (as in tryFastForward).
+                    for (Cycle c = now_; c < b_until; ++c) {
+                        if (mem_.nextTickAt() <= c)
+                            mem_.tick(c);
+                        proc_.addSkippedCycles(b_cls, 1);
+                        if (checker_)
+                            checker_->onCycleEnd(c);
+                        if (measuring && sampler_)
+                            sampler_->observe(c, static_cast<double>(
+                                proc_.breakdown().get(
+                                    CycleClass::Busy)));
+                        if (progress_ && (c & 0xFFF) == 0)
+                            progress_->poll(c, proc_.retired());
+                    }
+                } else {
+                    // Bulk: one memory drain, one attribution.
+                    if (mem_.nextTickAt() <= b_until - 1)
+                        mem_.tick(b_until - 1);
+                    proc_.addSkippedCycles(b_cls, b_until - now_);
+                }
+                batchedCycles_ += b_until - now_;
+                now_ = b_until;
+                // The window usually ends at the stalled op's issue
+                // cycle; a plan attempt there is doomed. Disarm - the
+                // issue tick re-arms via stateChangedLastTick().
+                armed = false;
+            }
+        }
     }
 }
 

@@ -119,6 +119,16 @@ class UniSystem
     Cycle fastForwardedCycles() const { return ffCycles_; }
 
     /**
+     * Cycles advanced by RAW-stall batching: short register/FU
+     * ready-time stalls the issue tick proves and the run loop
+     * bulk-attributes instead of re-deriving cycle by cycle
+     * (docs/ARCHITECTURE.md §9). Shares the fast-forward gate, so 0
+     * when setFastForward(false). Results are bit-identical either
+     * way.
+     */
+    Cycle stallBatchedCycles() const { return batchedCycles_; }
+
+    /**
      * Enable runtime invariant checking (docs/CHECKING.md). Must be
      * called before the first run(); with abortOnViolation (the
      * default) any violated invariant throws CheckError carrying
@@ -154,6 +164,7 @@ class UniSystem
     bool started_ = false;
     bool ffEnabled_ = true;
     Cycle ffCycles_ = 0;
+    Cycle batchedCycles_ = 0;
 };
 
 } // namespace mtsim

@@ -15,6 +15,16 @@ namespace detail {
  * that loads and long-latency producers are separated from their
  * consumers, while preserving every register and memory dependence.
  *
+ * The dependence graph is built with last-writer / readers-since-
+ * write tables (O(block) with tiny constants) instead of testing all
+ * op pairs. The edge set is the transitive reduction-superset of the
+ * all-pairs graph with the same transitive closure, which provably
+ * yields the identical schedule: list scheduling only observes
+ * readiness ("every transitive predecessor emitted") and critical-
+ * path priorities, and dropping a redundant edge a->c that is
+ * implied by a->b->c changes neither (prio[b] >= prio[c] because
+ * latencies are non-negative). The probe digests pin this.
+ *
  * One instance lives for the Emitter's lifetime and is reused for
  * every block: the edge lists, priority array, and output buffer keep
  * their capacity across run() calls, so steady-state emission does
@@ -22,7 +32,20 @@ namespace detail {
  */
 class BlockScheduler
 {
+    // Readiness and reader sets are tracked as one bit per block op.
+    static_assert(Emitter::kMaxBlockOps <= 64,
+                  "block bitmasks are 64 bits wide");
+
   public:
+    BlockScheduler()
+    {
+        // buildEdges resets exactly the entries it dirties, so the
+        // tables only need one whole-array initialisation ever.
+        lastWriter_.fill(-1);
+        readers_.fill(0);
+        predsMask_.fill(0);
+    }
+
     void
     run(std::vector<MicroOp> &ops)
     {
@@ -35,25 +58,36 @@ class BlockScheduler
 
         out_.clear();
         out_.reserve(n);
-        emitted_.assign(n, 0);
         predsLeft_.resize(n);
-        for (std::size_t i = 0; i < n; ++i)
+        std::uint64_t ready = 0;
+        for (std::size_t i = 0; i < n; ++i) {
             predsLeft_[i] = static_cast<int>(preds_[i].size());
+            if (predsLeft_[i] == 0)
+                ready |= std::uint64_t{1} << i;
+        }
 
         for (std::size_t step = 0; step < n; ++step) {
             // Pick the ready op with the longest remaining critical
-            // path; break ties by program order for determinism.
-            std::size_t best = n;
-            for (std::size_t i = 0; i < n; ++i) {
-                if (emitted_[i] != 0 || predsLeft_[i] != 0)
-                    continue;
-                if (best == n || prio_[i] > prio_[best])
+            // path; break ties by program order for determinism
+            // (ascending bit scan + strict compare keeps the lowest
+            // index, exactly like the original full scan).
+            std::uint64_t m = ready;
+            std::size_t best =
+                static_cast<std::size_t>(__builtin_ctzll(m));
+            m &= m - 1;
+            while (m != 0) {
+                const auto i =
+                    static_cast<std::size_t>(__builtin_ctzll(m));
+                m &= m - 1;
+                if (prio_[i] > prio_[best])
                     best = i;
             }
-            emitted_[best] = 1;
+            ready &= ~(std::uint64_t{1} << best);
             out_.push_back(ops[best]);
-            for (std::size_t succ : succs_[best])
-                --predsLeft_[succ];
+            for (std::size_t succ : succs_[best]) {
+                if (--predsLeft_[succ] == 0)
+                    ready |= std::uint64_t{1} << succ;
+            }
         }
         // Buffer ping-pong: ops gets the scheduled block, out_ keeps
         // the old buffer (cleared, capacity intact) for the next run.
@@ -61,19 +95,6 @@ class BlockScheduler
     }
 
   private:
-    void
-    addEdge(std::size_t from, std::size_t to)
-    {
-        succs_[from].push_back(to);
-        preds_[to].push_back(from);
-    }
-
-    static bool
-    reads(const MicroOp &op, RegId r)
-    {
-        return r != kNoReg && (op.src1 == r || op.src2 == r);
-    }
-
     void
     buildEdges(const std::vector<MicroOp> &ops)
     {
@@ -85,30 +106,94 @@ class BlockScheduler
         for (std::size_t i = 0; i < n; ++i) {
             succs_[i].clear();
             preds_[i].clear();
+            predsMask_[i] = 0;
         }
-        for (std::size_t i = 0; i < n; ++i) {
-            const MicroOp &a = ops[i];
-            for (std::size_t j = i + 1; j < n; ++j) {
-                const MicroOp &b = ops[j];
-                bool dep = false;
-                // RAW: b reads a's destination.
-                if (reads(b, a.dst))
-                    dep = true;
-                // WAW: both write the same register.
-                if (a.dst != kNoReg && a.dst == b.dst)
-                    dep = true;
-                // WAR: b writes a register a reads.
-                if (reads(a, b.dst))
-                    dep = true;
-                // Memory: same-address pairs involving a store.
-                bool a_mem = isLoad(a.op) || isStore(a.op);
-                bool b_mem = isLoad(b.op) || isStore(b.op);
-                if (a_mem && b_mem && a.addr == b.addr &&
-                    (isStore(a.op) || isStore(b.op))) {
-                    dep = true;
+        mems_.clear();
+
+        for (std::size_t j = 0; j < n; ++j) {
+            const MicroOp &b = ops[j];
+            const std::uint64_t jbit = std::uint64_t{1} << j;
+            auto dep = [&](std::size_t i) {
+                const std::uint64_t ibit = std::uint64_t{1} << i;
+                if ((predsMask_[j] & ibit) != 0)
+                    return;
+                predsMask_[j] |= ibit;
+                succs_[i].push_back(j);
+                preds_[j].push_back(i);
+            };
+            auto depMask = [&](std::uint64_t mask) {
+                while (mask != 0) {
+                    dep(static_cast<std::size_t>(
+                        __builtin_ctzll(mask)));
+                    mask &= mask - 1;
                 }
-                if (dep)
-                    addEdge(i, j);
+            };
+
+            // RAW: depend on the last writer of each source; every
+            // earlier writer is reached through its WAW chain.
+            if (b.src1 != kNoReg) {
+                if (lastWriter_[b.src1] >= 0)
+                    dep(static_cast<std::size_t>(
+                        lastWriter_[b.src1]));
+                readers_[b.src1] |= jbit;
+            }
+            if (b.src2 != kNoReg) {
+                if (lastWriter_[b.src2] >= 0)
+                    dep(static_cast<std::size_t>(
+                        lastWriter_[b.src2]));
+                readers_[b.src2] |= jbit;
+            }
+
+            // Memory: same-address pairs involving a store. A load
+            // depends on the last same-address store; a store on the
+            // last store plus every load since it.
+            if (isLoad(b.op) || isStore(b.op)) {
+                MemEntry *e = nullptr;
+                for (MemEntry &m : mems_) {
+                    if (m.addr == b.addr) {
+                        e = &m;
+                        break;
+                    }
+                }
+                if (e == nullptr) {
+                    mems_.push_back(MemEntry{b.addr, -1, 0});
+                    e = &mems_.back();
+                }
+                if (e->lastStore >= 0)
+                    dep(static_cast<std::size_t>(e->lastStore));
+                if (isStore(b.op)) {
+                    depMask(e->loads);
+                    e->lastStore = static_cast<std::int8_t>(j);
+                    e->loads = 0;
+                } else {
+                    e->loads |= jbit;
+                }
+            }
+
+            // WAR (readers since the last write, excluding a
+            // self-read of the destination) and WAW on the dest.
+            if (b.dst != kNoReg) {
+                depMask(readers_[b.dst] & ~jbit);
+                if (lastWriter_[b.dst] >= 0)
+                    dep(static_cast<std::size_t>(
+                        lastWriter_[b.dst]));
+                lastWriter_[b.dst] = static_cast<std::int8_t>(j);
+                readers_[b.dst] = 0;
+            }
+        }
+
+        // Targeted reset: only registers this block touched can hold
+        // stale state (blocks are often much smaller than the table,
+        // so full fills would dominate the build for short blocks).
+        for (std::size_t j = 0; j < n; ++j) {
+            const MicroOp &b = ops[j];
+            if (b.src1 != kNoReg)
+                readers_[b.src1] = 0;
+            if (b.src2 != kNoReg)
+                readers_[b.src2] = 0;
+            if (b.dst != kNoReg) {
+                lastWriter_[b.dst] = -1;
+                readers_[b.dst] = 0;
             }
         }
     }
@@ -127,12 +212,26 @@ class BlockScheduler
         }
     }
 
+    /** Per-address state for the block's memory dependences. */
+    struct MemEntry
+    {
+        Addr addr;
+        std::int8_t lastStore; ///< index of last store, -1 if none
+        std::uint64_t loads;   ///< loads since that store (bitmask)
+    };
+
     std::vector<std::vector<std::size_t>> succs_;
     std::vector<std::vector<std::size_t>> preds_;
     std::vector<std::uint32_t> prio_;
     std::vector<MicroOp> out_;
-    std::vector<std::uint8_t> emitted_;
     std::vector<int> predsLeft_;
+    /** Index of the last op writing each register, -1 if none. */
+    std::array<std::int8_t, 256> lastWriter_;
+    /** Ops reading each register since its last write (bitmask). */
+    std::array<std::uint64_t, 256> readers_;
+    /** Direct predecessors of each op (dedup for edge insertion). */
+    std::array<std::uint64_t, Emitter::kMaxBlockOps> predsMask_;
+    std::vector<MemEntry> mems_;
 };
 
 } // namespace detail
@@ -237,8 +336,20 @@ Emitter::commit(std::vector<MicroOp> &ops)
     for (MicroOp &op : ops) {
         op.pc = pc_;
         pc_ += 4;
-        ready_.push_back(op);
     }
+    if (sink_)
+        sink_->insert(sink_->end(), ops.begin(), ops.end());
+    else
+        ready_.insert(ready_.end(), ops.begin(), ops.end());
+}
+
+void
+Emitter::emitDirect(const MicroOp &op)
+{
+    if (sink_)
+        sink_->push_back(op);
+    else
+        ready_.push_back(op);
 }
 
 MicroOp
@@ -465,7 +576,7 @@ Emitter::branch(RegId cond, Label target, bool taken)
     op.taken = taken;
     op.pc = pc_;
     pc_ += 4;
-    ready_.push_back(op);
+    emitDirect(op);
     ++emitted_;
     if (taken)
         pc_ = target.pc;
@@ -482,7 +593,7 @@ Emitter::branchFwd(RegId cond, bool taken, std::uint32_t skip_ops)
     op.target = pc_ + 4ull * (skip_ops + 1);
     op.taken = taken;
     pc_ += 4;
-    ready_.push_back(op);
+    emitDirect(op);
     ++emitted_;
     if (taken)
         pc_ = op.target;
@@ -497,7 +608,7 @@ Emitter::jump(Label target)
     op.target = target.pc;
     op.taken = true;
     op.pc = pc_;
-    ready_.push_back(op);
+    emitDirect(op);
     ++emitted_;
     pc_ = target.pc;
 }
@@ -511,7 +622,7 @@ Emitter::call(Addr region_pc)
     op.target = region_pc;
     op.taken = true;
     op.pc = pc_;
-    ready_.push_back(op);
+    emitDirect(op);
     ++emitted_;
     Label return_to{pc_ + 4};
     pc_ = region_pc;
@@ -533,7 +644,7 @@ Emitter::backoff(std::uint16_t cycles)
     op.backoffCycles = cycles;
     op.pc = pc_;
     pc_ += 4;
-    ready_.push_back(op);
+    emitDirect(op);
     ++emitted_;
 }
 
@@ -545,7 +656,7 @@ Emitter::ctxSwitch()
     op.op = Op::CtxSwitch;
     op.pc = pc_;
     pc_ += 4;
-    ready_.push_back(op);
+    emitDirect(op);
     ++emitted_;
 }
 
@@ -558,7 +669,7 @@ Emitter::lock(std::uint32_t id)
     op.syncId = id;
     op.pc = pc_;
     pc_ += 4;
-    ready_.push_back(op);
+    emitDirect(op);
     ++emitted_;
 }
 
@@ -571,7 +682,7 @@ Emitter::unlock(std::uint32_t id)
     op.syncId = id;
     op.pc = pc_;
     pc_ += 4;
-    ready_.push_back(op);
+    emitDirect(op);
     ++emitted_;
 }
 
@@ -584,7 +695,7 @@ Emitter::barrier(std::uint32_t id)
     op.syncId = id;
     op.pc = pc_;
     pc_ += 4;
-    ready_.push_back(op);
+    emitDirect(op);
     ++emitted_;
 }
 
@@ -610,6 +721,26 @@ ThreadSource::next(MicroOp &op)
     }
     op = em_.popOp();
     return true;
+}
+
+bool
+ThreadSource::drainTo(std::vector<MicroOp> &out, std::size_t target)
+{
+    MTSIM_PROF_SCOPE("frontend.emit");
+    em_.setSink(&out);
+    // Ops already buffered by earlier next() pulls come first, so the
+    // stream order is identical to pulling one op at a time.
+    while (!em_.streamEmpty())
+        out.push_back(em_.popOp());
+    while (out.size() < target && coro_.alive())
+        coro_.resume();
+    const bool more = out.size() >= target;
+    if (!more) {
+        // Coroutine finished: flush any trailing half-block.
+        em_.pause();
+    }
+    em_.setSink(nullptr);
+    return more;
 }
 
 } // namespace mtsim

@@ -144,14 +144,29 @@ class Emitter
     /** Ops buffered but not yet consumed. */
     std::size_t pendingOps() const;
 
+    /**
+     * Route every op that finishes scheduling straight into @p sink
+     * instead of the pull-interface deque (bulk decode; see
+     * ThreadSource::drainTo). Pass nullptr to restore deque
+     * buffering. While a sink is attached streamEmpty()/popOp() only
+     * see ops emitted before it was attached.
+     */
+    void setSink(std::vector<MicroOp> *sink) { sink_ = sink; }
+
     /** Total micro-ops emitted so far (for tests / sizing). */
     std::uint64_t emittedOps() const { return emitted_; }
+
+    /** Hard cap on a basic block's length; longer runs are split.
+     *  Public so BlockScheduler can size per-op bitmask scratch. */
+    static constexpr std::uint32_t kMaxBlockOps = 48;
 
   private:
     void push(MicroOp op);
     void flushBlock();
-    /** Assign pcs to @p ops in order and append them to ready_. */
+    /** Assign pcs to @p ops in order and append them downstream. */
     void commit(std::vector<MicroOp> &ops);
+    /** Append one finished op to the sink or the ready_ deque. */
+    void emitDirect(const MicroOp &op);
     RegId allocInt();
     RegId allocFp();
 
@@ -163,6 +178,8 @@ class Emitter
 
     std::vector<MicroOp> block_;   ///< current unscheduled basic block
     std::deque<MicroOp> ready_;    ///< scheduled, pc-assigned stream
+    /** When set, finished ops bypass ready_ (bulk decode path). */
+    std::vector<MicroOp> *sink_ = nullptr;
     /** Persistent scheduler scratch; reused across blocks so the
      *  steady-state emission path allocates nothing. */
     std::unique_ptr<detail::BlockScheduler> sched_;
@@ -172,8 +189,6 @@ class Emitter
     std::uint8_t intPinned_ = 0;
     std::uint8_t fpPinned_ = 0;
     std::uint64_t emitted_ = 0;
-
-    static constexpr std::uint32_t kMaxBlockOps = 48;
 };
 
 /**
@@ -224,6 +239,14 @@ class ThreadSource : public InstrSource
                  const KernelFn &kernel, bool schedule = true);
 
     bool next(MicroOp &op) override;
+
+    /**
+     * Bulk decode: append ops to @p out until it holds at least
+     * @p target ops or the kernel runs out (trailing half-block
+     * flushed). Bypasses the per-op deque round trip that next()
+     * pays. @return false once the stream is exhausted.
+     */
+    bool drainTo(std::vector<MicroOp> &out, std::size_t target);
 
     Emitter &emitter() { return em_; }
 

@@ -18,17 +18,12 @@ ReplayProgram::decodeTo(std::size_t idx)
     MTSIM_PROF_SCOPE("frontend.replay");
     // Decode a whole chunk past the request: the coroutine was going
     // to produce these ops anyway, and bursting keeps the resume
-    // machinery out of the steady-state fetch path.
-    const std::size_t target = idx + kChunkOps;
-    MicroOp op;
-    while (ops_.size() < target) {
-        if (!decode_.next(op)) {
-            done_ = true;
-            return idx < ops_.size();
-        }
-        ops_.push_back(op);
-    }
-    return true;
+    // machinery out of the steady-state fetch path. drainTo appends
+    // straight into the flat buffer, skipping the per-op deque round
+    // trip the pull interface pays.
+    if (!decode_.drainTo(ops_, idx + kChunkOps))
+        done_ = true;
+    return idx < ops_.size();
 }
 
 } // namespace mtsim
