@@ -204,8 +204,17 @@ writeBenchSpeedJson(std::ostream &os,
     w.beginObject();
     w.kv("schema", "mtsim_bench_speed/v1");
     w.kv("best_of", static_cast<std::uint64_t>(best_of));
+    // The host block's throughput is the aggregate over the whole
+    // matrix: total retired instructions and simulated cycles per
+    // total measured wall time.
+    Throughput agg;
+    for (const SpeedRow &r : rows) {
+        agg.wallSeconds += r.wallMs / 1e3;
+        agg.cycles += r.cycles;
+        agg.instructions += r.retired;
+    }
     w.key("host");
-    writeHostJson(w, Throughput{});
+    writeHostJson(w, agg);
     w.key("rows");
     w.beginArray();
     for (const SpeedRow &r : rows) {
@@ -286,9 +295,14 @@ readBenchSpeedFile(const std::string &path)
 
 CompareOutcome
 compareSpeed(const std::vector<SpeedRow> &baseline,
-             const std::vector<SpeedRow> &current, double threshold)
+             const std::vector<SpeedRow> &current, double threshold,
+             double alloc_threshold)
 {
     CompareOutcome out;
+    // Whole-matrix aggregate over rows present (and sane) in both
+    // files; reported after the per-row verdicts.
+    Throughput agg_base, agg_cur;
+    std::size_t agg_rows = 0;
     auto findRow = [&](const std::string &config) -> const SpeedRow * {
         for (const SpeedRow &r : current) {
             if (r.config == config)
@@ -317,6 +331,11 @@ compareSpeed(const std::vector<SpeedRow> &baseline,
             out.lines.emplace_back(buf);
             continue;
         }
+        agg_base.wallSeconds += base.wallMs / 1e3;
+        agg_base.instructions += base.retired;
+        agg_cur.wallSeconds += cur->wallMs / 1e3;
+        agg_cur.instructions += cur->retired;
+        ++agg_rows;
         const double delta = (cur->kips - base.kips) / base.kips;
         const bool regressed = delta < -threshold;
         std::snprintf(buf, sizeof(buf),
@@ -383,16 +402,39 @@ compareSpeed(const std::vector<SpeedRow> &baseline,
                 (static_cast<double>(cur->allocs) -
                  static_cast<double>(base.allocs)) /
                 static_cast<double>(base.allocs);
+            // An explicit allocation threshold promotes the delta
+            // from informational to gating (hot-path allocation
+            // regressions are real perf cliffs); otherwise growth
+            // beyond the KIPS threshold only warns.
+            const bool alloc_fail = alloc_threshold >= 0.0 &&
+                                    alloc_delta > alloc_threshold;
             std::snprintf(buf, sizeof(buf),
                           "%s %s: %llu -> %llu heap allocations "
-                          "(%+.1f%%)",
-                          alloc_delta > threshold ? "warn" : "mem ",
+                          "(%+.1f%%%s)",
+                          alloc_fail              ? "FAIL"
+                          : alloc_delta > threshold ? "warn"
+                                                    : "mem ",
                           base.config.c_str(),
                           static_cast<unsigned long long>(base.allocs),
                           static_cast<unsigned long long>(cur->allocs),
-                          alloc_delta * 100.0);
+                          alloc_delta * 100.0,
+                          alloc_fail ? ", over --alloc-threshold"
+                                     : "");
             out.lines.emplace_back(buf);
+            if (alloc_fail)
+                out.ok = false;
         }
+    }
+    if (agg_rows > 0) {
+        const double base_kips = agg_base.kips();
+        const double cur_kips = agg_cur.kips();
+        std::snprintf(buf, sizeof(buf),
+                      "agg  %zu configs: %.1f -> %.1f KIPS (%+.1f%%)",
+                      agg_rows, base_kips, cur_kips,
+                      base_kips > 0.0
+                          ? (cur_kips - base_kips) / base_kips * 100.0
+                          : 0.0);
+        out.lines.emplace_back(buf);
     }
     for (const SpeedRow &cur : current) {
         bool known = false;

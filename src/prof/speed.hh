@@ -80,7 +80,11 @@ SpeedRow runSpeedConfig(const SpeedConfig &c);
 
 /**
  * Serialize {schema, host, rows} - the BENCH_speed.json document.
- * @p best_of records how many repetitions each row is the best of.
+ * The host block carries the aggregate throughput across all rows
+ * (summed instructions, cycles, and wall time), so the document
+ * leads with one whole-matrix KIPS figure next to the build
+ * identity. @p best_of records how many repetitions each row is the
+ * best of.
  */
 void writeBenchSpeedJson(std::ostream &os,
                          const std::vector<SpeedRow> &rows,
@@ -103,11 +107,19 @@ struct CompareOutcome
  * Compare @p current against @p baseline: a row regresses when its
  * KIPS falls below baseline * (1 - threshold); a baseline row missing
  * from current also fails. Differing digests add a warning (the
- * simulated work changed, so the speed delta may be expected).
+ * simulated work changed, so the speed delta may be expected). After
+ * the per-row verdicts an aggregate line reports the whole-matrix
+ * KIPS delta over the rows present in both files.
+ *
+ * @p alloc_threshold promotes the per-row heap-allocation delta from
+ * informational to gating: a row whose allocation count grows by more
+ * than that fraction fails the comparison. Negative (the default)
+ * keeps allocation deltas warn-only.
  */
 CompareOutcome compareSpeed(const std::vector<SpeedRow> &baseline,
                             const std::vector<SpeedRow> &current,
-                            double threshold);
+                            double threshold,
+                            double alloc_threshold = -1.0);
 
 } // namespace prof
 } // namespace mtsim

@@ -19,7 +19,8 @@
  * recorded.
  *
  * Trade-off: the full decoded stream is retained for the life of the
- * program (~32 bytes per op), where the coroutine path kept only a
+ * program (sizeof(MicroOp) = 48 bytes per op), where the coroutine
+ * path kept only a
  * small window buffered. Long runs pay RSS for front-end speed;
  * --no-replay restores the lazy path.
  */

@@ -404,10 +404,13 @@ TEST(BenchCompareTest, IdenticalInputsPass)
     const auto rows = {makeRow("a", 100.0), makeRow("b", 50.0)};
     const auto out = prof::compareSpeed(rows, rows, 0.10);
     EXPECT_TRUE(out.ok);
-    // One KIPS verdict plus one informational peak-RSS line per row.
-    ASSERT_EQ(out.lines.size(), 4u);
+    // One KIPS verdict plus one informational peak-RSS line per row,
+    // then the whole-matrix aggregate.
+    ASSERT_EQ(out.lines.size(), 5u);
     EXPECT_EQ(out.lines[0].substr(0, 2), "ok");
     EXPECT_EQ(out.lines[1].substr(0, 4), "mem ");
+    EXPECT_EQ(out.lines[4].substr(0, 4), "agg ");
+    EXPECT_NE(out.lines[4].find("2 configs"), std::string::npos);
 }
 
 TEST(BenchCompareTest, RegressionBeyondThresholdFails)
@@ -501,6 +504,70 @@ TEST(BenchCompareTest, DigestChangeWarnsButPasses)
     for (const auto &l : out.lines)
         warned = warned || l.find("digest changed") != std::string::npos;
     EXPECT_TRUE(warned);
+}
+
+TEST(BenchCompareTest, AllocGrowthWarnsByDefaultButGatesWithThreshold)
+{
+    prof::SpeedRow base_row = makeRow("a", 100.0);
+    base_row.allocs = 1000;
+    prof::SpeedRow cur_row = makeRow("a", 100.0);
+    cur_row.allocs = 1600; // +60%
+    const std::vector<prof::SpeedRow> base = {base_row};
+    const std::vector<prof::SpeedRow> cur = {cur_row};
+
+    // Default: allocation growth is informational only.
+    const auto warn_only = prof::compareSpeed(base, cur, 0.10);
+    EXPECT_TRUE(warn_only.ok);
+    bool warned = false;
+    for (const auto &l : warn_only.lines)
+        warned = warned ||
+                 (l.substr(0, 4) == "warn" &&
+                  l.find("heap allocations") != std::string::npos);
+    EXPECT_TRUE(warned);
+
+    // With an explicit threshold the same growth gates.
+    const auto gated = prof::compareSpeed(base, cur, 0.10, 0.25);
+    EXPECT_FALSE(gated.ok);
+    bool failed = false;
+    for (const auto &l : gated.lines)
+        failed = failed ||
+                 (l.substr(0, 4) == "FAIL" &&
+                  l.find("heap allocations") != std::string::npos);
+    EXPECT_TRUE(failed);
+
+    // Growth within the threshold still passes the gate.
+    EXPECT_TRUE(prof::compareSpeed(base, cur, 0.10, 0.75).ok);
+}
+
+TEST(BenchCompareTest, AggregateLineReflectsCommonRows)
+{
+    // Aggregate KIPS is total retired over total wall, not a mean of
+    // per-row KIPS values: makeRow fixes retired/wall, so doubling
+    // the current rows' wall time halves the aggregate.
+    prof::SpeedRow base_row = makeRow("a", 100.0);
+    prof::SpeedRow cur_row = makeRow("a", 100.0);
+    cur_row.wallMs = base_row.wallMs * 2.0;
+    const auto out = prof::compareSpeed({base_row}, {cur_row}, 0.99);
+    ASSERT_FALSE(out.lines.empty());
+    const std::string &agg = out.lines.back();
+    ASSERT_EQ(agg.substr(0, 4), "agg ");
+    EXPECT_NE(agg.find("-50.0%"), std::string::npos);
+}
+
+TEST(SpeedJsonTest, HostBlockCarriesAggregateThroughput)
+{
+    const std::vector<prof::SpeedRow> rows = {
+        makeRow("a", 100.0), makeRow("b", 50.0)};
+    std::ostringstream os;
+    prof::writeBenchSpeedJson(os, rows);
+    const JsonValue doc = parseJson(os.str());
+    const JsonValue *host = doc.find("host");
+    ASSERT_NE(host, nullptr);
+    // makeRow: 2000 retired over 3.5 ms each -> 4000 / 7 ms.
+    EXPECT_NEAR(host->at("kips").asDouble(), 4000.0 / 7e-3 / 1e3,
+                1e-6);
+    EXPECT_EQ(host->at("simulated_cycles").asU64(), 2000u);
+    EXPECT_EQ(host->at("retired").asU64(), 4000u);
 }
 
 TEST(BenchCompareTest, NewConfigNoted)

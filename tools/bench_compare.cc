@@ -25,16 +25,20 @@ usage()
 {
     std::cout <<
         "bench_compare BASELINE CURRENT [--threshold F]\n"
+        "              [--alloc-threshold F]\n"
         "\n"
         "  Compares per-config KIPS; exits 1 when any config in\n"
         "  CURRENT is more than F (default 0.10 = 10%) slower than\n"
         "  BASELINE or missing from it. Digest differences are\n"
         "  reported as warnings (the simulated work changed) and,\n"
         "  when both files carry windowed digests, localized to the\n"
-        "  first divergent window's cycle range. Peak-RSS and\n"
-        "  heap-allocation deltas are reported per config ('mem'\n"
-        "  lines, 'warn' beyond the threshold) but never gate:\n"
-        "  memory footprint is informational only.\n";
+        "  first divergent window's cycle range. An aggregate line\n"
+        "  reports the whole-matrix KIPS delta over common configs.\n"
+        "  Peak-RSS deltas are informational only ('mem' lines,\n"
+        "  'warn' beyond the threshold). Heap-allocation deltas are\n"
+        "  informational too unless --alloc-threshold is given, in\n"
+        "  which case a config whose allocation count grows by more\n"
+        "  than that fraction fails the comparison.\n";
 }
 
 } // namespace
@@ -44,6 +48,7 @@ main(int argc, char **argv)
 {
     std::string baseline_path, current_path;
     double threshold = 0.10;
+    double alloc_threshold = -1.0; // negative: allocs stay warn-only
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         if (a == "--threshold") {
@@ -55,6 +60,19 @@ main(int argc, char **argv)
             threshold = std::strtod(argv[++i], &end);
             if (end == nullptr || *end != '\0' || threshold < 0) {
                 std::cerr << "error: bad threshold\n";
+                return 2;
+            }
+        } else if (a == "--alloc-threshold") {
+            if (i + 1 >= argc) {
+                std::cerr
+                    << "error: --alloc-threshold needs a value\n";
+                return 2;
+            }
+            char *end = nullptr;
+            alloc_threshold = std::strtod(argv[++i], &end);
+            if (end == nullptr || *end != '\0' ||
+                alloc_threshold < 0) {
+                std::cerr << "error: bad alloc threshold\n";
                 return 2;
             }
         } else if (a == "--help" || a == "-h") {
@@ -79,8 +97,8 @@ main(int argc, char **argv)
         const auto baseline =
             prof::readBenchSpeedFile(baseline_path);
         const auto current = prof::readBenchSpeedFile(current_path);
-        const prof::CompareOutcome outcome =
-            prof::compareSpeed(baseline, current, threshold);
+        const prof::CompareOutcome outcome = prof::compareSpeed(
+            baseline, current, threshold, alloc_threshold);
         for (const std::string &line : outcome.lines)
             std::cout << line << '\n';
         std::cout << (outcome.ok ? "PASS" : "FAIL")
