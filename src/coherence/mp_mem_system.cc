@@ -9,7 +9,21 @@ namespace mtsim {
 MpMemSystem::MpMemSystem(const Config &cfg)
     : cfg_(cfg),
       dir_(cfg.numProcessors, cfg.dtlb.pageBytes),
-      rng_(cfg.seed + 7919)
+      rng_(cfg.seed + 7919),
+      cInvalidations_(counters_.handle("invalidations")),
+      cEvictionWritebacks_(counters_.handle("eviction_writebacks")),
+      cNetworkQueueCycles_(counters_.handle("network_queue_cycles")),
+      cRemoteCacheFetches_(counters_.handle("remote_cache_fetches")),
+      cUpgradeInvalidating_(counters_.handle("upgrade_invalidating")),
+      cLocalFetches_(counters_.handle("local_fetches")),
+      cRemoteFetches_(counters_.handle("remote_fetches")),
+      cL1dHits_(counters_.handle("l1d_hits")),
+      cL1dMisses_(counters_.handle("l1d_misses")),
+      cMshrStalls_(counters_.handle("mshr_stalls")),
+      cWbufStalls_(counters_.handle("wbuf_stalls")),
+      cL1dWriteHits_(counters_.handle("l1d_write_hits")),
+      cUpgrades_(counters_.handle("upgrades")),
+      cL1dWriteMisses_(counters_.handle("l1d_write_misses"))
 {
     nodes_.reserve(cfg_.numProcessors);
     for (ProcId p = 0; p < cfg_.numProcessors; ++p) {
@@ -122,7 +136,7 @@ MpMemSystem::invalidateSharers(Addr line, ProcId except, Cycle when)
                                     cfg_.l1d.invalidateOccupancy);
         ++n;
     }
-    counters_.inc("invalidations", n);
+    counters_.inc(cInvalidations_, n);
     if (n > 0)
         emitDir(DirMsg::Invalidate, except, line, when, n);
     return n;
@@ -139,7 +153,7 @@ MpMemSystem::scheduleFill(ProcId p, Addr line, LineState st,
         if (ev.valid) {
             if (ev.dirty) {
                 dir_.writeback(ev.lineAddr, p);
-                counters_.inc("eviction_writebacks");
+                counters_.inc(cEvictionWritebacks_);
                 emitDir(DirMsg::Writeback, p, ev.lineAddr, w);
             } else {
                 dir_.dropSharer(ev.lineAddr, p);
@@ -166,7 +180,7 @@ MpMemSystem::transaction(ProcId p, Addr line, bool exclusive,
             networkFree_ = start + cfg_.mpMem.networkOccupancy;
             const Cycle queued = start - now;
             if (queued > 0)
-                counters_.inc("network_queue_cycles", queued);
+                counters_.inc(cNetworkQueueCycles_, queued);
             lat += static_cast<std::uint32_t>(queued);
         }
         Node &owner = *nodes_[e.owner];
@@ -187,7 +201,7 @@ MpMemSystem::transaction(ProcId p, Addr line, bool exclusive,
             e.state = Directory::State::Shared;
             e.sharers |= Directory::bitOf(p);
         }
-        counters_.inc("remote_cache_fetches");
+        counters_.inc(cRemoteCacheFetches_);
         emitDir(DirMsg::Intervention, p, line, now, lat + extra);
         return now + lat + extra;
     }
@@ -204,13 +218,13 @@ MpMemSystem::transaction(ProcId p, Addr line, bool exclusive,
         networkFree_ = start + cfg_.mpMem.networkOccupancy;
         const Cycle queued = start - now;
         if (queued > 0)
-            counters_.inc("network_queue_cycles", queued);
+            counters_.inc(cNetworkQueueCycles_, queued);
         reply += queued;
     }
     if (exclusive) {
         // Invalidate all other sharers before granting ownership.
         if (invalidateSharers(line, p, now + lat / 2) > 0)
-            counters_.inc("upgrade_invalidating");
+            counters_.inc(cUpgradeInvalidating_);
         e.state = Directory::State::Dirty;
         e.sharers = Directory::bitOf(p);
         e.owner = p;
@@ -219,8 +233,8 @@ MpMemSystem::transaction(ProcId p, Addr line, bool exclusive,
             e.state = Directory::State::Shared;
         e.sharers |= Directory::bitOf(p);
     }
-    counters_.inc(level_out == MemLevel::Memory ? "local_fetches"
-                                                : "remote_fetches");
+    counters_.inc(level_out == MemLevel::Memory ? cLocalFetches_
+                                                : cRemoteFetches_);
     emitDir(exclusive ? DirMsg::ReadEx : DirMsg::Read, p, line, now,
             reply - now);
     return reply;
@@ -238,13 +252,13 @@ MpMemSystem::load(ProcId p, Addr a, Cycle now)
     const Addr line = node.l1d->lineAddrOf(a);
     node.l1d->reservePort(now, cfg_.l1d.readOccupancy);
     if (node.l1d->present(a)) {
-        counters_.inc("l1d_hits");
+        counters_.inc(cL1dHits_);
         r.l1Hit = true;
         r.level = MemLevel::L1;
         r.ready = now + cfg_.mpMem.l1HitLat;
         return r;
     }
-    counters_.inc("l1d_misses");
+    counters_.inc(cL1dMisses_);
     if (node.mshrs->outstanding(line)) {
         node.mshrs->noteMerge();
         r.level = MemLevel::Memory;
@@ -254,7 +268,7 @@ MpMemSystem::load(ProcId p, Addr a, Cycle now)
     if (node.mshrs->full()) {
         r.mshrStall = true;
         r.retryAt = now + 1;
-        counters_.inc("mshr_stalls");
+        counters_.inc(cMshrStalls_);
         return r;
     }
 
@@ -279,14 +293,14 @@ MpMemSystem::store(ProcId p, Addr a, Cycle now)
     if (node.wbuf->full(now)) {
         r.bufferStall = true;
         r.retryAt = node.wbuf->freeSlotAt(now);
-        counters_.inc("wbuf_stalls");
+        counters_.inc(cWbufStalls_);
         return r;
     }
 
     const Addr line = node.l1d->lineAddrOf(a);
     const LineState st = node.l1d->state(a);
     if (st == LineState::Dirty) {
-        counters_.inc("l1d_write_hits");
+        counters_.inc(cL1dWriteHits_);
         const Cycle start =
             node.l1d->reservePort(now, cfg_.l1d.writeOccupancy);
         node.wbuf->push(start + cfg_.l1d.writeOccupancy);
@@ -295,7 +309,7 @@ MpMemSystem::store(ProcId p, Addr a, Cycle now)
 
     if (st == LineState::Shared) {
         // Upgrade: request ownership from home, invalidate sharers.
-        counters_.inc("upgrades");
+        counters_.inc(cUpgrades_);
         Directory::Entry &e = dir_.entry(line);
         const MemLevel level = (dir_.homeOf(line) == p)
                                    ? MemLevel::Memory
@@ -312,7 +326,7 @@ MpMemSystem::store(ProcId p, Addr a, Cycle now)
     }
 
     // Write miss: read-exclusive fetch in the background.
-    counters_.inc("l1d_write_misses");
+    counters_.inc(cL1dWriteMisses_);
     r.l1Hit = false;
     Cycle done;
     if (node.mshrs->outstanding(line)) {
@@ -330,7 +344,7 @@ MpMemSystem::store(ProcId p, Addr a, Cycle now)
     } else if (node.mshrs->full()) {
         r.bufferStall = true;
         r.retryAt = now + 1;
-        counters_.inc("mshr_stalls");
+        counters_.inc(cMshrStalls_);
         return r;
     } else {
         MemLevel level;

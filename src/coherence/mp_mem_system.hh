@@ -119,6 +119,26 @@ class MpMemSystem : public MemSystem
     Rng rng_;
     EventQueue events_;
     CounterSet counters_;
+
+    /**
+     * Pre-resolved counter handles for the load/store hot path (see
+     * CounterSet::handle). Valid for the object's lifetime.
+     */
+    std::size_t cInvalidations_;
+    std::size_t cEvictionWritebacks_;
+    std::size_t cNetworkQueueCycles_;
+    std::size_t cRemoteCacheFetches_;
+    std::size_t cUpgradeInvalidating_;
+    std::size_t cLocalFetches_;
+    std::size_t cRemoteFetches_;
+    std::size_t cL1dHits_;
+    std::size_t cL1dMisses_;
+    std::size_t cMshrStalls_;
+    std::size_t cWbufStalls_;
+    std::size_t cL1dWriteHits_;
+    std::size_t cUpgrades_;
+    std::size_t cL1dWriteMisses_;
+
     ProbeBus *probes_ = nullptr;
     Histogram dmissLat_;
     /** Interconnect busy-until (only when networkOccupancy > 0). */

@@ -79,6 +79,15 @@ CounterSet::inc(const std::string &name, std::uint64_t n)
         entries_[it->second].second += n;
 }
 
+std::size_t
+CounterSet::handle(const std::string &name)
+{
+    auto [it, inserted] = index_.try_emplace(name, entries_.size());
+    if (inserted)
+        entries_.emplace_back(name, 0);
+    return it->second;
+}
+
 std::uint64_t
 CounterSet::get(const std::string &name) const
 {

@@ -103,6 +103,20 @@ class CounterSet
     /** Increment counter @p name by @p n, creating it at zero. */
     void inc(const std::string &name, std::uint64_t n = 1);
 
+    /**
+     * Resolve @p name to its stable index once (creating the counter
+     * at zero), so hot paths can increment by index and skip the
+     * per-call string hash. Indices stay valid until clear().
+     */
+    std::size_t handle(const std::string &name);
+
+    /** Increment by pre-resolved handle; O(1), no hashing. */
+    void
+    inc(std::size_t h, std::uint64_t n = 1)
+    {
+        entries_[h].second += n;
+    }
+
     /** Read counter (0 if absent). */
     std::uint64_t get(const std::string &name) const;
 

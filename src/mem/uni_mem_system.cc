@@ -20,7 +20,18 @@ UniMemSystem::UniMemSystem(const Config &cfg)
            // lands exactly at Table 2's 34 cycles (see missPath).
            cfg.uniMem.memLat - cfg.uniMem.l2HitLat,
            cfg.uniMem.bankBusy,
-           std::countr_zero(cfg.l2.lineBytes))
+           std::countr_zero(cfg.l2.lineBytes)),
+      cWritebacks_(counters_.handle("writebacks")),
+      cL2Hits_(counters_.handle("l2_hits")),
+      cL2Misses_(counters_.handle("l2_misses")),
+      cL1dHits_(counters_.handle("l1d_hits")),
+      cL1dMisses_(counters_.handle("l1d_misses")),
+      cMshrStalls_(counters_.handle("mshr_stalls")),
+      cWbufStalls_(counters_.handle("wbuf_stalls")),
+      cL1dWriteHits_(counters_.handle("l1d_write_hits")),
+      cL1dWriteMisses_(counters_.handle("l1d_write_misses")),
+      cL1iMissL2_(counters_.handle("l1i_miss_l2")),
+      cL1iMissMem_(counters_.handle("l1i_miss_mem"))
 {}
 
 void
@@ -92,7 +103,7 @@ UniMemSystem::writeback(Addr lineAddr, Cycle now)
 {
     Cycle breq = busRequest(lineAddr, now);
     mem_.access(lineAddr, breq + cfg_.uniMem.busRequestCycles);
-    counters_.inc("writebacks");
+    counters_.inc(cWritebacks_);
 }
 
 Cycle
@@ -107,11 +118,11 @@ UniMemSystem::missPath(Addr lineAddr, Cycle now, MemLevel &level_out)
         l2_.reservePort(now + kL1ToL2, cfg_.l2.readOccupancy);
     Cycle reply;
     if (l2_.present(lineAddr)) {
-        counters_.inc("l2_hits");
+        counters_.inc(cL2Hits_);
         level_out = MemLevel::L2;
         reply = l2_start + (cfg_.uniMem.l2HitLat - kL1ToL2);
     } else {
-        counters_.inc("l2_misses");
+        counters_.inc(cL2Misses_);
         level_out = MemLevel::Memory;
         const Cycle tag_done = l2_start + cfg_.l2.readOccupancy;
         const Cycle breq = busRequest(lineAddr, tag_done);
@@ -146,14 +157,14 @@ UniMemSystem::load(ProcId, Addr a, Cycle now)
     l1d_.reservePort(now, cfg_.l1d.readOccupancy);
 
     if (l1d_.present(a)) {
-        counters_.inc("l1d_hits");
+        counters_.inc(cL1dHits_);
         r.l1Hit = true;
         r.level = MemLevel::L1;
         r.ready = now + cfg_.uniMem.l1HitLat;
         return r;
     }
 
-    counters_.inc("l1d_misses");
+    counters_.inc(cL1dMisses_);
     r.l1Hit = false;
 
     if (mshrs_.outstanding(line)) {
@@ -166,7 +177,7 @@ UniMemSystem::load(ProcId, Addr a, Cycle now)
     if (mshrs_.full()) {
         r.mshrStall = true;
         r.retryAt = now + 1;
-        counters_.inc("mshr_stalls");
+        counters_.inc(cMshrStalls_);
         return r;
     }
 
@@ -200,13 +211,13 @@ UniMemSystem::store(ProcId, Addr a, Cycle now)
     if (wbuf_.full(now)) {
         r.bufferStall = true;
         r.retryAt = wbuf_.freeSlotAt(now);
-        counters_.inc("wbuf_stalls");
+        counters_.inc(cWbufStalls_);
         return r;
     }
 
     const Addr line = l1d_.lineAddrOf(a);
     if (l1d_.present(a)) {
-        counters_.inc("l1d_write_hits");
+        counters_.inc(cL1dWriteHits_);
         const Cycle start =
             l1d_.reservePort(now, cfg_.l1d.writeOccupancy);
         l1d_.makeDirty(a);
@@ -216,7 +227,7 @@ UniMemSystem::store(ProcId, Addr a, Cycle now)
     }
 
     // Write-allocate: fetch the line in the background, then dirty it.
-    counters_.inc("l1d_write_misses");
+    counters_.inc(cL1dWriteMisses_);
     r.l1Hit = false;
     Cycle done;
     if (mshrs_.outstanding(line)) {
@@ -225,7 +236,7 @@ UniMemSystem::store(ProcId, Addr a, Cycle now)
     } else if (mshrs_.full()) {
         r.bufferStall = true;
         r.retryAt = now + 1;
-        counters_.inc("mshr_stalls");
+        counters_.inc(cMshrStalls_);
         return r;
     } else {
         MemLevel level;
@@ -275,8 +286,7 @@ UniMemSystem::ifetch(ProcId, Addr pc, Cycle now)
         start = l1i_.arrayFreeAt();
     MemLevel level;
     Cycle reply = missPath(a.lineAddr, start, level);
-    counters_.inc(level == MemLevel::L2 ? "l1i_miss_l2"
-                                        : "l1i_miss_mem");
+    counters_.inc(level == MemLevel::L2 ? cL1iMissL2_ : cL1iMissMem_);
     emitMiss(ProbeKind::IMissStart, ProbeKind::IMissEnd, a.lineAddr,
              start, reply);
     l1i_.fill(a.lineAddr, reply);

@@ -107,6 +107,24 @@ class UniMemSystem : public MemSystem
     InterleavedMemory mem_;
     EventQueue events_;
     CounterSet counters_;
+
+    /**
+     * Pre-resolved counter handles: load/store/ifetch sit on the
+     * hot path, so increments must not hash a string per access.
+     * Valid for the object's lifetime (counters_ is never cleared).
+     */
+    std::size_t cWritebacks_;
+    std::size_t cL2Hits_;
+    std::size_t cL2Misses_;
+    std::size_t cL1dHits_;
+    std::size_t cL1dMisses_;
+    std::size_t cMshrStalls_;
+    std::size_t cWbufStalls_;
+    std::size_t cL1dWriteHits_;
+    std::size_t cL1dWriteMisses_;
+    std::size_t cL1iMissL2_;
+    std::size_t cL1iMissMem_;
+
     ProbeBus *probes_ = nullptr;
     Histogram dmissLat_;
     Histogram busQueue_;

@@ -16,6 +16,15 @@ ReplayProgram::decodeTo(std::size_t idx)
     if (done_)
         return false;
     MTSIM_PROF_SCOPE("frontend.replay");
+    // Grow geometrically up front so the block inserts inside the
+    // emitter never reallocate mid-chunk (MicroOp is 48 bytes; the
+    // realloc copies dominated the decode profile otherwise).
+    const std::size_t want = idx + 2 * kChunkOps;
+    if (ops_.capacity() < want) {
+        std::size_t cap = ops_.capacity() ? 2 * ops_.capacity()
+                                          : 4 * kChunkOps;
+        ops_.reserve(cap > want ? cap : want);
+    }
     // Decode a whole chunk past the request: the coroutine was going
     // to produce these ops anyway, and bursting keeps the resume
     // machinery out of the steady-state fetch path. drainTo appends

@@ -168,6 +168,24 @@ TEST(CounterSet, IncrementAndRead)
     EXPECT_EQ(cs.entries().size(), 2u);
 }
 
+TEST(CounterSet, HandleSharesSlotWithNamedIncrements)
+{
+    CounterSet cs;
+    const std::size_t hx = cs.handle("x");
+    // handle() creates the counter at zero without bumping it.
+    EXPECT_EQ(cs.get("x"), 0u);
+    EXPECT_EQ(cs.entries().size(), 1u);
+    // Same slot whichever way it is addressed.
+    cs.inc(hx, 3);
+    cs.inc("x", 2);
+    EXPECT_EQ(cs.get("x"), 5u);
+    // Resolving an existing name returns the original index.
+    cs.inc("y");
+    EXPECT_EQ(cs.handle("x"), hx);
+    EXPECT_EQ(cs.handle("y"), cs.handle("y"));
+    EXPECT_EQ(cs.entries().size(), 2u);
+}
+
 // ---- EventQueue -------------------------------------------------------
 
 TEST(EventQueue, RunsInTimeOrder)
