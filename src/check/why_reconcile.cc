@@ -1,0 +1,58 @@
+#include "check/why_reconcile.hh"
+
+#include <string>
+
+#include "core/processor.hh"
+#include "obs/why_ledger.hh"
+
+namespace mtsim {
+
+std::vector<Violation>
+auditWhyReconciliation(const WhyLedger &l)
+{
+    std::vector<Violation> out;
+    const auto &procs = l.procs();
+    for (std::size_t p = 0; p < procs.size(); ++p) {
+        const CycleBreakdown &bd = procs[p]->breakdown();
+        for (std::size_t c = 0;
+             c < static_cast<std::size_t>(CycleClass::NumClasses);
+             ++c) {
+            const auto cls = static_cast<CycleClass>(c);
+            const std::int64_t under =
+                l.under(static_cast<ProcId>(p), cls);
+            const std::int64_t clear =
+                l.clear(static_cast<ProcId>(p), cls);
+            const auto real =
+                static_cast<std::int64_t>(bd.get(cls));
+            if (under + clear == real)
+                continue;
+            Violation v;
+            v.auditor = "why";
+            v.proc = static_cast<ProcId>(p);
+            v.message = std::string("ledger ") +
+                        cycleClassName(cls) + " under " +
+                        std::to_string(under) + " + clear " +
+                        std::to_string(clear) +
+                        " != breakdown " + std::to_string(real);
+            out.push_back(std::move(v));
+        }
+    }
+    if (l.unexplained() != 0) {
+        Violation v;
+        v.auditor = "why";
+        v.message = std::to_string(l.unexplained()) +
+                    " slot(s) the probe stream could not explain";
+        out.push_back(std::move(v));
+    }
+    return out;
+}
+
+void
+enforceWhyReconciliation(const WhyLedger &l)
+{
+    const std::vector<Violation> vs = auditWhyReconciliation(l);
+    if (!vs.empty())
+        throw CheckError(vs.front());
+}
+
+} // namespace mtsim

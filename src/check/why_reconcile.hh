@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Reconciliation invariant between the latency-tolerance ledger and
+ * the simulator's own CycleBreakdown (docs/CHECKING.md): for every
+ * processor and every cycle class C,
+ *
+ *     ledger.under(p, C) + ledger.clear(p, C) == breakdown.get(C)
+ *
+ * and the ledger's unexplained-slot counter is zero. The ledger
+ * rebuilds attribution purely from the probe stream, so equality is
+ * a differential check of the breakdown accounting itself - a
+ * missed bulk-window hook, a double-fed cycle, or an issue/squash
+ * event the stream cannot explain all break it.
+ */
+
+#ifndef MTSIM_CHECK_WHY_RECONCILE_HH
+#define MTSIM_CHECK_WHY_RECONCILE_HH
+
+#include <vector>
+
+#include "check/checker.hh"
+
+namespace mtsim {
+
+class WhyLedger;
+
+/** Audit the ledger against every processor's breakdown; returns one
+ *  Violation per mismatched cell (empty = reconciled). */
+std::vector<Violation> auditWhyReconciliation(const WhyLedger &l);
+
+/** Audit and throw CheckError on the first violation (mtsim_run
+ *  --why, tests). */
+void enforceWhyReconciliation(const WhyLedger &l);
+
+} // namespace mtsim
+
+#endif // MTSIM_CHECK_WHY_RECONCILE_HH

@@ -230,6 +230,32 @@ IntervalSampler::observe(Cycle now, double cumulative)
 }
 
 void
+IntervalSampler::observeWindow(Cycle from, Cycle until,
+                               double cumulative)
+{
+    if (from >= until)
+        return;
+    if (!primed_) {
+        primed_ = true;
+        windowStart_ = from;
+        base_ = 0.0;
+    }
+    if (cumulative < base_) {
+        base_ = cumulative;
+        windowStart_ = from;
+    }
+    // The cumulative value is constant across a bulk stall window,
+    // so every boundary crossed inside it records the same delta as
+    // the per-cycle path would have - the first window closes with
+    // the growth since the last sample, the rest close at zero.
+    while (windowStart_ + interval_ <= until) {
+        samples_.push_back({windowStart_, cumulative - base_});
+        base_ = cumulative;
+        windowStart_ += interval_;
+    }
+}
+
+void
 IntervalSampler::clear()
 {
     primed_ = false;

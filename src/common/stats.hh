@@ -207,6 +207,16 @@ class IntervalSampler
     /** Observe the cumulative value at the end of cycle @p now. */
     void observe(Cycle now, double cumulative);
 
+    /**
+     * Bulk-window form: equivalent to calling observe(c, cumulative)
+     * for every c in [@p from, @p until) with the same (constant)
+     * cumulative value - the shape a fast-forward or RAW-stall batch
+     * window produces, since no busy slot accrues inside one. Lets
+     * the run loops keep bulk attribution with a sampler attached
+     * instead of forcing per-cycle lockstep replay.
+     */
+    void observeWindow(Cycle from, Cycle until, double cumulative);
+
     Cycle interval() const { return interval_; }
     const std::vector<Sample> &samples() const { return samples_; }
 

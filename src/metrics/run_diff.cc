@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <map>
 #include <stdexcept>
+#include <tuple>
 
 #include "metrics/json_parse.hh"
 #include "prof/speed.hh"
@@ -166,6 +167,7 @@ DiffReport diffStats(const JsonValue &a, const JsonValue &b);
 DiffReport diffProf(const JsonValue &a, const JsonValue &b);
 DiffReport diffBench(const JsonValue &a, const JsonValue &b);
 DiffReport diffFlightRecorder(const JsonValue &a, const JsonValue &b);
+DiffReport diffWhy(const JsonValue &a, const JsonValue &b);
 
 DiffReport
 diffStats(const JsonValue &a, const JsonValue &b)
@@ -397,6 +399,104 @@ diffFlightRecorder(const JsonValue &a, const JsonValue &b)
     return rep;
 }
 
+DiffReport
+diffWhy(const JsonValue &a, const JsonValue &b)
+{
+    DiffReport rep;
+    rep.kind = DocKind::Why;
+
+    // Scalar deltas over the ledger's tolerance and attribution
+    // blocks; only changed values are reported.
+    std::map<std::string, double> ma, mb;
+    auto collect = [](const JsonValue &doc,
+                      std::map<std::string, double> &m) {
+        collectNumbers(doc.find("tolerance"), "tolerance.", m);
+        if (const JsonValue *attr = doc.find("attribution")) {
+            collectNumbers(attr, "attribution.", m);
+            if (const JsonValue *cls = attr->find("classes")) {
+                for (const JsonValue &c : cls->array) {
+                    const JsonValue *name = c.find("class");
+                    if (name == nullptr)
+                        continue;
+                    const std::string p =
+                        "attribution." + name->asString() + ".";
+                    collectNumbers(&c, p, m);
+                }
+            }
+        }
+    };
+    collect(a, ma);
+    collect(b, mb);
+    std::size_t changed = 0;
+    for (const auto &[name, va] : ma) {
+        const auto it = mb.find(name);
+        if (it == mb.end() || it->second == va)
+            continue;
+        ++changed;
+        const double pct =
+            va != 0.0 ? (it->second - va) / va * 100.0 : 0.0;
+        rep.lines.push_back(name + ": " + fmtNum(va) + " -> " +
+                            fmtNum(it->second) + " (" + fmtPct(pct) +
+                            ")");
+    }
+    rep.divergence = changed != 0;
+
+    // The pcs array is sorted by pc ascending on both sides, so the
+    // first row where the sequences disagree - a pc present on only
+    // one side, or differing issue / exposed counts - localizes the
+    // divergence to one instruction address.
+    const JsonValue *pa = a.find("pcs");
+    const JsonValue *pb = b.find("pcs");
+    if (pa != nullptr && pb != nullptr) {
+        auto row = [](const JsonValue &v) {
+            std::string pc;
+            double issues = -1.0, exposed = -1.0;
+            if (const JsonValue *f = v.find("pc"))
+                pc = f->asString();
+            if (const JsonValue *f = v.find("issues"))
+                issues = f->number;
+            if (const JsonValue *f = v.find("exposed"))
+                exposed = f->number;
+            return std::make_tuple(pc, issues, exposed);
+        };
+        const std::size_t n =
+            std::min(pa->array.size(), pb->array.size());
+        std::size_t i = 0;
+        while (i < n && row(pa->array[i]) == row(pb->array[i]))
+            ++i;
+        if (i < n) {
+            rep.divergence = true;
+            const auto [apc, ai, ae] = row(pa->array[i]);
+            const auto [bpc, bi, be] = row(pb->array[i]);
+            rep.lines.push_back(
+                "first diverging pc row #" + std::to_string(i) +
+                ": A " + apc + " (issues " + fmtNum(ai) +
+                ", exposed " + fmtNum(ae) + ") vs B " + bpc +
+                " (issues " + fmtNum(bi) + ", exposed " + fmtNum(be) +
+                ")");
+        } else if (pa->array.size() != pb->array.size()) {
+            rep.divergence = true;
+            const bool aLonger = pa->array.size() > pb->array.size();
+            const auto [pc, is, ex] =
+                row((aLonger ? pa : pb)->array[i]);
+            rep.lines.push_back(
+                "pc tables differ in length: " +
+                std::to_string(pa->array.size()) + " vs " +
+                std::to_string(pb->array.size()) + " rows; first " +
+                (aLonger ? "A-only" : "B-only") + " pc " + pc +
+                " at row #" + std::to_string(i));
+        } else {
+            rep.lines.push_back(
+                "all " + std::to_string(n) + " pc rows identical");
+        }
+    }
+    if (!rep.divergence)
+        rep.lines.push_back(
+            "ledgers identical: both runs overlapped latency the "
+            "same way");
+    return rep;
+}
+
 } // namespace
 
 const char *
@@ -411,6 +511,8 @@ docKindName(DocKind k)
         return "bench";
       case DocKind::FlightRecorder:
         return "flight-recorder";
+      case DocKind::Why:
+        return "why";
       case DocKind::Unknown:
         break;
     }
@@ -428,6 +530,8 @@ detectKind(const JsonValue &doc)
                 return DocKind::Bench;
             if (schema->str == "mtsim_flight_recorder/v1")
                 return DocKind::FlightRecorder;
+            if (schema->str == "mtsim_why/v1")
+                return DocKind::Why;
         }
     }
     if (doc.find("run") != nullptr &&
@@ -561,7 +665,7 @@ diffDocs(const JsonValue &a, const JsonValue &b)
     if (ka == DocKind::Unknown || kb == DocKind::Unknown)
         throw std::runtime_error(
             "unrecognized document (expected mtsim stats, prof, "
-            "bench or flight-recorder JSON)");
+            "bench, flight-recorder or why JSON)");
     if (ka != kb)
         throw std::runtime_error(
             std::string("document kinds differ: ") + docKindName(ka) +
@@ -575,6 +679,8 @@ diffDocs(const JsonValue &a, const JsonValue &b)
         return diffBench(a, b);
       case DocKind::FlightRecorder:
         return diffFlightRecorder(a, b);
+      case DocKind::Why:
+        return diffWhy(a, b);
       case DocKind::Unknown:
         break;
     }

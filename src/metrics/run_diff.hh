@@ -2,8 +2,9 @@
  * @file
  * Cross-run diffing: the library behind tools/mtsim_diff. Takes two
  * documents the simulator emitted - stats JSON (--stats-json), prof
- * JSON (--prof-json) or BENCH_speed.json - and answers the questions
- * a digest mismatch or KIPS regression raises:
+ * JSON (--prof-json), BENCH_speed.json, a flight-recorder dump or a
+ * --why-json ledger - and answers the questions a digest mismatch or
+ * KIPS regression raises:
  *
  *  - *where* did two runs first diverge? The windowed digest stream
  *    pins the mismatch to one window, giving an exact cycle range to
@@ -37,6 +38,7 @@ enum class DocKind
     Prof,           ///< mtsim_run --prof-json
     Bench,          ///< mtsim_bench BENCH_speed.json
     FlightRecorder, ///< flight-recorder dump
+    Why,            ///< mtsim_run --why-json ledger document
     Unknown
 };
 

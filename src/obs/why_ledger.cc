@@ -1,0 +1,543 @@
+#include "obs/why_ledger.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "core/processor.hh"
+#include "isa/latency.hh"
+#include "metrics/json_stats.hh"
+
+namespace mtsim {
+
+namespace {
+
+/** ProbeEvent::ctx sentinel for windows with no owning context. */
+constexpr CtxId kNoOwner = 0xff;
+
+} // namespace
+
+WhyLedger::WhyLedger(const Config &cfg, std::vector<Processor *> procs)
+    : cfg_(cfg), procs_(std::move(procs)), state_(procs_.size())
+{
+    for (std::size_t p = 0; p < procs_.size(); ++p) {
+        for (std::size_t c = 0; c < kC; ++c) {
+            state_[p].lastBd[c] = procs_[p]->breakdown().get(
+                static_cast<CycleClass>(c));
+        }
+    }
+}
+
+void
+WhyLedger::onEvent(const ProbeEvent &ev)
+{
+    switch (ev.kind) {
+      case ProbeKind::ContextIssue: {
+        ProcState &ps = state_[ev.proc];
+        // A data-miss window is emitted inside its causing load/store
+        // slot, just before that instruction's own issue event: the
+        // next issue from the same processor is the owner.
+        for (auto it = ps.wins.rbegin(); it != ps.wins.rend(); ++it) {
+            if (!it->bound) {
+                it->bound = true;
+                it->ctx = ev.ctx;
+                it->pc = ev.addr;
+                break;
+            }
+        }
+        CycleOp op;
+        op.isSub = false;
+        op.ctx = ev.ctx;
+        op.pc = ev.addr;
+        op.seq = ev.seq;
+        op.opcode = static_cast<std::uint8_t>(ev.arg);
+        ps.cycleOps.push_back(op);
+        ++ps.subGroup;  // an issue separates squash batches
+        break;
+      }
+      case ProbeKind::ContextSquash: {
+        ProcState &ps = state_[ev.proc];
+        // Find the shadow slot (search newest-first; seq is unique).
+        auto it = ps.ops.rbegin();
+        for (; it != ps.ops.rend(); ++it) {
+            if (it->seq == ev.seq && it->ctx == ev.ctx)
+                break;
+        }
+        if (it == ps.ops.rend()) {
+            ++unexplained_;
+            break;
+        }
+        CycleOp op;
+        op.isSub = true;
+        op.bucket = it->bucket;
+        op.counted = it->issuedAt >= epoch_;
+        op.group = ps.subGroup;
+        ps.cycleOps.push_back(op);
+        ps.ops.erase(std::next(it).base());
+        break;
+      }
+      case ProbeKind::ContextSwitch: {
+        if (static_cast<SwitchReason>(ev.arg) != SwitchReason::Os)
+            break;
+        // OS swap: every in-flight slot of the context is dropped in
+        // one bd.sub batch (latency carries the drop count).
+        ProcState &ps = state_[ev.proc];
+        ++ps.subGroup;
+        std::uint64_t dropped = 0;
+        for (std::size_t i = 0; i < ps.ops.size();) {
+            ShadowOp &so = ps.ops[i];
+            if (so.ctx == ev.ctx && so.retireAt >= ev.cycle) {
+                CycleOp op;
+                op.isSub = true;
+                op.bucket = so.bucket;
+                op.counted = so.issuedAt >= epoch_;
+                op.group = ps.subGroup;
+                ps.cycleOps.push_back(op);
+                ps.ops.erase(ps.ops.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+                ++dropped;
+            } else {
+                ++i;
+            }
+        }
+        if (dropped != ev.latency)
+            ++unexplained_;
+        ++ps.subGroup;
+        break;
+      }
+      case ProbeKind::DMissStart: {
+        if (ev.latency == 0)
+            break;
+        ProcState &ps = state_[ev.proc];
+        MissRecord w;
+        w.line = ev.addr;
+        w.proc = ev.proc;
+        w.ctx = kNoOwner;
+        w.from = ev.cycle;
+        w.until = ev.cycle + ev.latency;
+        ps.wins.push_back(w);
+        break;
+      }
+      case ProbeKind::IMissStart: {
+        if (ev.latency == 0)
+            break;
+        ProcState &ps = state_[ev.proc];
+        MissRecord w;
+        w.line = ev.addr;
+        w.pc = ev.addr;  // self-identifying: the fetched line
+        w.proc = ev.proc;
+        w.ctx = kNoOwner;
+        w.instr = true;
+        w.bound = true;
+        w.from = ev.cycle;
+        w.until = ev.cycle + ev.latency;
+        ps.wins.push_back(w);
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+void
+WhyLedger::closeWindow(ProcState &, const MissRecord &w)
+{
+    latencyHist_.record(w.until - w.from);
+    hiddenHist_.record(w.hidden);
+    exposedHist_.record(w.exposed);
+    lastClosed_ = w;
+    lastClosedValid_ = true;
+    ++closed_;
+}
+
+void
+WhyLedger::pollDeltas(ProcState &ps, ProcId p,
+                      std::array<std::int64_t, kC> &d)
+{
+    for (std::size_t c = 0; c < kC; ++c) {
+        const Cycle cur =
+            procs_[p]->breakdown().get(static_cast<CycleClass>(c));
+        d[c] = static_cast<std::int64_t>(cur) -
+               static_cast<std::int64_t>(ps.lastBd[c]);
+        ps.lastBd[c] = cur;
+    }
+}
+
+void
+WhyLedger::onCycleEnd(Cycle now)
+{
+    for (std::size_t pi = 0; pi < procs_.size(); ++pi) {
+        ProcState &ps = state_[pi];
+
+        bool cov = false;
+        for (const MissRecord &w : ps.wins) {
+            if (w.from <= now && now < w.until) {
+                cov = true;
+                break;
+            }
+        }
+
+        // Replay this cycle's issue/sub stream in arrival order so
+        // the running busy total mirrors CycleBreakdown exactly,
+        // including its batch-saturating sub.
+        std::int64_t busyDelta = 0;
+        std::uint64_t issues = 0;
+        std::size_t i = 0;
+        while (i < ps.cycleOps.size()) {
+            const CycleOp &op = ps.cycleOps[i];
+            if (!op.isSub) {
+                Bucket b = BClear;
+                if (cov) {
+                    b = BOther;
+                    for (const MissRecord &w : ps.wins) {
+                        if (w.from <= now && now < w.until &&
+                            w.bound && !w.instr && w.ctx == op.ctx) {
+                            b = BSame;
+                            break;
+                        }
+                    }
+                }
+                switch (b) {
+                  case BClear: ++ps.busyClear; break;
+                  case BSame: ++ps.busySame; break;
+                  case BOther: ++ps.busyOther; break;
+                }
+                ++busyDelta;
+                ++issues;
+                ++pc_[op.pc].issues;
+                ShadowOp so;
+                so.seq = op.seq;
+                so.ctx = op.ctx;
+                so.issuedAt = now;
+                so.retireAt =
+                    now + pipeDepth(cfg_,
+                                    static_cast<Op>(op.opcode));
+                so.bucket = b;
+                ps.ops.push_back(so);
+                ++i;
+                continue;
+            }
+            // Coalesce one sub batch (one CycleBreakdown::sub call).
+            std::size_t j = i;
+            std::int64_t counted = 0;
+            while (j < ps.cycleOps.size() && ps.cycleOps[j].isSub &&
+                   ps.cycleOps[j].group == op.group) {
+                if (ps.cycleOps[j].counted)
+                    ++counted;
+                ++j;
+            }
+            if (counted > 0) {
+                const std::int64_t avail = busyTotal(ps);
+                if (avail > counted) {
+                    for (std::size_t k = i; k < j; ++k) {
+                        if (!ps.cycleOps[k].counted)
+                            continue;
+                        switch (ps.cycleOps[k].bucket) {
+                          case BClear: --ps.busyClear; break;
+                          case BSame: --ps.busySame; break;
+                          case BOther: --ps.busyOther; break;
+                        }
+                    }
+                    busyDelta -= counted;
+                } else {
+                    // bd.sub saturates the whole batch to zero.
+                    busyDelta -= avail > 0 ? avail : 0;
+                    ps.busyClear = ps.busySame = ps.busyOther = 0;
+                }
+            }
+            i = j;
+        }
+        ps.cycleOps.clear();
+
+        std::array<std::int64_t, kC> d;
+        pollDeltas(ps, static_cast<ProcId>(pi), d);
+        for (std::size_t c = 0; c < kC; ++c) {
+            if (c == kBusy) {
+                const std::int64_t res = d[c] - busyDelta;
+                if (res != 0) {
+                    unexplained_ += static_cast<std::uint64_t>(
+                        res > 0 ? res : -res);
+                    (cov ? ps.busyOther : ps.busyClear) += res;
+                }
+            } else if (d[c] != 0) {
+                (cov ? ps.under : ps.clear)[c] += d[c];
+            }
+        }
+
+        if (cov) {
+            ++covered_;
+            if (issues > 0)
+                ++hiddenCov_;
+            const MissRecord *oldest = nullptr;
+            for (MissRecord &w : ps.wins) {
+                if (w.from <= now && now < w.until) {
+                    if (issues > 0)
+                        ++w.hidden;
+                    else
+                        ++w.exposed;
+                    if (!oldest)
+                        oldest = &w;
+                }
+            }
+            if (issues == 0 && oldest)
+                ++pc_[oldest->pc].exposed;
+        }
+
+        // Finalize windows fully elapsed by the end of this cycle.
+        for (std::size_t w = 0; w < ps.wins.size();) {
+            if (ps.wins[w].until <= now + 1) {
+                closeWindow(ps, ps.wins[w]);
+                ps.wins.erase(ps.wins.begin() +
+                              static_cast<std::ptrdiff_t>(w));
+            } else {
+                ++w;
+            }
+        }
+
+        // Amortized shadow eviction: a slot retired at or before now
+        // can never be squashed or swapped out afterwards.
+        if (ps.ops.size() > 64) {
+            std::erase_if(ps.ops, [now](const ShadowOp &so) {
+                return so.retireAt <= now;
+            });
+        }
+    }
+}
+
+void
+WhyLedger::onBulkWindow(ProcId p, Cycle from, Cycle until,
+                        CycleClass cls, bool attribute)
+{
+    if (until <= from)
+        return;
+    ProcState &ps = state_[p];
+
+    std::array<std::int64_t, kC> d;
+    pollDeltas(ps, p, d);
+
+    // Interval-union overlap of the open miss windows with
+    // [from, until). Coverage is constant between breakpoints, so a
+    // sorted sweep over the clamped window edges settles every
+    // segment in one pass. No issue can occur inside a bulk window,
+    // so covered segments are pure exposed latency.
+    std::vector<Cycle> pts;
+    pts.push_back(from);
+    pts.push_back(until);
+    for (const MissRecord &w : ps.wins) {
+        if (w.until <= from || w.from >= until)
+            continue;
+        pts.push_back(w.from < from ? from : w.from);
+        pts.push_back(w.until > until ? until : w.until);
+    }
+    std::sort(pts.begin(), pts.end());
+    pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+
+    std::int64_t covCycles = 0;
+    for (std::size_t s = 0; s + 1 < pts.size(); ++s) {
+        const Cycle a = pts[s];
+        const Cycle b = pts[s + 1];
+        const std::uint64_t len = b - a;
+        MissRecord *oldest = nullptr;
+        for (MissRecord &w : ps.wins) {
+            if (w.from <= a && b <= w.until) {
+                w.exposed += len;
+                if (!oldest)
+                    oldest = &w;
+            }
+        }
+        if (!oldest)
+            continue;
+        covCycles += static_cast<std::int64_t>(len);
+        covered_ += len;
+        pc_[oldest->pc].exposed += len;
+    }
+
+    const auto width = static_cast<std::int64_t>(cfg_.issueWidth);
+    const auto span = static_cast<std::int64_t>(until - from);
+    for (std::size_t c = 0; c < kC; ++c) {
+        if (d[c] == 0)
+            continue;
+        if (c != kBusy && attribute &&
+            c == static_cast<std::size_t>(cls) &&
+            d[c] == width * span) {
+            ps.under[c] += width * covCycles;
+            ps.clear[c] += d[c] - width * covCycles;
+        } else if (c == kBusy) {
+            // A bulk window can contain no issue slots; any Busy
+            // delta is a model error.
+            unexplained_ += static_cast<std::uint64_t>(
+                d[c] > 0 ? d[c] : -d[c]);
+            (covCycles > 0 ? ps.busyOther : ps.busyClear) += d[c];
+        } else {
+            unexplained_ += static_cast<std::uint64_t>(
+                d[c] > 0 ? d[c] : -d[c]);
+            (covCycles > 0 ? ps.under : ps.clear)[c] += d[c];
+        }
+    }
+
+    for (std::size_t w = 0; w < ps.wins.size();) {
+        if (ps.wins[w].until <= until) {
+            closeWindow(ps, ps.wins[w]);
+            ps.wins.erase(ps.wins.begin() +
+                          static_cast<std::ptrdiff_t>(w));
+        } else {
+            ++w;
+        }
+    }
+}
+
+void
+WhyLedger::onStatsClear(Cycle now)
+{
+    epoch_ = now;
+    for (std::size_t p = 0; p < procs_.size(); ++p) {
+        ProcState &ps = state_[p];
+        ps.under.fill(0);
+        ps.clear.fill(0);
+        ps.busyClear = ps.busySame = ps.busyOther = 0;
+        for (std::size_t c = 0; c < kC; ++c) {
+            ps.lastBd[c] = procs_[p]->breakdown().get(
+                static_cast<CycleClass>(c));
+        }
+        for (MissRecord &w : ps.wins) {
+            w.hidden = 0;
+            w.exposed = 0;
+        }
+        ps.cycleOps.clear();
+        // Shadow slots survive the clear: a post-clear squash of a
+        // pre-clear slot must still resolve (its sub is not counted).
+    }
+    pc_.clear();
+    latencyHist_.clear();
+    hiddenHist_.clear();
+    exposedHist_.clear();
+    covered_ = 0;
+    hiddenCov_ = 0;
+    closed_ = 0;
+    unexplained_ = 0;
+    lastClosedValid_ = false;
+}
+
+std::int64_t
+WhyLedger::under(ProcId p, CycleClass c) const
+{
+    const ProcState &ps = state_[p];
+    if (c == CycleClass::Busy)
+        return ps.busySame + ps.busyOther;
+    return ps.under[static_cast<std::size_t>(c)];
+}
+
+std::int64_t
+WhyLedger::clear(ProcId p, CycleClass c) const
+{
+    const ProcState &ps = state_[p];
+    if (c == CycleClass::Busy)
+        return ps.busyClear;
+    return ps.clear[static_cast<std::size_t>(c)];
+}
+
+std::int64_t
+WhyLedger::hiddenSame(ProcId p) const
+{
+    return state_[p].busySame;
+}
+
+std::int64_t
+WhyLedger::hiddenOther(ProcId p) const
+{
+    return state_[p].busyOther;
+}
+
+std::int64_t
+WhyLedger::aggUnder(CycleClass c) const
+{
+    std::int64_t n = 0;
+    for (std::size_t p = 0; p < state_.size(); ++p)
+        n += under(static_cast<ProcId>(p), c);
+    return n;
+}
+
+std::int64_t
+WhyLedger::aggClear(CycleClass c) const
+{
+    std::int64_t n = 0;
+    for (std::size_t p = 0; p < state_.size(); ++p)
+        n += clear(static_cast<ProcId>(p), c);
+    return n;
+}
+
+std::int64_t
+WhyLedger::aggHiddenSame() const
+{
+    std::int64_t n = 0;
+    for (const ProcState &ps : state_)
+        n += ps.busySame;
+    return n;
+}
+
+std::int64_t
+WhyLedger::aggHiddenOther() const
+{
+    std::int64_t n = 0;
+    for (const ProcState &ps : state_)
+        n += ps.busyOther;
+    return n;
+}
+
+double
+WhyLedger::toleranceRatio() const
+{
+    if (covered_ == 0)
+        return 0.0;
+    return static_cast<double>(hiddenCov_) /
+           static_cast<double>(covered_);
+}
+
+std::vector<WhyLedger::PcEntry>
+WhyLedger::topExposed(std::size_t n) const
+{
+    std::vector<PcEntry> rows;
+    rows.reserve(pc_.size());
+    for (const auto &[pc, row] : pc_)
+        rows.push_back({pc, row.issues, row.exposed});
+    std::sort(rows.begin(), rows.end(),
+              [](const PcEntry &a, const PcEntry &b) {
+                  if (a.exposed != b.exposed)
+                      return a.exposed > b.exposed;
+                  return a.pc < b.pc;
+              });
+    if (n > 0 && rows.size() > n)
+        rows.resize(n);
+    return rows;
+}
+
+std::uint64_t
+WhyLedger::openMisses() const
+{
+    std::uint64_t n = 0;
+    for (const ProcState &ps : state_)
+        n += ps.wins.size();
+    return n;
+}
+
+void
+WhyLedger::writeLastClosedJson(JsonWriter &w) const
+{
+    if (!lastClosedValid_) {
+        w.valueNull();
+        return;
+    }
+    const MissRecord &m = lastClosed_;
+    w.beginObject();
+    w.kv("kind", m.instr ? "imiss" : "dmiss");
+    w.kv("proc", static_cast<std::uint64_t>(m.proc));
+    w.kv("line", m.line);
+    w.kv("pc", m.pc);
+    w.kv("from", static_cast<std::uint64_t>(m.from));
+    w.kv("until", static_cast<std::uint64_t>(m.until));
+    w.kv("latency", static_cast<std::uint64_t>(m.until - m.from));
+    w.kv("hidden", m.hidden);
+    w.kv("exposed", m.exposed);
+    w.endObject();
+}
+
+} // namespace mtsim

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Latency-tolerance ledger (`mtsim_run --why`): a passive ProbeSink
+ * that attributes every cycle of every outstanding miss's latency to
+ * one of {overlapped-by-other-context-issue, overlapped-by-same-
+ * context-ILP, exposed-stall, switch-overhead, sync-wait}, and keeps
+ * a per-PC table of issue counts and exposed stall cycles. The paper
+ * argues interleaving *tolerates* memory latency; this ledger turns
+ * that claim into a directly measured quantity per miss and per
+ * static instruction (docs/OBSERVABILITY.md, "The latency-tolerance
+ * ledger").
+ *
+ * The ledger mirrors the checker's delta-polling idiom: it rebuilds
+ * per-slot attribution from the probe stream (issue/squash/switch
+ * events plus miss windows) and polls each processor's CycleBreakdown
+ * once per cycle, so for every class C
+ *
+ *     under(C) + clear(C) == breakdown.get(C)
+ *
+ * holds exactly - "under" being slots spent while at least one miss
+ * of that processor was outstanding, "clear" the rest. The invariant
+ * is enforced by check/why_reconcile. Fast-forward and RAW-stall
+ * bulk windows are consumed through onBulkWindow() (interval-union
+ * overlap arithmetic against the open miss windows), so attaching
+ * the ledger never forces per-cycle lockstep replay.
+ *
+ * Passive: the ledger only listens and polls; a --why run is
+ * digest-pinned bit-identical to a plain run.
+ */
+
+#ifndef MTSIM_OBS_WHY_LEDGER_HH
+#define MTSIM_OBS_WHY_LEDGER_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "obs/probe.hh"
+
+namespace mtsim {
+
+class Processor;
+class JsonWriter;
+
+class WhyLedger : public ProbeSink
+{
+  public:
+    /** Per-PC (static op) attribution row. */
+    struct PcRow
+    {
+        std::uint64_t issues = 0;   ///< useful issues at this pc
+        std::uint64_t exposed = 0;  ///< exposed stall cycles charged
+    };
+
+    /** A pc table row plus its key, for sorted reporting. */
+    struct PcEntry
+    {
+        Addr pc = 0;
+        std::uint64_t issues = 0;
+        std::uint64_t exposed = 0;
+    };
+
+    /** One miss window (open, or the last closed one). */
+    struct MissRecord
+    {
+        Addr line = 0;              ///< cache line address
+        Addr pc = 0;                ///< causing pc (0 until bound)
+        ProcId proc = 0;
+        CtxId ctx = 0;              ///< owning context (data misses)
+        bool instr = false;         ///< I-miss (pc = line address)
+        bool bound = false;         ///< ctx/pc known yet?
+        Cycle from = 0;             ///< first latency cycle
+        Cycle until = 0;            ///< reply cycle (exclusive)
+        std::uint64_t hidden = 0;   ///< covered cycles with >= 1 issue
+        std::uint64_t exposed = 0;  ///< covered cycles with no issue
+    };
+
+    WhyLedger(const Config &cfg, std::vector<Processor *> procs);
+
+    /** ProbeSink: issue/squash/switch/miss-window bookkeeping. */
+    void onEvent(const ProbeEvent &ev) override;
+
+    /** Close cycle @p now: classify buffered issues against the open
+     *  miss windows and poll the breakdown deltas. The owning system
+     *  calls this after every processor ticked @p now (lockstep and
+     *  observer-replay paths). */
+    void onCycleEnd(Cycle now);
+
+    /**
+     * Consume one bulk-attributed window [@p from, @p until) for
+     * processor @p p: the run loop proved the window is pure stall
+     * (no issue/squash/switch events inside), attributed
+     * @p attribute ? width x (until - from) : 0 slots to @p cls, and
+     * already drained memory through until - 1. Must be called even
+     * when @p attribute is false so the polling frontier advances.
+     */
+    void onBulkWindow(ProcId p, Cycle from, Cycle until,
+                      CycleClass cls, bool attribute);
+
+    /** Rebase after the owning system reset processor statistics. */
+    void onStatsClear(Cycle now);
+
+    // -- per-processor totals (signed: saturating breakdown subs can
+    //    transiently run a cell negative; sums always reconcile) -----
+
+    /** Slots of class @p c spent while >= 1 miss was outstanding.
+     *  For Busy this is hiddenSame + hiddenOther. */
+    std::int64_t under(ProcId p, CycleClass c) const;
+    /** Slots of class @p c with no miss outstanding. */
+    std::int64_t clear(ProcId p, CycleClass c) const;
+    /** Busy slots issued under a miss by the miss-owning context. */
+    std::int64_t hiddenSame(ProcId p) const;
+    /** Busy slots issued under a miss by another context. */
+    std::int64_t hiddenOther(ProcId p) const;
+
+    // -- aggregates over all processors ------------------------------
+
+    std::int64_t aggUnder(CycleClass c) const;
+    std::int64_t aggClear(CycleClass c) const;
+    std::int64_t aggHiddenSame() const;
+    std::int64_t aggHiddenOther() const;
+
+    /** Processor-cycles with >= 1 miss outstanding (since epoch). */
+    std::uint64_t coveredCycles() const { return covered_; }
+    /** Covered cycles in which >= 1 instruction issued. */
+    std::uint64_t hiddenCoveredCycles() const { return hiddenCov_; }
+    /** hiddenCoveredCycles / coveredCycles - the fraction of miss
+     *  latency the machine tolerated by doing useful work. */
+    double toleranceRatio() const;
+
+    /** Miss windows fully elapsed since the last stats clear. */
+    std::uint64_t missesClosed() const { return closed_; }
+    const Histogram &latencyHist() const { return latencyHist_; }
+    const Histogram &hiddenHist() const { return hiddenHist_; }
+    const Histogram &exposedHist() const { return exposedHist_; }
+
+    /** The per-PC table (unordered). */
+    const std::unordered_map<Addr, PcRow> &pcTable() const
+    {
+        return pc_;
+    }
+    /** Top @p n rows by exposed stall cycles (ties: lower pc first;
+     *  n = 0 returns every row, sorted). */
+    std::vector<PcEntry> topExposed(std::size_t n) const;
+
+    /** Miss windows currently outstanding (all processors). */
+    std::uint64_t openMisses() const;
+
+    /** The most recently closed miss window, if any (flight-recorder
+     *  snapshots). */
+    bool hasLastClosed() const { return lastClosedValid_; }
+    const MissRecord &lastClosed() const { return lastClosed_; }
+    /** Serialize lastClosed() as one JSON object (no-op guard: emits
+     *  a null when none closed yet). */
+    void writeLastClosedJson(JsonWriter &w) const;
+
+    /**
+     * Slots the event stream could not explain: a polled Busy delta
+     * disagreeing with the observed issue/squash slots, or a
+     * squash/swap event naming an instruction the shadow never saw.
+     * Always 0 on a healthy simulator; the reconciliation invariant
+     * asserts it.
+     */
+    std::uint64_t unexplained() const { return unexplained_; }
+
+    const std::vector<Processor *> &procs() const { return procs_; }
+    const Config &config() const { return cfg_; }
+    Cycle epoch() const { return epoch_; }
+
+  private:
+    /** Which busy bucket a shadow slot was charged to. */
+    enum Bucket : std::uint8_t { BClear, BSame, BOther };
+
+    /** Shadow in-flight instruction (for squash/swap reclassing). */
+    struct ShadowOp
+    {
+        SeqNum seq = 0;
+        CtxId ctx = 0;
+        Cycle issuedAt = 0;
+        Cycle retireAt = 0;
+        Bucket bucket = BClear;
+    };
+
+    /** One intra-cycle breakdown mutation, replayed in stream order
+     *  at onCycleEnd so saturating subs mirror CycleBreakdown::sub
+     *  exactly. */
+    struct CycleOp
+    {
+        bool isSub = false;
+        // issue fields
+        CtxId ctx = 0;
+        Addr pc = 0;
+        SeqNum seq = 0;
+        std::uint8_t opcode = 0;
+        // sub fields
+        Bucket bucket = BClear;
+        bool counted = false;
+        std::uint32_t group = 0;  ///< one sub batch == one bd.sub()
+    };
+
+    static constexpr std::size_t kC =
+        static_cast<std::size_t>(CycleClass::NumClasses);
+    static constexpr std::size_t kBusy =
+        static_cast<std::size_t>(CycleClass::Busy);
+
+    struct ProcState
+    {
+        std::array<Cycle, kC> lastBd{};
+        /** Per-class covered / clear slot totals. The Busy cells are
+         *  unused; busyClear/busySame/busyOther carry the split. */
+        std::array<std::int64_t, kC> under{};
+        std::array<std::int64_t, kC> clear{};
+        std::int64_t busyClear = 0;
+        std::int64_t busySame = 0;
+        std::int64_t busyOther = 0;
+        std::vector<MissRecord> wins;   ///< open windows, open order
+        std::vector<ShadowOp> ops;      ///< shadow in-flight slots
+        std::vector<CycleOp> cycleOps;  ///< this cycle's mutations
+        std::uint32_t subGroup = 0;
+    };
+
+    std::int64_t
+    busyTotal(const ProcState &ps) const
+    {
+        return ps.busyClear + ps.busySame + ps.busyOther;
+    }
+
+    void pollDeltas(ProcState &ps, ProcId p,
+                    std::array<std::int64_t, kC> &d);
+    void closeWindow(ProcState &ps, const MissRecord &w);
+
+    Config cfg_;
+    std::vector<Processor *> procs_;
+    std::vector<ProcState> state_;
+
+    std::unordered_map<Addr, PcRow> pc_;
+    Histogram latencyHist_;
+    Histogram hiddenHist_;
+    Histogram exposedHist_;
+    std::uint64_t covered_ = 0;
+    std::uint64_t hiddenCov_ = 0;
+    std::uint64_t closed_ = 0;
+    std::uint64_t unexplained_ = 0;
+    MissRecord lastClosed_;
+    bool lastClosedValid_ = false;
+    Cycle epoch_ = 0;
+};
+
+} // namespace mtsim
+
+#endif // MTSIM_OBS_WHY_LEDGER_HH

@@ -2,6 +2,7 @@
 
 #include "metrics/json_stats.hh"
 #include "obs/flight_recorder.hh"
+#include "obs/why_ledger.hh"
 #include "workload/replay.hh"
 
 namespace mtsim {
@@ -101,6 +102,13 @@ MpSystem::enableChecking(const CheckConfig &cc)
 }
 
 void
+MpSystem::attachWhyLedger(WhyLedger *why)
+{
+    probes_.addSink(why);
+    why_ = why;
+}
+
+void
 MpSystem::attachFlightRecorder(FlightRecorder *fr)
 {
     probes_.addSink(fr);
@@ -129,6 +137,10 @@ MpSystem::attachFlightRecorder(FlightRecorder *fr)
             w.endObject();
         }
         w.endArray();
+        if (why_) {
+            w.key("why_last_window");
+            why_->writeLastClosedJson(w);
+        }
         w.endObject();
     });
 }
@@ -184,8 +196,8 @@ MpSystem::tryFastForward(Cycle end)
         if (ffPlans_[i].needOwnerCommit)
             procs_[i]->beginFastForward(now_);
     }
-    if (checker_ || sampler_ || progress_) {
-        // Observer replay: identical per-cycle streams to lockstep.
+    if (checker_) {
+        // Checker replay: identical per-cycle streams to lockstep.
         for (Cycle c = now_; c < until; ++c) {
             if (mem_.nextTickAt() <= c)
                 mem_.tick(c);
@@ -193,8 +205,9 @@ MpSystem::tryFastForward(Cycle end)
                 if (ffPlans_[i].attribute)
                     procs_[i]->addSkippedCycles(ffPlans_[i].cls, 1);
             }
-            if (checker_)
-                checker_->onCycleEnd(c);
+            checker_->onCycleEnd(c);
+            if (why_)
+                why_->onCycleEnd(c);
             if (sampler_) {
                 Cycle busy = 0;
                 for (const auto &p : procs_)
@@ -206,7 +219,10 @@ MpSystem::tryFastForward(Cycle end)
         }
     } else {
         // Bulk: one memory drain (callbacks keep their original
-        // timestamps) and one aggregate attribution per node.
+        // timestamps) and one aggregate attribution per node. The
+        // ledger and sampler fold each node's window in whole - no
+        // busy slot can accrue inside one - so neither forces
+        // per-cycle replay.
         if (mem_.nextTickAt() <= until - 1)
             mem_.tick(until - 1);
         for (std::size_t i = 0; i < procs_.size(); ++i) {
@@ -214,6 +230,22 @@ MpSystem::tryFastForward(Cycle end)
                 procs_[i]->addSkippedCycles(ffPlans_[i].cls,
                                             until - now_);
         }
+        if (why_) {
+            for (std::size_t i = 0; i < procs_.size(); ++i) {
+                why_->onBulkWindow(static_cast<ProcId>(i), now_,
+                                   until, ffPlans_[i].cls,
+                                   ffPlans_[i].attribute);
+            }
+        }
+        if (sampler_) {
+            Cycle busy = 0;
+            for (const auto &p : procs_)
+                busy += p->breakdown().get(CycleClass::Busy);
+            sampler_->observeWindow(now_, until,
+                                    static_cast<double>(busy));
+        }
+        if (progress_)
+            progress_->poll(until - 1, retired());
     }
     ffCycles_ += until - now_;
     now_ = until;
@@ -247,10 +279,16 @@ MpSystem::run(Cycle max_cycles)
             MTSIM_PROF_SCOPE("checker");
             checker_->onCycleEnd(now_);
         }
+        if (why_) {
+            MTSIM_PROF_SCOPE("why");
+            why_->onCycleEnd(now_);
+        }
         if (statsPending_) {
             clearAllStats();
             if (checker_)
                 checker_->onStatsClear(now_);
+            if (why_)
+                why_->onStatsClear(now_);
         }
         if (sampler_) {
             Cycle busy = 0;

@@ -30,6 +30,7 @@
 namespace mtsim {
 
 class FlightRecorder;
+class WhyLedger;
 
 /**
  * Builds the per-thread kernels of one parallel application: given
@@ -92,8 +93,18 @@ class MpSystem
     void attachFlightRecorder(FlightRecorder *fr);
 
     /**
+     * Subscribe a latency-tolerance ledger (obs/why_ledger.hh) to
+     * the probe bus and drive its cycle-end / bulk-window / stats-
+     * clear hooks from the run loop. Must precede run(). Passive:
+     * a --why run is bit-identical to a plain one.
+     */
+    void attachWhyLedger(WhyLedger *why);
+
+    /**
      * Attach an interval sampler fed with the aggregate busy-cycle
-     * count once per simulated cycle. Pass nullptr to detach.
+     * count per simulated cycle (bulk stall windows are folded in
+     * through observeWindow, so sampling never disables
+     * fast-forward). Pass nullptr to detach.
      */
     void setSampler(IntervalSampler *sampler) { sampler_ = sampler; }
 
@@ -145,6 +156,7 @@ class MpSystem
     std::vector<std::unique_ptr<Processor>> procs_;
     std::vector<std::unique_ptr<InstrSource>> sources_;
     std::unique_ptr<InvariantChecker> checker_;
+    WhyLedger *why_ = nullptr;
     IntervalSampler *sampler_ = nullptr;
     prof::ProgressMeter *progress_ = nullptr;
     Cycle now_ = 0;

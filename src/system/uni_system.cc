@@ -4,6 +4,7 @@
 
 #include "metrics/json_stats.hh"
 #include "obs/flight_recorder.hh"
+#include "obs/why_ledger.hh"
 #include "workload/replay.hh"
 
 namespace mtsim {
@@ -76,6 +77,16 @@ UniSystem::enableChecking(const CheckConfig &cc)
 }
 
 void
+UniSystem::attachWhyLedger(WhyLedger *why)
+{
+    // Like the checker, the ledger rebuilds attribution from the
+    // probe stream; attaching mid-run would desynchronize it.
+    assert(!started_ && "attachWhyLedger must precede the first run");
+    probes_.addSink(why);
+    why_ = why;
+}
+
+void
 UniSystem::attachFlightRecorder(FlightRecorder *fr)
 {
     probes_.addSink(fr);
@@ -101,6 +112,10 @@ UniSystem::attachFlightRecorder(FlightRecorder *fr)
         w.endArray();
         w.endObject();
         w.endArray();
+        if (why_) {
+            w.key("why_last_window");
+            why_->writeLastClosedJson(w);
+        }
         w.endObject();
     });
 }
@@ -116,6 +131,8 @@ UniSystem::run(Cycle warmup, Cycle measure)
     proc_.clearStats(now_);
     if (checker_)
         checker_->onStatsClear(now_);
+    if (why_)
+        why_->onStatsClear(now_);
     runLoop(now_ + measure, true);
     measured_ += measure;
 }
@@ -156,6 +173,10 @@ UniSystem::runLoop(Cycle end, bool measuring)
             MTSIM_PROF_SCOPE("checker");
             checker_->onCycleEnd(now_);
         }
+        if (why_) {
+            MTSIM_PROF_SCOPE("why");
+            why_->onCycleEnd(now_);
+        }
         if (measuring && sampler_)
             sampler_->observe(now_, static_cast<double>(
                 proc_.breakdown().get(CycleClass::Busy)));
@@ -179,15 +200,16 @@ UniSystem::runLoop(Cycle end, bool measuring)
             if (end < b_until)
                 b_until = end;
             if (b_until > now_) {
-                if (checker_ || sampler_ || progress_) {
-                    // Observer replay: identical per-cycle streams
+                if (checker_) {
+                    // Checker replay: identical per-cycle streams
                     // to lockstep (as in tryFastForward).
                     for (Cycle c = now_; c < b_until; ++c) {
                         if (mem_.nextTickAt() <= c)
                             mem_.tick(c);
                         proc_.addSkippedCycles(b_cls, 1);
-                        if (checker_)
-                            checker_->onCycleEnd(c);
+                        checker_->onCycleEnd(c);
+                        if (why_)
+                            why_->onCycleEnd(c);
                         if (measuring && sampler_)
                             sampler_->observe(c, static_cast<double>(
                                 proc_.breakdown().get(
@@ -196,10 +218,23 @@ UniSystem::runLoop(Cycle end, bool measuring)
                             progress_->poll(c, proc_.retired());
                     }
                 } else {
-                    // Bulk: one memory drain, one attribution.
+                    // Bulk: one memory drain, one attribution. The
+                    // ledger and sampler fold the whole window in
+                    // (busy cannot grow inside a stall window), so
+                    // neither forces lockstep replay.
                     if (mem_.nextTickAt() <= b_until - 1)
                         mem_.tick(b_until - 1);
                     proc_.addSkippedCycles(b_cls, b_until - now_);
+                    if (why_)
+                        why_->onBulkWindow(0, now_, b_until, b_cls,
+                                           true);
+                    if (measuring && sampler_)
+                        sampler_->observeWindow(
+                            now_, b_until,
+                            static_cast<double>(proc_.breakdown().get(
+                                CycleClass::Busy)));
+                    if (progress_)
+                        progress_->poll(b_until - 1, proc_.retired());
                 }
                 batchedCycles_ += b_until - now_;
                 now_ = b_until;
@@ -227,18 +262,19 @@ UniSystem::tryFastForward(Cycle end, bool measuring)
     if (plan.needOwnerCommit)
         proc_.beginFastForward(now_);
     const Cycle until = plan.until;
-    if (checker_ || sampler_ || progress_) {
-        // Observer replay: feed every attached observer the exact
-        // per-cycle stream lockstep would have produced. Memory
-        // events still run at their own timestamps (they can emit
-        // probe events); the scheduler tick is a provable no-op.
+    if (checker_) {
+        // Checker replay: feed the checker the exact per-cycle
+        // stream lockstep would have produced. Memory events still
+        // run at their own timestamps (they can emit probe events);
+        // the scheduler tick is a provable no-op.
         for (Cycle c = now_; c < until; ++c) {
             if (mem_.nextTickAt() <= c)
                 mem_.tick(c);
             if (plan.attribute)
                 proc_.addSkippedCycles(plan.cls, 1);
-            if (checker_)
-                checker_->onCycleEnd(c);
+            checker_->onCycleEnd(c);
+            if (why_)
+                why_->onCycleEnd(c);
             if (measuring && sampler_)
                 sampler_->observe(c, static_cast<double>(
                     proc_.breakdown().get(CycleClass::Busy)));
@@ -248,11 +284,22 @@ UniSystem::tryFastForward(Cycle end, bool measuring)
     } else {
         // Bulk: one memory drain (event callbacks receive their
         // original timestamps, so this is order-identical to the
-        // per-cycle drains) and one aggregate attribution.
+        // per-cycle drains) and one aggregate attribution. Ledger
+        // and sampler consume the window whole - no busy slot can
+        // accrue inside it - so they no longer force replay.
         if (mem_.nextTickAt() <= until - 1)
             mem_.tick(until - 1);
         if (plan.attribute)
             proc_.addSkippedCycles(plan.cls, until - now_);
+        if (why_)
+            why_->onBulkWindow(0, now_, until, plan.cls,
+                               plan.attribute);
+        if (measuring && sampler_)
+            sampler_->observeWindow(now_, until,
+                static_cast<double>(
+                    proc_.breakdown().get(CycleClass::Busy)));
+        if (progress_)
+            progress_->poll(until - 1, proc_.retired());
     }
     ffCycles_ += until - now_;
     now_ = until;

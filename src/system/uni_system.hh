@@ -30,6 +30,7 @@
 namespace mtsim {
 
 class FlightRecorder;
+class WhyLedger;
 
 class UniSystem
 {
@@ -88,8 +89,18 @@ class UniSystem
     void attachFlightRecorder(FlightRecorder *fr);
 
     /**
+     * Subscribe a latency-tolerance ledger (obs/why_ledger.hh) to
+     * the probe bus and drive its cycle-end / bulk-window / stats-
+     * clear hooks from the run loop. Must precede the first run().
+     * Passive: a --why run is bit-identical to a plain one.
+     */
+    void attachWhyLedger(WhyLedger *why);
+
+    /**
      * Attach an interval sampler fed with the cumulative busy-cycle
-     * count once per simulated cycle. Pass nullptr to detach.
+     * count per simulated cycle (bulk stall windows are folded in
+     * through observeWindow, so sampling never disables
+     * fast-forward). Pass nullptr to detach.
      */
     void setSampler(IntervalSampler *sampler) { sampler_ = sampler; }
 
@@ -109,9 +120,9 @@ class UniSystem
      * When every loaded context is stalled with a known resume cycle
      * the clock jumps to the earliest wake-up, bulk-attributing the
      * skipped issue slots through the regular breakdown accounting.
-     * Results are bit-identical either way: attached observers
-     * (checker, sampler, progress) replay the skipped cycles'
-     * streams exactly.
+     * Results are bit-identical either way: an attached checker
+     * replays the skipped cycles' streams exactly; ledger, sampler
+     * and progress meter consume bulk windows whole.
      */
     void setFastForward(bool on) { ffEnabled_ = on; }
 
@@ -157,6 +168,7 @@ class UniSystem
     Scheduler sched_;
     std::vector<std::unique_ptr<InstrSource>> sources_;
     std::unique_ptr<InvariantChecker> checker_;
+    WhyLedger *why_ = nullptr;
     IntervalSampler *sampler_ = nullptr;
     prof::ProgressMeter *progress_ = nullptr;
     Cycle now_ = 0;

@@ -74,6 +74,9 @@ TEST(RunDiff, DetectKindClassifiesEveryDocument)
     EXPECT_EQ(diff::detectKind(parseJson(
                   R"({"profile": {"tree": []}, "host": {}})")),
               DocKind::Prof);
+    EXPECT_EQ(diff::detectKind(parseJson(
+                  R"({"schema": "mtsim_why/v1"})")),
+              DocKind::Why);
     EXPECT_EQ(diff::detectKind(parseJson(R"({"foo": 1})")),
               DocKind::Unknown);
     EXPECT_EQ(diff::detectKind(parseJson("[]")), DocKind::Unknown);
@@ -256,6 +259,71 @@ TEST(RunDiff, ProfDiffRendersTheKipsHeadline)
     EXPECT_FALSE(rep.divergence); // host speed is not divergence
     EXPECT_TRUE(hasLine(rep.lines, "KIPS 1000 -> 666.667"));
     EXPECT_TRUE(hasLine(rep.lines, "self tick:"));
+}
+
+// ---- why-ledger documents -----------------------------------------
+
+std::string
+whyDoc(std::uint64_t hidden, std::uint64_t issues_b,
+       bool extra_row)
+{
+    std::ostringstream os;
+    os << R"({
+      "schema": "mtsim_why/v1",
+      "run": {"mode": "workstation", "scheme": "interleaved",
+              "contexts": 4, "mix": "DC", "width": 1, "seed": 1},
+      "tolerance": {"covered_cycles": 1000,
+                    "hidden_covered_cycles": )"
+       << hidden << R"(, "ratio": 0.5, "misses_closed": 10,
+                    "open_misses": 0, "unexplained": 0},
+      "attribution": {"hidden_same_ctx": 100,
+                      "hidden_other_ctx": 400,
+        "classes": [{"class": "busy", "under_miss": 500,
+                     "clear": 200},
+                    {"class": "dcache_mem", "under_miss": 300,
+                     "clear": 100}]},
+      "pcs": [{"pc": "0x1000", "issues": 5, "exposed": 7},
+              {"pc": "0x2000", "issues": )"
+       << issues_b << R"(, "exposed": 3})";
+    if (extra_row)
+        os << R"(, {"pc": "0x3000", "issues": 1, "exposed": 1})";
+    os << R"(]})";
+    return os.str();
+}
+
+TEST(RunDiff, IdenticalWhyDocumentsReportNoDivergence)
+{
+    const JsonValue a = parseJson(whyDoc(500, 9, false));
+    const diff::DiffReport rep = diff::diffDocs(a, a);
+    EXPECT_EQ(rep.kind, DocKind::Why);
+    EXPECT_FALSE(rep.divergence);
+    EXPECT_TRUE(hasLine(rep.lines, "all 2 pc rows identical"));
+    EXPECT_TRUE(hasLine(rep.lines, "ledgers identical"));
+}
+
+TEST(RunDiff, WhyDiffLocalizesTheFirstDivergingPcRow)
+{
+    // Row #0 matches on both sides; row #1's issue count moves
+    // 9 -> 12, so the diff must name pc 0x2000 at row #1.
+    const JsonValue a = parseJson(whyDoc(500, 9, false));
+    const JsonValue b = parseJson(whyDoc(600, 12, false));
+    const diff::DiffReport rep = diff::diffDocs(a, b);
+    EXPECT_TRUE(rep.divergence);
+    EXPECT_TRUE(hasLine(rep.lines,
+                        "tolerance.hidden_covered_cycles: 500 -> "
+                        "600 (+20.0%)"));
+    EXPECT_TRUE(hasLine(rep.lines, "first diverging pc row #1"));
+    EXPECT_TRUE(hasLine(rep.lines, "0x2000"));
+}
+
+TEST(RunDiff, WhyDiffReportsAPcOnlyOnOneSide)
+{
+    const JsonValue a = parseJson(whyDoc(500, 9, false));
+    const JsonValue b = parseJson(whyDoc(500, 9, true));
+    const diff::DiffReport rep = diff::diffDocs(a, b);
+    EXPECT_TRUE(rep.divergence);
+    EXPECT_TRUE(hasLine(rep.lines, "pc tables differ in length"));
+    EXPECT_TRUE(hasLine(rep.lines, "first B-only pc 0x3000"));
 }
 
 // ---- compareSpeed: warn-only window + memory lines ----------------

@@ -22,6 +22,7 @@
 #include "metrics/json_stats.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/probe.hh"
+#include "obs/why_ledger.hh"
 #include "spec/spec_suite.hh"
 #include "system/uni_system.hh"
 
@@ -103,6 +104,38 @@ TEST(FlightRecorder, DumpRoundTripsThroughTheJsonParser)
     EXPECT_EQ(events.array.front().at("kind").asString(), "issue");
     EXPECT_EQ(events.array.front().at("seq").asU64(), 2u);
     EXPECT_EQ(events.array.back().at("cycle").asU64(), 55u);
+}
+
+TEST(FlightRecorder, SnapshotCarriesTheLedgersLastClosedWindow)
+{
+    // With a why ledger attached, the dump's state snapshot must
+    // include the last closed miss window - the machine's final
+    // memory-system story before death.
+    Config cfg = Config::make(Scheme::Interleaved, 2);
+    UniSystem sys(cfg);
+    WhyLedger ledger(cfg, {&sys.processor()});
+    sys.attachWhyLedger(&ledger);
+    FlightRecorder recorder(64);
+    sys.attachFlightRecorder(&recorder);
+    for (const auto &app : uniWorkload("DC"))
+        sys.addApp(app, specKernel(app));
+    sys.run(5000, 5000);
+    ASSERT_TRUE(ledger.hasLastClosed());
+
+    std::ostringstream os;
+    recorder.writeJson(os, "unit test");
+    const JsonValue doc = parseJson(os.str());
+    const JsonValue &win = doc.at("state").at("why_last_window");
+    const std::string kind = win.at("kind").asString();
+    EXPECT_TRUE(kind == "dmiss" || kind == "imiss") << kind;
+    EXPECT_EQ(win.at("latency").asU64(),
+              ledger.lastClosed().until - ledger.lastClosed().from);
+    // A window opened before a stats clear keeps only its post-clear
+    // attribution, so hidden + exposed is bounded by the latency.
+    EXPECT_LE(win.at("hidden").asU64() + win.at("exposed").asU64(),
+              win.at("latency").asU64());
+    EXPECT_GT(win.at("hidden").asU64() + win.at("exposed").asU64(),
+              0u);
 }
 
 // ---- passivity (the digest-pinned acceptance test) ----------------

@@ -191,6 +191,42 @@ TEST(ProbeBus, KindNamesAreStable)
                  "os_reschedule");
 }
 
+TEST(ProbeBus, EveryKindHasANameAndATraceRendering)
+{
+    // Adding a ProbeKind without teaching probeKindName and the
+    // Chrome trace writer about it must fail here, not silently
+    // produce "?" names or dropped trace records.
+    std::set<std::string> names;
+    std::ostringstream os;
+    ChromeTraceWriter w(os);
+    for (std::uint32_t k = 0;
+         k < static_cast<std::uint32_t>(ProbeKind::NumKinds); ++k) {
+        const ProbeKind kind = static_cast<ProbeKind>(k);
+        const std::string name = probeKindName(kind);
+        EXPECT_FALSE(name.empty());
+        EXPECT_NE(name, "?") << "kind " << k << " has no name";
+        EXPECT_TRUE(names.insert(name).second)
+            << "kind " << k << " reuses name " << name;
+
+        ProbeEvent ev;
+        ev.kind = kind;
+        ev.cycle = 10 + k;
+        ev.seq = k;
+        const std::uint64_t before = w.eventsWritten();
+        w.onEvent(ev);
+        EXPECT_EQ(w.eventsWritten(), before + 1)
+            << "trace writer dropped kind " << name;
+    }
+    w.finish();
+    // The document stays structurally valid with every kind present.
+    int depth = 0;
+    for (char c : os.str()) {
+        depth += (c == '{') - (c == '}');
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
 // ---- Probe emission from a live processor ----------------------------------
 
 TEST(ProbeEmission, IssueAndMissEventsMatchCounters)

@@ -20,6 +20,7 @@
  * KIPS heartbeat to stderr every N host seconds.
  */
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdint>
@@ -32,8 +33,10 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "check/digest.hh"
+#include "check/why_reconcile.hh"
 #include "common/atomic_file.hh"
 #include "common/config.hh"
 #include "metrics/breakdown.hh"
@@ -41,6 +44,7 @@
 #include "metrics/report.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/trace_writer.hh"
+#include "obs/why_ledger.hh"
 #include "prof/host_info.hh"
 #include "prof/profiler.hh"
 #include "prof/progress.hh"
@@ -70,6 +74,8 @@ struct Options
     std::string statsJson;
     Cycle sampleInterval = 0;
     bool check = false;
+    bool why = false;
+    std::string whyJson;
     bool digest = false;
     Cycle digestWindow = 10000;
     std::string frDump;
@@ -149,6 +155,14 @@ usage()
         "  --check             run the invariant checker alongside\n"
         "                      the simulation; exits 3 on the first\n"
         "                      violation (docs/CHECKING.md)\n"
+        "  --why               latency-tolerance ledger: per-miss\n"
+        "                      overlap accounting, tolerance ratio\n"
+        "                      and the top exposed-stall pcs; exits 3\n"
+        "                      if the ledger does not reconcile with\n"
+        "                      the cycle breakdown (passive: results\n"
+        "                      are bit-identical to a plain run)\n"
+        "  --why-json FILE     write the ledger as mtsim_why/v1 JSON\n"
+        "                      (implies --why)\n"
         "  --digest            print the probe-stream digest (two\n"
         "                      identical runs must match)\n"
         "  --digest-window N   sub-digest window size in cycles for\n"
@@ -239,6 +253,11 @@ parse(int argc, char **argv)
                     "--sample-interval: must be >= 1");
         } else if (a == "--check") {
             o.check = true;
+        } else if (a == "--why") {
+            o.why = true;
+        } else if (a == "--why-json") {
+            o.whyJson = next();
+            o.why = true;
         } else if (a == "--digest") {
             o.digest = true;
         } else if (a == "--digest-window") {
@@ -291,6 +310,7 @@ validateOutputs(const Options &o)
         {"--stats-json", &o.statsJson},
         {"--prof-json", &o.profJson},
         {"--fr-dump", &o.frDump},
+        {"--why-json", &o.whyJson},
     };
     for (const auto &[flag, path] : outputs) {
         if (path->empty())
@@ -501,6 +521,172 @@ writeStatsJson(const Options &o, const RunInfo &info,
                                  o.statsJson);
 }
 
+/** One "p50/p90/max" summary line for a ledger histogram. */
+std::string
+histLine(const Histogram &h)
+{
+    if (h.count() == 0)
+        return "(none)";
+    return "mean " + TextTable::num(h.mean(), 1) + ", p50 " +
+           TextTable::num(h.percentile(50), 0) + ", p90 " +
+           TextTable::num(h.percentile(90), 0) + ", max " +
+           std::to_string(h.maxValue());
+}
+
+/** The --why text report (docs/OBSERVABILITY.md, "The
+ *  latency-tolerance ledger"). */
+void
+printWhyReport(const WhyLedger &l)
+{
+    std::cout << "latency-tolerance ledger:\n"
+              << "  tolerance ratio "
+              << TextTable::num(l.toleranceRatio(), 4) << "  ("
+              << l.hiddenCoveredCycles() << " of "
+              << l.coveredCycles()
+              << " miss-covered cycles hidden by issue)\n"
+              << "  misses closed " << l.missesClosed()
+              << ", still open " << l.openMisses() << '\n'
+              << "  miss latency   " << histLine(l.latencyHist())
+              << '\n'
+              << "  hidden/miss    " << histLine(l.hiddenHist())
+              << '\n'
+              << "  exposed/miss   " << histLine(l.exposedHist())
+              << "\n\n";
+
+    TextTable t({"category", "under-miss", "clear"});
+    t.addRow({"busy (same-ctx ILP)",
+              std::to_string(l.aggHiddenSame()), "-"});
+    t.addRow({"busy (other ctx)",
+              std::to_string(l.aggHiddenOther()), "-"});
+    t.addRow({"busy (no miss)", "-",
+              std::to_string(l.aggClear(CycleClass::Busy))});
+    for (int c = 1; c < static_cast<int>(CycleClass::NumClasses);
+         ++c) {
+        const auto cc = static_cast<CycleClass>(c);
+        t.addRow({cycleClassName(cc),
+                  std::to_string(l.aggUnder(cc)),
+                  std::to_string(l.aggClear(cc))});
+    }
+    t.print(std::cout);
+
+    const auto top = l.topExposed(10);
+    if (!top.empty()) {
+        std::cout << '\n';
+        TextTable pcs({"exposed pc", "issues", "exposed cycles"});
+        for (const auto &row : top) {
+            pcs.addRow({hex64(row.pc), std::to_string(row.issues),
+                        std::to_string(row.exposed)});
+        }
+        pcs.print(std::cout);
+    }
+}
+
+/** Serialize the ledger as an mtsim_why/v1 document. */
+void
+writeWhyJson(const Options &o, const WhyLedger &l)
+{
+    AtomicFile file(o.whyJson);
+    if (!file.ok())
+        throw std::runtime_error("--why-json: cannot open " +
+                                 file.tmpPath());
+    std::ostream &out = file.stream();
+    JsonWriter w(out);
+    w.beginObject();
+    w.kv("schema", "mtsim_why/v1");
+
+    w.key("run");
+    w.beginObject();
+    w.kv("mode", o.mp ? "multiprocessor" : "workstation");
+    w.kv("scheme", schemeName(o.scheme));
+    w.kv("contexts", static_cast<std::uint64_t>(o.contexts));
+    if (o.mp) {
+        w.kv("procs", static_cast<std::uint64_t>(o.procs));
+        w.kv("app", o.app.empty() ? "water" : o.app);
+    } else if (!o.app.empty()) {
+        w.kv("app", o.app);
+    } else {
+        w.kv("mix", o.mix);
+    }
+    w.kv("width", static_cast<std::uint64_t>(o.width));
+    w.kv("seed", o.seed);
+    w.endObject();
+
+    w.key("tolerance");
+    w.beginObject();
+    w.kv("covered_cycles", l.coveredCycles());
+    w.kv("hidden_covered_cycles", l.hiddenCoveredCycles());
+    w.kv("ratio", l.toleranceRatio());
+    w.kv("misses_closed", l.missesClosed());
+    w.kv("open_misses", l.openMisses());
+    w.kv("unexplained", l.unexplained());
+    w.endObject();
+
+    w.key("attribution");
+    w.beginObject();
+    w.kv("hidden_same_ctx", l.aggHiddenSame());
+    w.kv("hidden_other_ctx", l.aggHiddenOther());
+    w.key("classes");
+    w.beginArray();
+    for (int c = 0; c < static_cast<int>(CycleClass::NumClasses);
+         ++c) {
+        const auto cc = static_cast<CycleClass>(c);
+        w.beginObject();
+        w.kv("class", cycleClassName(cc));
+        w.kv("under_miss", l.aggUnder(cc));
+        w.kv("clear", l.aggClear(cc));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    w.key("histograms");
+    w.beginObject();
+    w.key("miss_latency");
+    writeHistogramJson(w, l.latencyHist());
+    w.key("hidden_per_miss");
+    writeHistogramJson(w, l.hiddenHist());
+    w.key("exposed_per_miss");
+    writeHistogramJson(w, l.exposedHist());
+    w.endObject();
+
+    // Sorted by pc so two runs' rows align and a diff localizes the
+    // first diverging row (tools/mtsim_diff).
+    std::vector<WhyLedger::PcEntry> rows;
+    rows.reserve(l.pcTable().size());
+    for (const auto &[pc, row] : l.pcTable())
+        rows.push_back({pc, row.issues, row.exposed});
+    std::sort(rows.begin(), rows.end(),
+              [](const WhyLedger::PcEntry &a,
+                 const WhyLedger::PcEntry &b) { return a.pc < b.pc; });
+    w.key("pcs");
+    w.beginArray();
+    for (const auto &row : rows) {
+        w.beginObject();
+        w.kv("pc", hex64(row.pc));
+        w.kv("issues", row.issues);
+        w.kv("exposed", row.exposed);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.endObject();
+    out << '\n';
+    if (!file.commit())
+        throw std::runtime_error("--why-json: cannot write " +
+                                 o.whyJson);
+}
+
+/** Enforce the breakdown reconciliation contract, then report. */
+void
+finishWhy(const Options &o, const WhyLedger &l)
+{
+    enforceWhyReconciliation(l);
+    std::cout << '\n';
+    printWhyReport(l);
+    if (!o.whyJson.empty())
+        writeWhyJson(o, l);
+}
+
 /**
  * Print the --prof cost tree and (with --prof-json) serialize it plus
  * the host block. Runs after the regular report so the tree lands at
@@ -567,6 +753,11 @@ runUniMode(const Options &o)
         sys.processor().testForceOsSwapLeak(true);
     if (o.check)
         sys.enableChecking();
+    std::optional<WhyLedger> why;
+    if (o.why) {
+        why.emplace(cfg, std::vector<Processor *>{&sys.processor()});
+        sys.attachWhyLedger(&*why);
+    }
     auto trace = makeTraceWriter(o);
     if (trace)
         sys.probes().addSink(trace.get());
@@ -634,6 +825,8 @@ runUniMode(const Options &o)
         std::cout << "check: " << sys.checker()->summary() << '\n';
     if (o.digest && digest)
         printDigest(*digest);
+    if (why)
+        finishWhy(o, *why);
 
     if (!o.statsJson.empty()) {
         RunInfo info{o.warmup + o.cycles, sys.measuredCycles(),
@@ -684,6 +877,14 @@ runMpMode(const Options &o)
     }
     if (o.check)
         sys.enableChecking();
+    std::optional<WhyLedger> why;
+    if (o.why) {
+        std::vector<Processor *> procs;
+        for (ProcId p = 0; p < cfg.numProcessors; ++p)
+            procs.push_back(&sys.processor(p));
+        why.emplace(cfg, std::move(procs));
+        sys.attachWhyLedger(&*why);
+    }
     auto trace = makeTraceWriter(o);
     if (trace)
         sys.probes().addSink(trace.get());
@@ -750,6 +951,8 @@ runMpMode(const Options &o)
         std::cout << "check: " << sys.checker()->summary() << '\n';
     if (o.digest && digest)
         printDigest(*digest);
+    if (why)
+        finishWhy(o, *why);
 
     if (!o.statsJson.empty()) {
         Histogram runLen;
