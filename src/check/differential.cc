@@ -89,10 +89,12 @@ uniSignature(const Config &cfg, const UniApps &apps, Cycle warmup,
 
 RunSignature
 mpSignature(const Config &cfg, const ParallelAppFn &app, bool check,
-            Cycle max_cycles, bool fast_forward)
+            Cycle max_cycles, bool fast_forward,
+            std::uint32_t host_threads, Cycle quantum)
 {
     MpSystem sys(cfg);
     sys.setFastForward(fast_forward);
+    sys.setHostParallel(host_threads, quantum);
     sys.setStatsBarrier(kStatsBarrier);
     if (check) {
         CheckConfig cc;

@@ -73,11 +73,19 @@ RunSignature uniSignature(const Config &cfg, const UniApps &apps,
                           bool check = true,
                           bool fast_forward = true);
 
-/** Run a multiprocessor application to completion (same contract). */
+/**
+ * Run a multiprocessor application to completion (same contract).
+ * @p host_threads / @p quantum select the host-parallel run loops
+ * (system/mp_parallel.cc); the (N, 1) exact tier must produce the
+ * identical signature to the (1, 1) sequential loop, and that
+ * equivalence is the tentpole differential test.
+ */
 RunSignature mpSignature(const Config &cfg, const ParallelAppFn &app,
                          bool check = true,
                          Cycle max_cycles = 500000000ull,
-                         bool fast_forward = true);
+                         bool fast_forward = true,
+                         std::uint32_t host_threads = 1,
+                         Cycle quantum = 1);
 
 } // namespace mtsim
 

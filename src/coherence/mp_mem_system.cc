@@ -51,6 +51,37 @@ MpMemSystem::tick(Cycle now)
     }
 }
 
+void
+MpMemSystem::foldNodeCounters()
+{
+    const std::size_t handles[kNodeCtrCount] = {
+        cL1dHits_,      cL1dMisses_, cMshrStalls_,
+        cWbufStalls_,   cL1dWriteHits_,
+        cUpgrades_,     cL1dWriteMisses_,
+    };
+    for (auto &node : nodes_) {
+        for (std::size_t i = 0; i < kNodeCtrCount; ++i) {
+            if (node->ctr[i] != 0) {
+                counters_.inc(handles[i], node->ctr[i]);
+                node->ctr[i] = 0;
+            }
+        }
+    }
+}
+
+void
+MpMemSystem::applyCohMsgs(const std::vector<par::CohMsg> &msgs)
+{
+    for (const par::CohMsg &m : msgs) {
+        Node &n = *nodes_[m.dst];
+        n.l1d->reservePort(m.when, cfg_.l1d.invalidateOccupancy);
+        if (m.op == par::CohOp::Invalidate)
+            n.l1d->invalidate(m.line);
+        else
+            n.l1d->downgrade(m.line);
+    }
+}
+
 Cycle
 MpMemSystem::sample(MemLevel level)
 {
@@ -131,9 +162,16 @@ MpMemSystem::invalidateSharers(Addr line, ProcId except, Cycle when)
     for (ProcId q = 0; q < cfg_.numProcessors; ++q) {
         if (q == except || !(e.sharers & Directory::bitOf(q)))
             continue;
-        nodes_[q]->l1d->invalidate(line);
-        nodes_[q]->l1d->reservePort(when,
-                                    cfg_.l1d.invalidateOccupancy);
+        if (cohMail_ != nullptr) {
+            // Sharded: the victim's cache belongs to another host
+            // thread; queue the invalidation for barrier delivery.
+            cohMail_->post({par::CohOp::Invalidate, except, q, line,
+                            when, 0});
+        } else {
+            nodes_[q]->l1d->invalidate(line);
+            nodes_[q]->l1d->reservePort(
+                when, cfg_.l1d.invalidateOccupancy);
+        }
         ++n;
     }
     counters_.inc(cInvalidations_, n);
@@ -146,11 +184,16 @@ void
 MpMemSystem::scheduleFill(ProcId p, Addr line, LineState st,
                           Cycle when)
 {
-    events_.schedule(when, [this, p, line, st](Cycle w) {
+    // Sharded: the fill runs on p's owner thread from p's own
+    // queue; only the directory update needs the world lock.
+    EventQueue &q =
+        cohMail_ != nullptr ? nodes_[p]->events : events_;
+    q.schedule(when, [this, p, line, st](Cycle w) {
         Node &node = *nodes_[p];
         node.l1d->reservePort(w, cfg_.l1d.fillOccupancy);
         Cache::Evicted ev = node.l1d->fill(line, st);
         if (ev.valid) {
+            auto lk = worldLock();
             if (ev.dirty) {
                 dir_.writeback(ev.lineAddr, p);
                 counters_.inc(cEvictionWritebacks_);
@@ -166,6 +209,7 @@ Cycle
 MpMemSystem::transaction(ProcId p, Addr line, bool exclusive,
                          Cycle now, MemLevel &level_out)
 {
+    // Caller holds the world lock while sharding is active.
     MTSIM_PROF_SCOPE("directory");
     Directory::Entry &e = dir_.entry(line);
     const ProcId home = dir_.homeOf(line);
@@ -183,21 +227,33 @@ MpMemSystem::transaction(ProcId p, Addr line, bool exclusive,
                 counters_.inc(cNetworkQueueCycles_, queued);
             lat += static_cast<std::uint32_t>(queued);
         }
-        Node &owner = *nodes_[e.owner];
         // The intervention occupies the owner's array mid-flight; if
         // the array is busy the reply is pushed out (cache
         // contention, the one contention source the paper models).
+        // Sharded: the owner's cache is another thread's, so the
+        // action is mailboxed and the port-contention term is 0 - a
+        // documented relaxed-mode approximation.
         const Cycle arrive = now + lat / 2;
-        const Cycle served = owner.l1d->reservePort(
-            arrive, cfg_.l1d.invalidateOccupancy);
-        const Cycle extra = served - arrive;
+        Cycle extra = 0;
+        if (cohMail_ != nullptr) {
+            cohMail_->post({exclusive ? par::CohOp::Invalidate
+                                      : par::CohOp::Downgrade,
+                            p, e.owner, line, arrive, 0});
+        } else {
+            Node &owner = *nodes_[e.owner];
+            const Cycle served = owner.l1d->reservePort(
+                arrive, cfg_.l1d.invalidateOccupancy);
+            extra = served - arrive;
+            if (exclusive)
+                owner.l1d->invalidate(line);
+            else
+                owner.l1d->downgrade(line);
+        }
         if (exclusive) {
-            owner.l1d->invalidate(line);
             e.state = Directory::State::Dirty;
             e.sharers = Directory::bitOf(p);
             e.owner = p;
         } else {
-            owner.l1d->downgrade(line);
             e.state = Directory::State::Shared;
             e.sharers |= Directory::bitOf(p);
         }
@@ -252,13 +308,13 @@ MpMemSystem::load(ProcId p, Addr a, Cycle now)
     const Addr line = node.l1d->lineAddrOf(a);
     node.l1d->reservePort(now, cfg_.l1d.readOccupancy);
     if (node.l1d->present(a)) {
-        counters_.inc(cL1dHits_);
+        ++node.ctr[kNcL1dHits];
         r.l1Hit = true;
         r.level = MemLevel::L1;
         r.ready = now + cfg_.mpMem.l1HitLat;
         return r;
     }
-    counters_.inc(cL1dMisses_);
+    ++node.ctr[kNcL1dMisses];
     if (node.mshrs->outstanding(line)) {
         node.mshrs->noteMerge();
         r.level = MemLevel::Memory;
@@ -268,12 +324,16 @@ MpMemSystem::load(ProcId p, Addr a, Cycle now)
     if (node.mshrs->full()) {
         r.mshrStall = true;
         r.retryAt = now + 1;
-        counters_.inc(cMshrStalls_);
+        ++node.ctr[kNcMshrStalls];
         return r;
     }
 
-    Cycle reply = transaction(p, line, false, now, r.level);
-    dmissLat_.record(reply > now ? reply - now : 0);
+    Cycle reply;
+    {
+        auto lk = worldLock();
+        reply = transaction(p, line, false, now, r.level);
+        dmissLat_.record(reply > now ? reply - now : 0);
+    }
     emitMiss(p, line, now, reply, r.level);
     node.mshrs->allocate(line, reply);
     scheduleFill(p, line, LineState::Shared, reply);
@@ -293,14 +353,14 @@ MpMemSystem::store(ProcId p, Addr a, Cycle now)
     if (node.wbuf->full(now)) {
         r.bufferStall = true;
         r.retryAt = node.wbuf->freeSlotAt(now);
-        counters_.inc(cWbufStalls_);
+        ++node.ctr[kNcWbufStalls];
         return r;
     }
 
     const Addr line = node.l1d->lineAddrOf(a);
     const LineState st = node.l1d->state(a);
     if (st == LineState::Dirty) {
-        counters_.inc(cL1dWriteHits_);
+        ++node.ctr[kNcL1dWriteHits];
         const Cycle start =
             node.l1d->reservePort(now, cfg_.l1d.writeOccupancy);
         node.wbuf->push(start + cfg_.l1d.writeOccupancy);
@@ -309,16 +369,20 @@ MpMemSystem::store(ProcId p, Addr a, Cycle now)
 
     if (st == LineState::Shared) {
         // Upgrade: request ownership from home, invalidate sharers.
-        counters_.inc(cUpgrades_);
-        Directory::Entry &e = dir_.entry(line);
+        ++node.ctr[kNcUpgrades];
         const MemLevel level = (dir_.homeOf(line) == p)
                                    ? MemLevel::Memory
                                    : MemLevel::RemoteMem;
-        const Cycle lat = sample(level);
-        invalidateSharers(line, p, now + lat / 2);
-        e.state = Directory::State::Dirty;
-        e.sharers = Directory::bitOf(p);
-        e.owner = p;
+        Cycle lat;
+        {
+            auto lk = worldLock();
+            lat = sample(level);
+            invalidateSharers(line, p, now + lat / 2);
+            Directory::Entry &e = dir_.entry(line);
+            e.state = Directory::State::Dirty;
+            e.sharers = Directory::bitOf(p);
+            e.owner = p;
+        }
         node.l1d->makeDirty(a);
         node.wbuf->push(now + lat);
         r.l1Hit = false;
@@ -326,7 +390,7 @@ MpMemSystem::store(ProcId p, Addr a, Cycle now)
     }
 
     // Write miss: read-exclusive fetch in the background.
-    counters_.inc(cL1dWriteMisses_);
+    ++node.ctr[kNcL1dWriteMisses];
     r.l1Hit = false;
     Cycle done;
     if (node.mshrs->outstanding(line)) {
@@ -334,8 +398,11 @@ MpMemSystem::store(ProcId p, Addr a, Cycle now)
         done = node.mshrs->completionOf(line);
         // The merged fetch may be a read-shared one; promote the
         // final state by scheduling a dirty upgrade at completion.
-        events_.schedule(done, [this, p, line](Cycle) {
+        EventQueue &q =
+            cohMail_ != nullptr ? node.events : events_;
+        q.schedule(done, [this, p, line](Cycle) {
             nodes_[p]->l1d->makeDirty(line);
+            auto lk = worldLock();
             Directory::Entry &e = dir_.entry(line);
             e.state = Directory::State::Dirty;
             e.sharers = Directory::bitOf(p);
@@ -344,12 +411,15 @@ MpMemSystem::store(ProcId p, Addr a, Cycle now)
     } else if (node.mshrs->full()) {
         r.bufferStall = true;
         r.retryAt = now + 1;
-        counters_.inc(cMshrStalls_);
+        ++node.ctr[kNcMshrStalls];
         return r;
     } else {
         MemLevel level;
-        done = transaction(p, line, true, now, level);
-        dmissLat_.record(done > now ? done - now : 0);
+        {
+            auto lk = worldLock();
+            done = transaction(p, line, true, now, level);
+            dmissLat_.record(done > now ? done - now : 0);
+        }
         emitMiss(p, line, now, done, level);
         node.mshrs->allocate(line, done);
         scheduleFill(p, line, LineState::Dirty, done);

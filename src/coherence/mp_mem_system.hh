@@ -13,8 +13,10 @@
 #ifndef MTSIM_COHERENCE_MP_MEM_SYSTEM_HH
 #define MTSIM_COHERENCE_MP_MEM_SYSTEM_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "cache/cache.hh"
@@ -28,6 +30,7 @@
 #include "coherence/directory.hh"
 #include "mem/mem_request.hh"
 #include "obs/probe.hh"
+#include "par/mailbox.hh"
 
 namespace mtsim {
 
@@ -61,7 +64,53 @@ class MpMemSystem : public MemSystem
 
     Cache &l1d(ProcId p) { return *nodes_[p]->l1d; }
     Directory &directory() { return dir_; }
-    CounterSet &counters() { return counters_; }
+
+    /** Folds the per-node hot-path cells in before returning, so
+     *  totals are identical whether or not sharding was active. */
+    CounterSet &
+    counters()
+    {
+        foldNodeCounters();
+        return counters_;
+    }
+
+    /**
+     * Host-parallel relaxed mode (docs/ARCHITECTURE.md section 10).
+     * While a mailbox grid is installed, shared state (directory,
+     * RNG, network, latency accounting) is guarded by one world
+     * mutex taken only on the miss path, and coherence actions
+     * against *other* nodes' caches are posted to the grid instead
+     * of applied inline; the coordinator delivers them at the
+     * quantum barrier through applyCohMsgs. Hit paths stay lock-free
+     * because every node's cache/MSHR/write-buffer/TLB is touched
+     * only by its owner thread. Pass nullptr to restore the exact
+     * sequential semantics.
+     */
+    void setParMode(par::CohMailboxGrid *grid) { cohMail_ = grid; }
+
+    /** Earliest cycle tickNode(p) would do any work (par mode). */
+    Cycle
+    nextNodeTickAt(ProcId p) const
+    {
+        const Node &n = *nodes_[p];
+        const Cycle ev = n.events.nextEventCycle();
+        return n.mshrs->nextDoneAt() < ev ? n.mshrs->nextDoneAt()
+                                          : ev;
+    }
+
+    /** Per-node tick: run node @p p's events and retire its MSHRs.
+     *  Owner-thread only (par mode). */
+    void
+    tickNode(ProcId p, Cycle now)
+    {
+        Node &n = *nodes_[p];
+        n.events.runUntil(now);
+        n.mshrs->retire(now);
+    }
+
+    /** Coordinator, at the quantum barrier: apply mailboxed
+     *  cross-node coherence actions in canonical order. */
+    void applyCohMsgs(const std::vector<par::CohMsg> &msgs);
 
     /** Node @p p's MSHR file / write buffer (resource auditing). */
     const MshrFile &mshrs(ProcId p) const { return *nodes_[p]->mshrs; }
@@ -80,13 +129,46 @@ class MpMemSystem : public MemSystem
     const Histogram &dmissLatency() const { return dmissLat_; }
 
   private:
+    /**
+     * Counters bumped on a node's own hit/stall path. These live in
+     * per-node cells (written only by the owner, so the lock-free
+     * hot path stays race-free under sharding) and are folded into
+     * counters_ on read; the remaining counters are only touched
+     * under the world lock and stay on counters_ directly.
+     */
+    enum NodeCtr : std::size_t {
+        kNcL1dHits,
+        kNcL1dMisses,
+        kNcMshrStalls,
+        kNcWbufStalls,
+        kNcL1dWriteHits,
+        kNcUpgrades,
+        kNcL1dWriteMisses,
+        kNodeCtrCount
+    };
+
     struct Node
     {
         std::unique_ptr<Cache> l1d;
         std::unique_ptr<MshrFile> mshrs;
         std::unique_ptr<WriteBuffer> wbuf;
         std::unique_ptr<Tlb> dtlb;
+        /** Node-local event queue (fills/promotes) in par mode. */
+        EventQueue events;
+        std::array<std::uint64_t, kNodeCtrCount> ctr{};
     };
+
+    /** Fold-and-zero the per-node cells into counters_. */
+    void foldNodeCounters();
+
+    /** The world lock, engaged only while sharding is active. */
+    std::unique_lock<std::mutex>
+    worldLock()
+    {
+        return cohMail_ != nullptr
+                   ? std::unique_lock<std::mutex>(worldMu_)
+                   : std::unique_lock<std::mutex>();
+    }
 
     /** Sample an unloaded latency for a transaction class. */
     Cycle sample(MemLevel level);
@@ -140,6 +222,8 @@ class MpMemSystem : public MemSystem
     std::size_t cL1dWriteMisses_;
 
     ProbeBus *probes_ = nullptr;
+    par::CohMailboxGrid *cohMail_ = nullptr;
+    std::mutex worldMu_;
     Histogram dmissLat_;
     /** Interconnect busy-until (only when networkOccupancy > 0). */
     Cycle networkFree_ = 0;

@@ -141,7 +141,10 @@ SyncManager::WakeFn
 Processor::wakeFn(CtxId c)
 {
     return [this, c](Cycle resume_at) {
-        ctxs_[c].makeUnavailable(resume_at, WaitKind::Sync);
+        if (wakeRouter_ != nullptr)
+            wakeRouter_->routeWake(id_, c, resume_at);
+        else
+            ctxs_[c].makeUnavailable(resume_at, WaitKind::Sync);
     };
 }
 

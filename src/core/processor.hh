@@ -203,6 +203,31 @@ class Processor
     /** Current scheme (handy for harness code). */
     Scheme scheme() const { return cfg_.scheme; }
 
+    // ---- host-parallel wake routing --------------------------------
+    /**
+     * Routes sync-manager wakes in the sharded relaxed run loop:
+     * a wake for a context this host thread owns is applied inline;
+     * one for another shard's context is posted to that shard's wake
+     * mailbox and applied when the owner drains it (par/mailbox.hh).
+     */
+    class WakeRouter
+    {
+      public:
+        virtual ~WakeRouter() = default;
+        virtual void routeWake(ProcId p, CtxId c,
+                               Cycle resume_at) = 0;
+    };
+
+    /** Divert sync wakes through @p r (nullptr = apply inline). */
+    void setWakeRouter(WakeRouter *r) { wakeRouter_ = r; }
+
+    /** Apply a (possibly routed) sync wake to context @p c. */
+    void
+    applyWake(CtxId c, Cycle resume_at)
+    {
+        ctxs_[c].makeUnavailable(resume_at, WaitKind::Sync);
+    }
+
     // ---- observability ---------------------------------------------
     /**
      * Attach the probe bus this processor reports issue, squash,
@@ -380,6 +405,7 @@ class Processor
     Cycle statsEpoch_ = 0;
 
     ProbeBus *probes_ = nullptr;
+    WakeRouter *wakeRouter_ = nullptr;
     Histogram runLen_;          ///< cycles between switch events
     Cycle lastSwitchAt_ = 0;
 

@@ -104,6 +104,10 @@ rerunHint(const JsonValue &doc)
     if (mp) {
         if (const JsonValue *v = run->find("procs"))
             cmd += " --procs " + std::to_string(v->asU64());
+        if (const JsonValue *v = run->find("host_threads"))
+            cmd += " --host-threads " + std::to_string(v->asU64());
+        if (const JsonValue *v = run->find("quantum"))
+            cmd += " --quantum " + std::to_string(v->asU64());
     }
     if (const JsonValue *v = run->find("width"))
         cmd += " --width " + std::to_string(v->asU64());

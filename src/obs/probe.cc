@@ -4,6 +4,8 @@
 
 namespace mtsim {
 
+thread_local std::vector<ProbeEvent> *ProbeBus::tlsBuf_ = nullptr;
+
 const char *
 probeKindName(ProbeKind k)
 {

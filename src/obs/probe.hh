@@ -105,9 +105,26 @@ class ProbeBus
      *  guard event construction with this. */
     bool enabled() const { return !sinks_.empty(); }
 
+    /**
+     * Host-parallel capture: while a thread has a buffer installed,
+     * every event it emits (on any bus) is recorded there instead of
+     * reaching sinks; the coordinator later replays the merged
+     * per-shard buffers in canonical order (par/probe_merge.hh).
+     * Pass nullptr to restore direct dispatch. Thread-local, so the
+     * sequential loop and the coordinator are unaffected.
+     */
+    static void setThreadBuffer(std::vector<ProbeEvent> *buf)
+    {
+        tlsBuf_ = buf;
+    }
+
     void
     emit(const ProbeEvent &ev) const
     {
+        if (tlsBuf_) {
+            tlsBuf_->push_back(ev);
+            return;
+        }
         // Sink time (trace writers, checker shadow updates) is
         // simulator overhead, not simulation - attribute it to its
         // own scope so --prof can separate the two.
@@ -117,6 +134,7 @@ class ProbeBus
     }
 
   private:
+    static thread_local std::vector<ProbeEvent> *tlsBuf_;
     std::vector<ProbeSink *> sinks_;
 };
 

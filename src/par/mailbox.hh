@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Cross-node traffic queued inside a relaxed quantum and delivered
+ * at the quantum barrier. Two kinds:
+ *
+ *  - CohMsg: a coherence action (invalidate / downgrade) one node's
+ *    miss raised against another node's cache. Inside a quantum the
+ *    requester updates the directory immediately (under the world
+ *    lock) but the victim's cache state changes only at the barrier,
+ *    in canonical (cycle, src node, seq) order.
+ *
+ *  - WakeMsg: a sync-manager wake (lock handoff, barrier release)
+ *    targeting a context owned by another shard. Wakes are prompt -
+ *    the target shard drains its mailbox at every local cycle - so a
+ *    release never stalls the sleeper for a whole quantum.
+ */
+
+#ifndef MTSIM_PAR_MAILBOX_HH
+#define MTSIM_PAR_MAILBOX_HH
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mtsim::par {
+
+enum class CohOp : std::uint8_t { Invalidate, Downgrade };
+
+struct CohMsg {
+    CohOp op;
+    ProcId src;    ///< requesting node (the miss that raised it)
+    ProcId dst;    ///< victim node whose cache changes
+    Addr line;
+    Cycle when;    ///< simulated cycle the action was raised for
+    std::uint64_t seq; ///< per-src sequence, assigned at post time
+};
+
+/** Canonical delivery order: (cycle, src node, seq). */
+inline bool
+cohBefore(const CohMsg &a, const CohMsg &b)
+{
+    if (a.when != b.when)
+        return a.when < b.when;
+    if (a.src != b.src)
+        return a.src < b.src;
+    return a.seq < b.seq;
+}
+
+/**
+ * Per-(src,dst) node mailboxes. Each (src,dst) cell is written only
+ * by src's owner thread during a quantum and read only by the
+ * coordinator at the barrier, so cells need no locks; the barrier
+ * provides the happens-before edges.
+ */
+class CohMailboxGrid
+{
+  public:
+    explicit CohMailboxGrid(std::uint32_t nodes)
+        : nodes_(nodes), cells_(static_cast<std::size_t>(nodes) *
+                                nodes),
+          nextSeq_(nodes)
+    {
+    }
+
+    /** Post from src's owner thread; fills in the per-src seq. */
+    void
+    post(CohMsg m)
+    {
+        m.seq = nextSeq_[m.src]++;
+        cells_[static_cast<std::size_t>(m.src) * nodes_ + m.dst]
+            .push_back(m);
+    }
+
+    /**
+     * Coordinator, at the barrier: gather every cell into @p out in
+     * canonical order and clear the grid. The sort key is total over
+     * distinct messages ((src,seq) never repeats), so the result is
+     * invariant under worker arrival order.
+     */
+    void
+    collectSorted(std::vector<CohMsg> &out)
+    {
+        out.clear();
+        for (auto &cell : cells_) {
+            out.insert(out.end(), cell.begin(), cell.end());
+            cell.clear();
+        }
+        std::sort(out.begin(), out.end(), cohBefore);
+    }
+
+  private:
+    std::uint32_t nodes_;
+    std::vector<std::vector<CohMsg>> cells_;
+    std::vector<std::uint64_t> nextSeq_;
+};
+
+struct WakeMsg {
+    ProcId proc;
+    CtxId ctx;
+    Cycle resumeAt;
+};
+
+/**
+ * One per shard: wakes posted by any thread (the sync manager calls
+ * wake functions under its own lock), drained by the owner at every
+ * local cycle. The empty check is a single relaxed load so the
+ * common no-wake cycle costs one branch.
+ */
+class WakeMailbox
+{
+  public:
+    void
+    post(const WakeMsg &m)
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        msgs_.push_back(m);
+        nonEmpty_.store(true, std::memory_order_release);
+    }
+
+    /** Append pending wakes to @p out; true if any were pending. */
+    bool
+    drain(std::vector<WakeMsg> &out)
+    {
+        if (!nonEmpty_.load(std::memory_order_acquire))
+            return false;
+        std::lock_guard<std::mutex> g(mu_);
+        if (msgs_.empty())
+            return false;
+        out.insert(out.end(), msgs_.begin(), msgs_.end());
+        msgs_.clear();
+        nonEmpty_.store(false, std::memory_order_release);
+        return true;
+    }
+
+  private:
+    std::atomic<bool> nonEmpty_{false};
+    std::mutex mu_;
+    std::vector<WakeMsg> msgs_;
+};
+
+} // namespace mtsim::par
+
+#endif // MTSIM_PAR_MAILBOX_HH

@@ -1,0 +1,26 @@
+#include "par/probe_merge.hh"
+
+#include <algorithm>
+
+namespace mtsim::par {
+
+void
+mergeShardProbes(std::vector<std::vector<ProbeEvent>> &shardBufs,
+                 ProbeBus &bus, std::vector<ProbeEvent> &scratch)
+{
+    scratch.clear();
+    for (auto &buf : shardBufs) {
+        scratch.insert(scratch.end(), buf.begin(), buf.end());
+        buf.clear();
+    }
+    std::stable_sort(scratch.begin(), scratch.end(),
+                     [](const ProbeEvent &a, const ProbeEvent &b) {
+                         if (a.cycle != b.cycle)
+                             return a.cycle < b.cycle;
+                         return a.proc < b.proc;
+                     });
+    for (const ProbeEvent &e : scratch)
+        bus.emit(e);
+}
+
+} // namespace mtsim::par

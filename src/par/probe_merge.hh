@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Canonical merge of per-shard probe buffers. During a relaxed
+ * quantum each worker thread records its nodes' probe events into a
+ * thread-local buffer (ProbeBus::setThreadBuffer); at the barrier
+ * the coordinator merges all buffers and emits the merged stream to
+ * the real sinks, so every passive observer sees one serial stream.
+ *
+ * Canonical order: stable sort by (cycle, proc) over the buffers
+ * concatenated in shard-id order. Within one (cycle, proc) the
+ * emission order is the owner's program order, which is preserved by
+ * the stable sort - and because buffers are indexed by shard, the
+ * merged stream is invariant under worker arrival order. Note the
+ * probe stream is not cycle-monotonic even sequentially (DMissEnd is
+ * emitted at miss time carrying its future completion cycle), so the
+ * sort is by recorded event cycle, exactly what sinks already see.
+ */
+
+#ifndef MTSIM_PAR_PROBE_MERGE_HH
+#define MTSIM_PAR_PROBE_MERGE_HH
+
+#include <vector>
+
+#include "obs/probe.hh"
+
+namespace mtsim::par {
+
+/**
+ * Merge @p shardBufs (indexed by shard id) into canonical order and
+ * emit every event to @p bus; clears the shard buffers. @p scratch
+ * is caller-owned to avoid per-quantum allocation.
+ */
+void mergeShardProbes(std::vector<std::vector<ProbeEvent>> &shardBufs,
+                      ProbeBus &bus,
+                      std::vector<ProbeEvent> &scratch);
+
+} // namespace mtsim::par
+
+#endif // MTSIM_PAR_PROBE_MERGE_HH

@@ -156,6 +156,8 @@ ProfNode::childNs() const
     return sum;
 }
 
+thread_local ProfNode *Profiler::tlsCurrent_ = nullptr;
+
 Profiler &
 Profiler::instance()
 {
@@ -175,25 +177,46 @@ Profiler::reset()
     root_.children.clear();
     root_.ns = 0;
     root_.calls = 0;
-    current_ = &root_;
+    tlsCurrent_ = &root_;
+    {
+        std::lock_guard<std::mutex> g(workerMu_);
+        workerRoots_.clear();
+    }
     gAllocs.store(0, std::memory_order_relaxed);
+}
+
+void
+Profiler::registerWorkerThread()
+{
+    auto root = std::make_unique<ProfNode>("(worker)", nullptr);
+    tlsCurrent_ = root.get();
+    std::lock_guard<std::mutex> g(workerMu_);
+    workerRoots_.push_back(std::move(root));
+}
+
+void
+Profiler::unregisterWorkerThread()
+{
+    tlsCurrent_ = nullptr;
 }
 
 ProfNode *
 Profiler::push(const char *name)
 {
-    ProfNode *node = current_->child(name);
+    if (tlsCurrent_ == nullptr)
+        tlsCurrent_ = &root_; // main thread, first scope
+    ProfNode *node = tlsCurrent_->child(name);
     ++node->calls;
-    current_ = node;
+    tlsCurrent_ = node;
     return node;
 }
 
 void
 Profiler::pop(ProfNode *node, std::uint64_t ns)
 {
-    assert(current_ == node && "mismatched profiler push/pop");
+    assert(tlsCurrent_ == node && "mismatched profiler push/pop");
     node->ns += ns;
-    current_ = node->parent != nullptr ? node->parent : &root_;
+    tlsCurrent_ = node->parent != nullptr ? node->parent : &root_;
 }
 
 std::uint64_t
@@ -282,30 +305,55 @@ writeNodeJson(JsonWriter &w, const ProfNode &n)
     w.endObject();
 }
 
+/** Fold @p src's subtree into @p dst, matching children by name. */
+void
+mergeInto(ProfNode &dst, const ProfNode &src)
+{
+    for (const auto &c : src.children) {
+        ProfNode *d = dst.child(c->name);
+        d->ns += c->ns;
+        d->calls += c->calls;
+        mergeInto(*d, *c);
+    }
+}
+
 } // namespace
+
+ProfNode
+Profiler::mergedTree() const
+{
+    ProfNode merged("(run)", nullptr);
+    mergeInto(merged, root_);
+    std::lock_guard<std::mutex> g(workerMu_);
+    for (const auto &wr : workerRoots_)
+        mergeInto(merged, *wr);
+    return merged;
+}
 
 void
 Profiler::report(std::ostream &os) const
 {
-    const std::uint64_t total = root_.childNs();
+    const ProfNode merged = mergedTree();
+    const std::uint64_t total = merged.childNs();
     os << "self-profile: " << fmtSeconds(total) << " timed, "
        << allocCount() << " heap allocations\n";
     os << "  " << std::left << std::setw(26) << "scope" << std::right
        << std::setw(13) << "time" << std::setw(7) << "share"
        << std::setw(12) << "calls" << '\n';
-    for (const ProfNode *c : sortedChildren(root_))
+    for (const ProfNode *c : sortedChildren(merged))
         printNode(os, *c, total, 0);
 }
 
 void
 Profiler::writeJson(JsonWriter &w) const
 {
+    const ProfNode merged = mergedTree();
     w.beginObject();
-    w.kv("total_ns", root_.childNs());
+    w.kv("total_ns", merged.childNs());
     w.kv("allocs", allocCount());
     w.key("tree");
     w.beginArray();
-    for (const auto &c : root_.children)
+    for (const auto &c : merged.children)
         writeNodeJson(w, *c);
     w.endArray();
     w.endObject();

@@ -15,8 +15,11 @@
  * bench binaries), or Profiler::instance().enable(true). Defining
  * MTSIM_NO_PROF at compile time removes the sites entirely.
  *
- * The simulator is single-threaded; the profiler inherits that
- * assumption (one global current-scope cursor, plain counters).
+ * The scope cursor is thread-local. The main thread binds lazily to
+ * the shared root tree (preserving the classic single-threaded
+ * behaviour exactly); host-parallel worker threads call
+ * registerWorkerThread() to get a private cost tree, and report() /
+ * writeJson() merge all trees by scope name into one view.
  */
 
 #ifndef MTSIM_PROF_PROFILER_HH
@@ -25,6 +28,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <vector>
 
@@ -82,15 +86,31 @@ class Profiler
     /** Turn scope timing and allocation counting on or off. */
     void enable(bool on);
 
-    /** Drop the tree and counters (does not change enable state). */
+    /** Drop the trees and counters (does not change enable state).
+     *  Call only while no registered worker threads are live. */
     void reset();
 
-    /** Top of the cost tree (its ns/calls stay zero; report uses the
-     *  sum of its direct children as the 100% denominator). */
+    /** Top of the main thread's cost tree (its ns/calls stay zero;
+     *  report uses the merged children sum as the denominator). */
     const ProfNode &root() const { return root_; }
 
-    /** The innermost open scope, or root when none is open. */
-    const ProfNode *current() const { return current_; }
+    /** The calling thread's innermost open scope (root when none). */
+    const ProfNode *
+    current() const
+    {
+        return tlsCurrent_ != nullptr ? tlsCurrent_ : &root_;
+    }
+
+    /**
+     * Bind the calling thread to a fresh private cost tree. Worker
+     * threads of the host-parallel MP run loops call this before
+     * their first scope so concurrent timing never races on one
+     * cursor; report()/writeJson() fold every worker tree into the
+     * main tree by scope name. Pair with unregisterWorkerThread()
+     * before the thread exits.
+     */
+    void registerWorkerThread();
+    void unregisterWorkerThread();
 
     /**
      * Open the child scope @p name of the current scope and make it
@@ -129,13 +149,20 @@ class Profiler
     void writeJson(JsonWriter &w) const;
 
   private:
-    Profiler() : root_("(run)", nullptr), current_(&root_) {}
+    Profiler() : root_("(run)", nullptr) {}
+
+    /** Merge of the main tree and every worker tree, by name. */
+    ProfNode mergedTree() const;
 
     static inline bool enabled_ = false;
     static inline bool countAllocs_ = false;
+    /** Per-thread scope cursor; nullptr = not yet bound (the main
+     *  thread binds to root_ on first use). */
+    static thread_local ProfNode *tlsCurrent_;
 
     ProfNode root_;
-    ProfNode *current_;
+    mutable std::mutex workerMu_;
+    std::vector<std::unique_ptr<ProfNode>> workerRoots_;
 };
 
 /** Monotonic host clock in nanoseconds. */

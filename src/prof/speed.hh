@@ -41,6 +41,10 @@ struct SpeedConfig
     std::uint16_t procs = 1;
     Cycle warmup = 0;      ///< uni only: untimed cache-warming cycles
     Cycle cycles = 0;      ///< timed cycles (emitter: micro-ops)
+    /** Host-parallel run loop selection (MP only; see
+     *  MpSystem::setHostParallel). (1, 1) = sequential loop. */
+    std::uint32_t hostThreads = 1;
+    Cycle quantum = 1;
 };
 
 /**
@@ -65,6 +69,12 @@ struct SpeedRow
     std::string digest;         ///< probe digest as "0x…" ("0x0" none)
     Cycle digestWindowCycles = 0;          ///< 0 = no window stream
     std::vector<std::string> digestWindows; ///< per-window hashes "0x…"
+    /** Host-parallel configuration of the row (additive fields in
+     *  the v1 schema, serialized only when not (1, 1)). Part of the
+     *  row key: bench_compare never matches a parallel row against a
+     *  sequential baseline row or vice versa. */
+    std::uint32_t hostThreads = 1;
+    std::uint64_t quantum = 1;
 };
 
 /**

@@ -28,6 +28,7 @@ SyncManager::LockResult
 SyncManager::lock(std::uint32_t id, Cycle now, WakeFn wake)
 {
     MTSIM_PROF_SCOPE("sync");
+    auto lk = guard();
     LockState &l = locks_[id];
     if (!l.held) {
         l.held = true;
@@ -44,6 +45,7 @@ void
 SyncManager::unlock(std::uint32_t id, Cycle now)
 {
     MTSIM_PROF_SCOPE("sync");
+    auto lk = guard();
     LockState &l = locks_[id];
     emitSync(ProbeKind::LockRelease, id, now);
     if (l.waiters.empty()) {
@@ -65,6 +67,7 @@ SyncManager::arrive(std::uint32_t id, std::uint32_t total, Cycle now,
                     WakeFn wake)
 {
     MTSIM_PROF_SCOPE("sync");
+    auto lk = guard();
     if (total <= 1)
         return {true, now + 1};
 
@@ -94,6 +97,7 @@ SyncManager::arrive(std::uint32_t id, std::uint32_t total, Cycle now,
 bool
 SyncManager::held(std::uint32_t id) const
 {
+    auto lk = guard();
     auto it = locks_.find(id);
     return it != locks_.end() && it->second.held;
 }
@@ -101,6 +105,7 @@ SyncManager::held(std::uint32_t id) const
 std::size_t
 SyncManager::lockWaiters(std::uint32_t id) const
 {
+    auto lk = guard();
     auto it = locks_.find(id);
     return it == locks_.end() ? 0 : it->second.waiters.size();
 }

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -80,6 +81,17 @@ class SyncManager
     /** Attach the probe bus lock/barrier events are reported to. */
     void setProbeBus(ProbeBus *bus) { probes_ = bus; }
 
+    /**
+     * Host-parallel relaxed mode: serialize lock/unlock/arrive under
+     * an internal mutex, because shard threads reach the sync
+     * manager concurrently. Wake callbacks fire under the mutex and
+     * must not re-enter the sync manager (the processor wake path
+     * only marks a context runnable or posts a mailbox message).
+     * Off by default: the sequential and exact-parallel loops never
+     * overlap calls, so they pay nothing.
+     */
+    void setThreadSafe(bool on) { threadSafe_ = on; }
+
     void reset();
 
   private:
@@ -107,6 +119,16 @@ class SyncManager
     std::uint64_t barrierEpisodes_ = 0;
     BarrierHook hook_;
     ProbeBus *probes_ = nullptr;
+    bool threadSafe_ = false;
+    mutable std::mutex mu_;
+
+    /** Engaged only in thread-safe (relaxed sharded) mode. */
+    std::unique_lock<std::mutex>
+    guard() const
+    {
+        return threadSafe_ ? std::unique_lock<std::mutex>(mu_)
+                           : std::unique_lock<std::mutex>();
+    }
 
     /** Emit one sync-kind probe event (id in arg). */
     void emitSync(ProbeKind kind, std::uint32_t id, Cycle now,

@@ -1,0 +1,399 @@
+/**
+ * @file
+ * The two host-parallel MP run loops (docs/ARCHITECTURE.md section
+ * 10). Exact mode (quantum 1) drives worker threads through a token
+ * ring so node ticks interleave exactly as the sequential loop's and
+ * every result is bit-identical; relaxed mode (quantum K > 1) lets
+ * shards really run concurrently inside each quantum, exchanging
+ * cross-node coherence traffic and sync wakes through mailboxes at
+ * (or before) quantum barriers, trading bounded metric error for
+ * speed. The error is measured, never assumed (tools/mtsim_diff).
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/why_ledger.hh"
+#include "par/barrier.hh"
+#include "par/mailbox.hh"
+#include "par/probe_merge.hh"
+#include "prof/profiler.hh"
+#include "system/mp_system.hh"
+
+namespace mtsim {
+
+namespace {
+
+constexpr std::uint32_t kNoShard = ~0u;
+
+/** Which shard the calling host thread owns (coordinator: none). */
+thread_local std::uint32_t tlsShardId = kNoShard;
+
+/** Contiguous node block [lo, hi) owned by worker @p w of @p n. */
+std::pair<ProcId, ProcId>
+blockOf(std::uint32_t w, std::uint32_t n, ProcId procs)
+{
+    const std::uint32_t base = procs / n;
+    const std::uint32_t rem = procs % n;
+    const std::uint32_t lo = w * base + std::min(w, rem);
+    const std::uint32_t hi = lo + base + (w < rem ? 1 : 0);
+    return {static_cast<ProcId>(lo), static_cast<ProcId>(hi)};
+}
+
+/**
+ * Routes sync wakes in relaxed mode: own-shard wakes apply inline
+ * (the sync manager's mutex already serializes the caller), foreign
+ * ones go to the owning shard's wake mailbox and are drained at its
+ * next local cycle.
+ */
+class ShardRouter final : public Processor::WakeRouter
+{
+  public:
+    ShardRouter(std::vector<Processor *> procs,
+                std::vector<std::uint32_t> shard_of,
+                std::vector<par::WakeMailbox> *boxes)
+        : procs_(std::move(procs)), shardOf_(std::move(shard_of)),
+          boxes_(boxes)
+    {
+    }
+
+    void
+    routeWake(ProcId p, CtxId c, Cycle resume_at) override
+    {
+        const std::uint32_t s = shardOf_[p];
+        if (s == tlsShardId)
+            procs_[p]->applyWake(c, resume_at);
+        else
+            (*boxes_)[s].post({p, c, resume_at});
+    }
+
+  private:
+    std::vector<Processor *> procs_;
+    std::vector<std::uint32_t> shardOf_;
+    std::vector<par::WakeMailbox> *boxes_;
+};
+
+} // namespace
+
+/**
+ * Exact tier: the coordinator runs the sequential decision loop
+ * verbatim (fast-forward, memory tick, checker, ledger, stats,
+ * sampler, progress); only the per-cycle processor ticks are handed
+ * to worker threads, gated one block at a time in global node order
+ * by the token ring. Identical interleaving, identical results.
+ */
+Cycle
+MpSystem::runExactParallel(Cycle end)
+{
+    const ProcId P = cfg_.numProcessors;
+    const std::uint32_t W =
+        std::min<std::uint32_t>(hostThreads_, P);
+    par::TokenRing ring(W);
+    std::atomic<bool> abort{false};
+    std::exception_ptr err;
+    std::mutex errMu;
+
+    std::vector<std::thread> workers;
+    workers.reserve(W);
+    for (std::uint32_t w = 0; w < W; ++w) {
+        const auto [lo, hi] = blockOf(w, W, P);
+        workers.emplace_back([&, lo, hi, w] {
+            Cycle c = 0;
+            while (ring.awaitTurn(w, &c)) {
+                if (!abort.load(std::memory_order_relaxed)) {
+                    try {
+                        for (ProcId p = lo; p < hi; ++p)
+                            procs_[p]->tick(c);
+                    } catch (...) {
+                        {
+                            std::lock_guard<std::mutex> g(errMu);
+                            if (!err)
+                                err = std::current_exception();
+                        }
+                        abort.store(true,
+                                    std::memory_order_relaxed);
+                    }
+                }
+                // Always pass the token, or the ring deadlocks.
+                ring.completeTurn();
+            }
+        });
+    }
+
+    auto shutdown = [&] {
+        ring.stop();
+        for (auto &t : workers)
+            t.join();
+    };
+
+    try {
+        bool armed = true;
+        while (now_ < end) {
+            if (ffEnabled_ && armed) {
+                if (tryFastForward(end))
+                    continue;
+                armed = false;
+            }
+            if (mem_.nextTickAt() <= now_) {
+                MTSIM_PROF_SCOPE("mem.tick");
+                mem_.tick(now_);
+            }
+            {
+                MTSIM_PROF_SCOPE("pipeline");
+                ring.beginCycle(now_);
+                ring.waitCycleDone(now_);
+            }
+            if (abort.load(std::memory_order_relaxed))
+                break;
+            if (checker_) {
+                MTSIM_PROF_SCOPE("checker");
+                checker_->onCycleEnd(now_);
+            }
+            if (why_) {
+                MTSIM_PROF_SCOPE("why");
+                why_->onCycleEnd(now_);
+            }
+            if (statsPending_) {
+                clearAllStats();
+                if (checker_)
+                    checker_->onStatsClear(now_);
+                if (why_)
+                    why_->onStatsClear(now_);
+            }
+            if (sampler_) {
+                Cycle busy = 0;
+                for (const auto &p : procs_)
+                    busy += p->breakdown().get(CycleClass::Busy);
+                sampler_->observe(now_, static_cast<double>(busy));
+            }
+            if (progress_ && (now_ & 0xFFF) == 0)
+                progress_->poll(now_, retired());
+            ++now_;
+            for (const auto &p : procs_) {
+                if (p->stateChangedLastTick()) {
+                    armed = true;
+                    break;
+                }
+            }
+            if ((now_ & 63) == 0 && finished())
+                break;
+        }
+    } catch (...) {
+        shutdown();
+        throw;
+    }
+    shutdown();
+    if (err)
+        std::rethrow_exception(err);
+    measured_ = now_ - statsStart_;
+    return measured_;
+}
+
+/**
+ * Relaxed tier: shards advance concurrently through each quantum.
+ * Node-local state (pipeline, L1, MSHRs, write buffer, TLB, node
+ * event queue) is touched only by its owner; shared state (directory,
+ * RNG, network, sync manager) is mutex-guarded on the miss path;
+ * cross-node cache effects and probe events are delivered in
+ * canonical order at the quantum barrier. Each shard fast-forwards
+ * locally when all of its own contexts are provably stalled, capped
+ * at the quantum end - the speed tier's main lever.
+ */
+Cycle
+MpSystem::runRelaxedParallel(Cycle end)
+{
+    if (checker_ || why_ || sampler_) {
+        throw std::logic_error(
+            "relaxed host-parallel mode (quantum > 1) cannot "
+            "preserve cycle-exact observation; drop "
+            "--check/--why/--sample-interval or use --quantum 1");
+    }
+    const ProcId P = cfg_.numProcessors;
+    const std::uint32_t W =
+        std::min<std::uint32_t>(hostThreads_, P);
+
+    std::vector<std::uint32_t> shardOf(P);
+    std::vector<std::pair<ProcId, ProcId>> blocks(W);
+    std::vector<Processor *> rawProcs;
+    rawProcs.reserve(P);
+    for (const auto &p : procs_)
+        rawProcs.push_back(p.get());
+    for (std::uint32_t w = 0; w < W; ++w) {
+        blocks[w] = blockOf(w, W, P);
+        for (ProcId p = blocks[w].first; p < blocks[w].second; ++p)
+            shardOf[p] = w;
+    }
+
+    par::CohMailboxGrid mail(P);
+    std::vector<par::WakeMailbox> wakeBoxes(W);
+    ShardRouter router(rawProcs, shardOf, &wakeBoxes);
+    for (auto &p : procs_)
+        p->setWakeRouter(&router);
+    mem_.setParMode(&mail);
+    sync_.setThreadSafe(true);
+
+    std::vector<std::vector<ProbeEvent>> shardBufs(W);
+    par::SpinBarrier bar(W + 1);
+    std::atomic<bool> stop{false};
+    Cycle qFrom = 0;
+    Cycle qTo = 0; // published to workers through the barrier
+    std::exception_ptr err;
+    std::mutex errMu;
+
+    // One shard-quantum: drain wakes each local cycle, fast-forward
+    // locally when the whole shard is provably stalled, tick own
+    // nodes' memory events then pipelines.
+    auto runShardQuantum = [&](std::uint32_t w, Cycle from,
+                               Cycle to) {
+        const auto [lo, hi] = blocks[w];
+        auto &wakeBox = wakeBoxes[w];
+        std::vector<par::WakeMsg> wakes;
+        std::vector<Processor::FastForwardPlan> plans(hi - lo);
+        bool armed = true;
+        Cycle c = from;
+        while (c < to) {
+            wakes.clear();
+            if (wakeBox.drain(wakes)) {
+                for (const par::WakeMsg &m : wakes)
+                    procs_[m.proc]->applyWake(m.ctx, m.resumeAt);
+                armed = true;
+            }
+            if (ffEnabled_ && armed) {
+                MTSIM_PROF_SCOPE("fastforward");
+                bool ok = true;
+                for (ProcId p = lo; p < hi && ok; ++p) {
+                    if (procs_[p]->issuedLastTick() ||
+                        procs_[p]->shortStallHint())
+                        ok = false;
+                }
+                Cycle until = to;
+                for (ProcId p = lo; p < hi && ok; ++p) {
+                    if (!procs_[p]->planFastForward(
+                            c, until, plans[p - lo]))
+                        ok = false;
+                    else if (plans[p - lo].until < until)
+                        until = plans[p - lo].until;
+                }
+                if (ok && until > c + 1) {
+                    for (ProcId p = lo; p < hi; ++p) {
+                        if (plans[p - lo].needOwnerCommit)
+                            procs_[p]->beginFastForward(c);
+                    }
+                    for (ProcId p = lo; p < hi; ++p) {
+                        if (mem_.nextNodeTickAt(p) <= until - 1)
+                            mem_.tickNode(p, until - 1);
+                    }
+                    for (ProcId p = lo; p < hi; ++p) {
+                        if (plans[p - lo].attribute)
+                            procs_[p]->addSkippedCycles(
+                                plans[p - lo].cls, until - c);
+                    }
+                    c = until;
+                    continue;
+                }
+                armed = false;
+            }
+            {
+                MTSIM_PROF_SCOPE("mem.tick");
+                for (ProcId p = lo; p < hi; ++p) {
+                    if (mem_.nextNodeTickAt(p) <= c)
+                        mem_.tickNode(p, c);
+                }
+            }
+            {
+                MTSIM_PROF_SCOPE("pipeline");
+                for (ProcId p = lo; p < hi; ++p)
+                    procs_[p]->tick(c);
+            }
+            for (ProcId p = lo; p < hi; ++p) {
+                if (procs_[p]->stateChangedLastTick()) {
+                    armed = true;
+                    break;
+                }
+            }
+            ++c;
+        }
+    };
+
+    std::vector<std::thread> workers;
+    workers.reserve(W);
+    for (std::uint32_t w = 0; w < W; ++w) {
+        workers.emplace_back([&, w] {
+            tlsShardId = w;
+            prof::Profiler::instance().registerWorkerThread();
+            if (probes_.enabled())
+                ProbeBus::setThreadBuffer(&shardBufs[w]);
+            for (;;) {
+                bar.arriveAndWait(); // quantum opens
+                if (stop.load(std::memory_order_acquire))
+                    break;
+                try {
+                    runShardQuantum(w, qFrom, qTo);
+                } catch (...) {
+                    std::lock_guard<std::mutex> g(errMu);
+                    if (!err)
+                        err = std::current_exception();
+                }
+                bar.arriveAndWait(); // quantum closes
+            }
+            ProbeBus::setThreadBuffer(nullptr);
+            prof::Profiler::instance().unregisterWorkerThread();
+            tlsShardId = kNoShard;
+        });
+    }
+
+    std::vector<par::CohMsg> msgs;
+    std::vector<ProbeEvent> mergeScratch;
+    auto shutdown = [&] {
+        stop.store(true, std::memory_order_release);
+        bar.arriveAndWait();
+        for (auto &t : workers)
+            t.join();
+        for (auto &p : procs_)
+            p->setWakeRouter(nullptr);
+        sync_.setThreadSafe(false);
+        mem_.setParMode(nullptr);
+    };
+
+    try {
+        while (now_ < end) {
+            qFrom = now_;
+            qTo = std::min(now_ + quantum_, end);
+            bar.arriveAndWait(); // open the quantum
+            bar.arriveAndWait(); // wait for every shard
+            now_ = qTo;
+            // Deliver cross-node coherence actions in canonical
+            // (cycle, src node, seq) order, then replay the merged
+            // probe streams to the real sinks.
+            mail.collectSorted(msgs);
+            mem_.applyCohMsgs(msgs);
+            if (probes_.enabled())
+                par::mergeShardProbes(shardBufs, probes_,
+                                      mergeScratch);
+            if (err)
+                break;
+            if (statsPending_)
+                clearAllStats();
+            if (progress_)
+                progress_->poll(now_, retired());
+            if (finished())
+                break;
+        }
+    } catch (...) {
+        shutdown();
+        throw;
+    }
+    shutdown();
+    if (err)
+        std::rethrow_exception(err);
+    measured_ = now_ - statsStart_;
+    return measured_;
+}
+
+} // namespace mtsim

@@ -51,7 +51,8 @@ MpSystem::numThreads() const
 }
 
 void
-MpSystem::loadApp(const ParallelAppFn &app)
+MpSystem::loadApp(const ParallelAppFn &app,
+                  const std::string &cache_key)
 {
     const std::uint32_t n = numThreads();
     AddressSpace shared(kSharedBase);
@@ -61,9 +62,21 @@ MpSystem::loadApp(const ParallelAppFn &app)
         const Addr data = threadDataBase(t);
         const std::uint64_t seed = cfg_.seed + 577 * (t + 1);
         if (cfg_.replayFrontEnd) {
-            sources_.push_back(std::make_unique<ReplayCursor>(
-                std::make_shared<ReplayProgram>(code, data, seed,
-                                                kernels[t])));
+            // Kernels capture concrete shared addresses; a fresh
+            // AddressSpace with the same base and request sequence
+            // hands out the same addresses, so one cache key per
+            // (config, thread) pins an identical op stream.
+            auto prog =
+                cache_key.empty()
+                    ? std::make_shared<ReplayProgram>(code, data,
+                                                      seed,
+                                                      kernels[t])
+                    : cachedReplayProgram(cache_key + "/t" +
+                                              std::to_string(t),
+                                          code, data, seed,
+                                          kernels[t]);
+            sources_.push_back(
+                std::make_unique<ReplayCursor>(std::move(prog)));
         } else {
             sources_.push_back(std::make_unique<ThreadSource>(
                 code, data, seed, kernels[t]));
@@ -256,6 +269,10 @@ Cycle
 MpSystem::run(Cycle max_cycles)
 {
     const Cycle end = now_ + max_cycles;
+    if (quantum_ > 1)
+        return runRelaxedParallel(end);
+    if (hostThreads_ > 1)
+        return runExactParallel(end);
     // Same arming heuristic as UniSystem::runLoop: a declined plan
     // stays declined until some node's planner-visible state changes.
     bool armed = true;

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "check/check_config.hh"
@@ -53,9 +54,12 @@ class MpSystem
     /**
      * Instantiate the application with one thread per hardware
      * context. Thread t runs on processor t % P, context t / P, so
-     * data distribution is stable as the context count varies.
+     * data distribution is stable as the context count varies. A
+     * non-empty @p cache_key reuses the process-wide decoded-program
+     * cache across bench reps (workload/replay.hh).
      */
-    void loadApp(const ParallelAppFn &app);
+    void loadApp(const ParallelAppFn &app,
+                 const std::string &cache_key = {});
 
     /**
      * Barrier id whose first release resets statistics (the paper
@@ -68,6 +72,29 @@ class MpSystem
      * @return measured cycles (from the stats barrier, if one fired).
      */
     Cycle run(Cycle max_cycles = 500000000ull);
+
+    /**
+     * Shard the run across @p host_threads worker threads advancing
+     * in lock-step quanta of @p quantum cycles (docs/ARCHITECTURE.md
+     * section 10). With quantum 1 the workers tick their node blocks
+     * in strict global node order through a token ring, so results -
+     * probe digest, retired counts, breakdown, checking, the why
+     * ledger, fast-forward - are bit-identical to the sequential
+     * loop. With quantum > 1 (relaxed mode) shards really run
+     * concurrently and exchange cross-node traffic at quantum
+     * barriers; results are approximate and nondeterministic
+     * run-to-run, so checking/why/sampling are rejected there. Call
+     * before run(); (1, 1) restores the sequential loop.
+     */
+    void
+    setHostParallel(std::uint32_t host_threads, Cycle quantum)
+    {
+        hostThreads_ = host_threads;
+        quantum_ = quantum;
+    }
+
+    std::uint32_t hostThreads() const { return hostThreads_; }
+    Cycle quantum() const { return quantum_; }
 
     bool finished() const;
 
@@ -149,6 +176,10 @@ class MpSystem
      */
     bool tryFastForward(Cycle end);
 
+    /** The two host-parallel run loops (system/mp_parallel.cc). */
+    Cycle runExactParallel(Cycle end);
+    Cycle runRelaxedParallel(Cycle end);
+
     Config cfg_;
     ProbeBus probes_;
     MpMemSystem mem_;
@@ -167,6 +198,8 @@ class MpSystem
     bool statsPending_ = false;
     bool ffEnabled_ = true;
     Cycle ffCycles_ = 0;
+    std::uint32_t hostThreads_ = 1;
+    Cycle quantum_ = 1;
     /** Scratch per-processor plans (avoids per-attempt allocation). */
     std::vector<Processor::FastForwardPlan> ffPlans_;
 };

@@ -1,5 +1,9 @@
 #include "workload/replay.hh"
 
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
 #include "prof/profiler.hh"
 
 namespace mtsim {
@@ -33,6 +37,36 @@ ReplayProgram::decodeTo(std::size_t idx)
     if (!decode_.drainTo(ops_, idx + kChunkOps))
         done_ = true;
     return idx < ops_.size();
+}
+
+namespace {
+
+std::mutex gReplayCacheMu;
+std::unordered_map<std::string, std::shared_ptr<ReplayProgram>>
+    gReplayCache;
+
+} // namespace
+
+std::shared_ptr<ReplayProgram>
+cachedReplayProgram(const std::string &key, Addr code_base,
+                    Addr data_base, std::uint64_t seed,
+                    const KernelFn &kernel)
+{
+    std::lock_guard<std::mutex> g(gReplayCacheMu);
+    auto it = gReplayCache.find(key);
+    if (it != gReplayCache.end())
+        return it->second;
+    auto prog = std::make_shared<ReplayProgram>(code_base, data_base,
+                                                seed, kernel);
+    gReplayCache.emplace(key, prog);
+    return prog;
+}
+
+void
+clearReplayProgramCache()
+{
+    std::lock_guard<std::mutex> g(gReplayCacheMu);
+    gReplayCache.clear();
 }
 
 } // namespace mtsim

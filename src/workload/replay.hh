@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "workload/emitter.hh"
@@ -75,6 +76,27 @@ class ReplayProgram
     std::vector<MicroOp> ops_;
     bool done_ = false;
 };
+
+/**
+ * Process-wide decoded-program cache (bench harness): successive
+ * reps of one config re-decode identical kernels, and PR 6's cost
+ * trees measured that re-decode at ~40% of wall time on the uni R0
+ * ×1ctx row. The first rep decodes (lazily, as ever); later reps get
+ * the same ReplayProgram back and extend its decoded prefix at most
+ * once. Callers must guarantee one key names one (code, data, seed,
+ * kernel-stream) combination - the bench keys on config name plus
+ * app/thread index, which pins all four. Digest-pinned by
+ * construction: a cached program *is* the recorded stream, so reps
+ * replay byte-identical ops. Not for concurrent use of one program
+ * by two host threads.
+ */
+std::shared_ptr<ReplayProgram>
+cachedReplayProgram(const std::string &key, Addr code_base,
+                    Addr data_base, std::uint64_t seed,
+                    const KernelFn &kernel);
+
+/** Drop the decode cache (frees the retained op arrays). */
+void clearReplayProgramCache();
 
 /**
  * A read position in a ReplayProgram. This is what the processor

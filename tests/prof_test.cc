@@ -388,6 +388,23 @@ TEST(SpeedJsonTest, WriteReadRoundTrip)
     EXPECT_EQ(parsed[0].retired, rows[0].retired);
     EXPECT_DOUBLE_EQ(parsed[0].kips, rows[0].kips);
     EXPECT_EQ(parsed[1].digest, "0xdeadbeef");
+    // Sequential rows omit the host-parallel fields and read back
+    // as the (1, 1) default.
+    EXPECT_EQ(parsed[0].hostThreads, 1u);
+    EXPECT_EQ(parsed[0].quantum, 1u);
+}
+
+TEST(SpeedJsonTest, HostParallelFieldsRoundTrip)
+{
+    prof::SpeedRow par = makeRow("mp/x/ht8/q1000", 500.0, "0x0");
+    par.hostThreads = 8;
+    par.quantum = 1000;
+    std::ostringstream os;
+    prof::writeBenchSpeedJson(os, {par}, 1);
+    const auto parsed = prof::speedRowsFromJson(parseJson(os.str()));
+    ASSERT_EQ(parsed.size(), 1u);
+    EXPECT_EQ(parsed[0].hostThreads, 8u);
+    EXPECT_EQ(parsed[0].quantum, 1000u);
 }
 
 TEST(SpeedJsonTest, RejectsWrongSchema)
@@ -583,11 +600,40 @@ TEST(BenchCompareTest, NewConfigNoted)
     EXPECT_TRUE(noted);
 }
 
+TEST(BenchCompareTest, ParallelAndSequentialNeverCrossCompare)
+{
+    // Same config name, different host-parallel key: the relaxed
+    // row's KIPS is a different quantity, so it must not satisfy the
+    // sequential baseline row (missing -> FAIL) and must surface as
+    // a new config instead.
+    prof::SpeedRow par = makeRow("a", 400.0);
+    par.hostThreads = 8;
+    par.quantum = 1000;
+    const std::vector<prof::SpeedRow> base = {makeRow("a", 100.0)};
+    const std::vector<prof::SpeedRow> cur = {par};
+    const auto out = prof::compareSpeed(base, cur, 0.10);
+    EXPECT_FALSE(out.ok);
+    bool missing = false, noted = false;
+    for (const auto &l : out.lines) {
+        missing = missing || l.find("missing") != std::string::npos;
+        noted = noted || l.find("new config") != std::string::npos;
+    }
+    EXPECT_TRUE(missing);
+    EXPECT_TRUE(noted);
+    // With the matching parallel baseline present, both rows pair up.
+    prof::SpeedRow par_base = par;
+    par_base.kips = 390.0;
+    const auto ok = prof::compareSpeed({makeRow("a", 100.0), par_base},
+                                       {makeRow("a", 101.0), par},
+                                       0.10);
+    EXPECT_TRUE(ok.ok);
+}
+
 TEST(SpeedMatrixTest, CanonicalMatrixShapeAndScaling)
 {
     const auto full = prof::canonicalSpeedMatrix();
     const auto quick = prof::canonicalSpeedMatrix(0.1);
-    ASSERT_EQ(full.size(), 5u);
+    ASSERT_EQ(full.size(), 7u);
     ASSERT_EQ(quick.size(), full.size());
     for (std::size_t i = 0; i < full.size(); ++i) {
         EXPECT_EQ(full[i].name, quick[i].name);
@@ -595,6 +641,19 @@ TEST(SpeedMatrixTest, CanonicalMatrixShapeAndScaling)
     }
     EXPECT_EQ(full[0].name, "uni/interleaved/1ctx/R0");
     EXPECT_EQ(full.back().kind, prof::SpeedConfig::Kind::Emitter);
+    // The host-parallel rows are the relaxed tier on the same
+    // water/8p application; sequential rows stay at (1, 1).
+    std::size_t parallel = 0;
+    for (const auto &c : full) {
+        if (c.hostThreads == 1 && c.quantum == 1)
+            continue;
+        ++parallel;
+        EXPECT_EQ(c.kind, prof::SpeedConfig::Kind::Mp);
+        EXPECT_EQ(c.hostThreads, 8u);
+        EXPECT_GT(c.quantum, 1u);
+        EXPECT_NE(c.name.find("/ht8/"), std::string::npos);
+    }
+    EXPECT_EQ(parallel, 2u);
 }
 
 TEST(SpeedMatrixTest, EmitterConfigProducesWork)

@@ -81,7 +81,7 @@ main(int argc, char **argv)
     std::cout << "mtsim_bench: " << build.buildType << " build "
               << build.gitSha << ", sanitizers " << build.sanitizers
               << ", best of " << best_of << "\n\n";
-    std::printf("  %-28s %10s %10s %10s %10s\n", "config", "cycles",
+    std::printf("  %-38s %10s %10s %10s %10s\n", "config", "cycles",
                 "wall ms", "KIPS", "Mcyc/s");
 
     std::vector<prof::SpeedRow> rows;
@@ -93,7 +93,7 @@ main(int argc, char **argv)
             if (rep == 0 || r.kips > best.kips)
                 best = r;
         }
-        std::printf("  %-28s %10llu %10.1f %10.1f %10.2f\n",
+        std::printf("  %-38s %10llu %10.1f %10.1f %10.2f\n",
                     best.config.c_str(),
                     static_cast<unsigned long long>(best.cycles),
                     best.wallMs, best.kips, best.mcps);

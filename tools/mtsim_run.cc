@@ -33,6 +33,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "check/digest.hh"
@@ -88,6 +89,8 @@ struct Options
     std::uint64_t progressSeconds = 0;
     bool fastForward = true;
     bool replay = true;
+    std::uint32_t hostThreads = 1;
+    Cycle quantum = 1;
     bool help = false;
 };
 
@@ -126,6 +129,30 @@ parseU64(const std::string &flag, const std::string &value,
         throw std::invalid_argument(flag + ": value " + value +
                                     " out of range (max " +
                                     std::to_string(max) + ")");
+    return v;
+}
+
+/**
+ * Bound for --host-threads/--quantum: more than 4x the host's
+ * hardware concurrency is always a typo (and a quantum that large
+ * adds nothing a smaller one does not), so fail at flag-parse time
+ * like the output-path validation does.
+ */
+std::uint64_t
+parseHostParallel(const std::string &flag, const std::string &value)
+{
+    const std::uint64_t v = parseU64(flag, value);
+    if (v == 0)
+        throw std::invalid_argument(
+            flag + ": invalid value 0: must be at least 1");
+    const unsigned hw = std::thread::hardware_concurrency();
+    const std::uint64_t max =
+        static_cast<std::uint64_t>(hw > 0 ? hw : 1) * 4;
+    if (v > max)
+        throw std::invalid_argument(
+            flag + ": value " + value +
+            " out of range: exceeds 4x the host's hardware "
+            "concurrency (max " + std::to_string(max) + ")");
     return v;
 }
 
@@ -197,7 +224,16 @@ usage()
         "  --no-replay         fetch from the kernel coroutines\n"
         "                      lazily instead of the pre-decoded\n"
         "                      replay buffers (bit-identical results;\n"
-        "                      lower host memory, slower)\n";
+        "                      lower host memory, slower)\n"
+        "  --host-threads N    (--mp only) shard the nodes across N\n"
+        "                      host worker threads\n"
+        "                      (docs/ARCHITECTURE.md section 10)\n"
+        "  --quantum N         (--mp only) lock-step quantum in\n"
+        "                      cycles. 1 (default) is bit-identical\n"
+        "                      to the sequential loop; N > 1 is the\n"
+        "                      relaxed speed tier (approximate,\n"
+        "                      nondeterministic; incompatible with\n"
+        "                      --check/--why/--sample-interval)\n";
 }
 
 Options
@@ -287,12 +323,27 @@ parse(int argc, char **argv)
             o.fastForward = false;
         } else if (a == "--no-replay") {
             o.replay = false;
+        } else if (a == "--host-threads") {
+            o.hostThreads = static_cast<std::uint32_t>(
+                parseHostParallel(a, next()));
+        } else if (a == "--quantum") {
+            o.quantum = parseHostParallel(a, next());
         } else if (a == "--help" || a == "-h") {
             o.help = true;
         } else {
             throw std::invalid_argument("unknown flag: " + a);
         }
     }
+    // Cross-flag validation, order-independent (after the loop).
+    if ((o.hostThreads > 1 || o.quantum > 1) && !o.mp)
+        throw std::invalid_argument(
+            "--host-threads/--quantum: only valid with --mp (the "
+            "workstation loop is single-node)");
+    if (o.quantum > 1 && (o.check || o.why || o.sampleInterval > 0))
+        throw std::invalid_argument(
+            "--quantum > 1 (relaxed mode) cannot preserve "
+            "cycle-exact observation; drop --check/--why/"
+            "--sample-interval or use --quantum 1");
     return o;
 }
 
@@ -455,6 +506,12 @@ writeStatsJson(const Options &o, const RunInfo &info,
     if (o.mp) {
         w.kv("procs", static_cast<std::uint64_t>(o.procs));
         w.kv("app", o.app.empty() ? "water" : o.app);
+        // Additive: absent means the sequential run loop (1, 1).
+        if (o.hostThreads != 1 || o.quantum != 1) {
+            w.kv("host_threads",
+                 static_cast<std::uint64_t>(o.hostThreads));
+            w.kv("quantum", static_cast<std::uint64_t>(o.quantum));
+        }
     } else if (!o.app.empty()) {
         w.kv("app", o.app);
     } else {
@@ -860,6 +917,7 @@ runMpMode(const Options &o)
     cfg.replayFrontEnd = o.replay;
     MpSystem sys(cfg);
     sys.setFastForward(o.fastForward);
+    sys.setHostParallel(o.hostThreads, o.quantum);
     sys.setStatsBarrier(kStatsBarrier);
     sys.loadApp(splashApp(app));
 
